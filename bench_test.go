@@ -1,0 +1,311 @@
+// Benchmarks: one per table/figure of the paper's evaluation (running the
+// same harness as cmd/experiments at reduced scale so `go test -bench=.`
+// terminates in minutes — cmd/experiments reproduces full-size runs), plus
+// ablation benchmarks for the design choices DESIGN.md calls out and
+// micro-benchmarks for the pipeline stages.
+package disasso_test
+
+import (
+	"math/rand/v2"
+	"testing"
+
+	"disasso"
+	"disasso/internal/core"
+	"disasso/internal/dataset"
+	"disasso/internal/diffpriv"
+	"disasso/internal/experiments"
+	"disasso/internal/generalization"
+	"disasso/internal/hierarchy"
+	"disasso/internal/itemset"
+	"disasso/internal/metrics"
+	"disasso/internal/quest"
+	"disasso/internal/realdata"
+	"disasso/internal/reconstruct"
+)
+
+// benchConfig shrinks the experiment scale so each figure regenerates in
+// roughly a second. EXPERIMENTS.md records the full-scale numbers.
+func benchConfig() experiments.Config {
+	cfg := experiments.DefaultConfig()
+	cfg.Scale = 500
+	cfg.TopK = 200
+	return cfg
+}
+
+// benchFigure runs one figure runner b.N times.
+func benchFigure(b *testing.B, id string, scale int) {
+	cfg := benchConfig()
+	cfg.Scale = scale
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Run(id, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- One benchmark per paper table/figure ---
+
+func BenchmarkFig6(b *testing.B)   { benchFigure(b, "fig6", 500) }
+func BenchmarkFig7a(b *testing.B)  { benchFigure(b, "fig7a", 500) }
+func BenchmarkFig7bc(b *testing.B) { benchFigure(b, "fig7bc", 500) }
+func BenchmarkFig7d(b *testing.B)  { benchFigure(b, "fig7d", 500) }
+func BenchmarkFig8ab(b *testing.B) { benchFigure(b, "fig8ab", 2000) }
+func BenchmarkFig8c(b *testing.B)  { benchFigure(b, "fig8c", 2000) }
+func BenchmarkFig8d(b *testing.B)  { benchFigure(b, "fig8d", 2000) }
+func BenchmarkFig9ab(b *testing.B) { benchFigure(b, "fig9ab", 500) }
+func BenchmarkFig10a(b *testing.B) { benchFigure(b, "fig10a", 2000) }
+func BenchmarkFig10b(b *testing.B) { benchFigure(b, "fig10b", 2000) }
+func BenchmarkFig11(b *testing.B)  { benchFigure(b, "fig11", 500) }
+
+// --- Ablation benchmarks ---
+
+// benchDataset builds the shared ablation workload: a mid-sized Quest
+// dataset with the paper's density profile.
+func benchDataset(b *testing.B) *dataset.Dataset {
+	b.Helper()
+	cfg := quest.DefaultConfig()
+	cfg.NumTransactions = 20_000
+	cfg.DomainSize = 1_000
+	cfg.AvgTransLen = 8
+	cfg.Seed = 42
+	g, err := quest.New(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return g.Generate()
+}
+
+// BenchmarkAblationMaxClusterSize sweeps the horizontal-partitioning
+// threshold: small clusters anonymize faster but disassociate more; large
+// clusters preserve more itemsets at higher cost (the trade-off Section 3
+// motivates). tKd-a is attached as a custom metric.
+func BenchmarkAblationMaxClusterSize(b *testing.B) {
+	d := benchDataset(b)
+	for _, size := range []int{10, 20, 30, 50, 100} {
+		b.Run(benchName("max", size), func(b *testing.B) {
+			var tkdA float64
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				a, err := core.Anonymize(d, core.Options{K: 5, M: 2, MaxClusterSize: size, Seed: 1})
+				if err != nil {
+					b.Fatal(err)
+				}
+				tkdA = metrics.TopKDeviationLowerBound(d.Records, a, 200, 2)
+			}
+			b.ReportMetric(tkdA, "tKd-a")
+		})
+	}
+}
+
+// BenchmarkAblationRefine isolates the REFINE step's cost and quality
+// effect (joint clusters recover terms stranded in term chunks).
+func BenchmarkAblationRefine(b *testing.B) {
+	d := benchDataset(b)
+	for _, disable := range []bool{false, true} {
+		name := "on"
+		if disable {
+			name = "off"
+		}
+		b.Run(name, func(b *testing.B) {
+			var tlost float64
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				a, err := core.Anonymize(d, core.Options{K: 5, M: 2, DisableRefine: disable, Seed: 1})
+				if err != nil {
+					b.Fatal(err)
+				}
+				tlost = metrics.TermsLost(d, a, 5)
+			}
+			b.ReportMetric(tlost, "tlost")
+		})
+	}
+}
+
+// BenchmarkAblationM sweeps the adversary-knowledge bound m: larger m means
+// exponentially more combinations to check in VERPART (the paper reports a
+// negligible effect for m > 2 on its datasets).
+func BenchmarkAblationM(b *testing.B) {
+	d := benchDataset(b)
+	for _, m := range []int{1, 2, 3} {
+		b.Run(benchName("m", m), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := core.Anonymize(d, core.Options{K: 5, M: m, Seed: 1}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAblationParallel measures the per-cluster parallelism Section 3
+// points out (clusters anonymize independently). REFINE is disabled so the
+// parallel section (VERPART) is what dominates; with REFINE on, its
+// single-threaded fixpoint masks the scaling.
+func BenchmarkAblationParallel(b *testing.B) {
+	d := benchDataset(b)
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(benchName("workers", workers), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := core.Anonymize(d, core.Options{K: 5, M: 2, Parallel: workers, DisableRefine: true, Seed: 1}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// --- Pipeline stage micro-benchmarks ---
+
+func BenchmarkHorPart(b *testing.B) {
+	d := benchDataset(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		core.HorPart(d, 30, nil)
+	}
+}
+
+func BenchmarkVerPart(b *testing.B) {
+	d := benchDataset(b)
+	clusters := core.HorPart(d, 30, nil)
+	rng := rand.New(rand.NewPCG(1, 1))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		core.VerPart(clusters[i%len(clusters)], 5, 2, nil, rng)
+	}
+}
+
+func BenchmarkAnonymizeEndToEnd(b *testing.B) {
+	d := benchDataset(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.Anonymize(d, core.Options{K: 5, M: 2, Seed: 1}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkReconstruct(b *testing.B) {
+	d := benchDataset(b)
+	a, err := core.Anonymize(d, core.Options{K: 5, M: 2, Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := rand.New(rand.NewPCG(2, 2))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		reconstruct.Sample(a, rng)
+	}
+}
+
+func BenchmarkTopKMine(b *testing.B) {
+	d := benchDataset(b)
+	// K is kept below the domain size: asking for more itemsets than there
+	// are terms drives the adaptive threshold to minimum support 1, which
+	// measures the pathological mining case instead of the metric workload.
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		itemset.TopK(d.Records, 500, 2)
+	}
+}
+
+// Baseline comparators, on the same workload as the core benches.
+
+func BenchmarkDiffPart(b *testing.B) {
+	d := benchDataset(b)
+	h, err := hierarchy.New(1000, 10)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := diffpriv.Anonymize(d, h, diffpriv.Config{Epsilon: 1.0, Seed: 1}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAprioriGeneralization(b *testing.B) {
+	d := benchDataset(b)
+	h, err := hierarchy.New(1000, 10)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := generalization.Anonymize(d, h, 5, 2); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkQuestGenerate(b *testing.B) {
+	cfg := quest.DefaultConfig()
+	cfg.NumTransactions = 10_000
+	cfg.DomainSize = 1_000
+	cfg.Seed = 7
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g, err := quest.New(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		g.Generate()
+	}
+}
+
+func BenchmarkStandInGenerate(b *testing.B) {
+	spec := realdata.POS.Scaled(50)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		spec.Generate()
+	}
+}
+
+func BenchmarkFacadeAnonymize(b *testing.B) {
+	cfg := disasso.DefaultQuestConfig()
+	cfg.NumTransactions = 5_000
+	cfg.DomainSize = 500
+	cfg.Seed = 3
+	d, err := disasso.GenerateQuest(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := disasso.Anonymize(d, disasso.Options{K: 5, M: 2, Seed: 1}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func benchName(prefix string, v int) string {
+	return prefix + "=" + itoa(v)
+}
+
+func itoa(v int) string {
+	if v == 0 {
+		return "0"
+	}
+	var buf [8]byte
+	i := len(buf)
+	for v > 0 {
+		i--
+		buf[i] = byte('0' + v%10)
+		v /= 10
+	}
+	return string(buf[i:])
+}

@@ -1,0 +1,90 @@
+// Command datagen generates the transactional datasets the experiments use:
+// IBM Quest market-basket synthetic data, or the POS / WV1 / WV2 stand-ins
+// matching the published statistics of the paper's Figure 6.
+//
+// Usage:
+//
+//	datagen -type quest -n 100000 -domain 5000 -avglen 10 > synthetic.txt
+//	datagen -type pos -scale 10 > pos.txt
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"disasso"
+	"disasso/internal/dataset"
+	"disasso/internal/realdata"
+)
+
+func main() {
+	var (
+		typ    = flag.String("type", "quest", "dataset type: quest, pos, wv1, wv2")
+		n      = flag.Int("n", 100_000, "records to generate (quest)")
+		domain = flag.Int("domain", 5_000, "domain size (quest)")
+		avgLen = flag.Float64("avglen", 10, "average record length (quest)")
+		scale  = flag.Int("scale", 1, "divide the stand-in dataset size (pos/wv1/wv2)")
+		seed   = flag.Uint64("seed", 1, "PRNG seed")
+		out    = flag.String("out", "", "output file (default stdout)")
+		stats  = flag.Bool("stats", false, "print record-length and support histograms instead of records")
+	)
+	flag.Parse()
+	if err := run(*typ, *n, *domain, *avgLen, *scale, *seed, *out, *stats); err != nil {
+		fmt.Fprintln(os.Stderr, "datagen:", err)
+		os.Exit(1)
+	}
+}
+
+func run(typ string, n, domain int, avgLen float64, scale int, seed uint64, out string, stats bool) error {
+	var d *dataset.Dataset
+	switch strings.ToLower(typ) {
+	case "quest":
+		cfg := disasso.DefaultQuestConfig()
+		cfg.NumTransactions = n
+		cfg.DomainSize = domain
+		cfg.AvgTransLen = avgLen
+		cfg.Seed = seed
+		var err error
+		d, err = disasso.GenerateQuest(cfg)
+		if err != nil {
+			return err
+		}
+	case "pos", "wv1", "wv2":
+		var spec realdata.Spec
+		switch strings.ToLower(typ) {
+		case "pos":
+			spec = realdata.POS
+		case "wv1":
+			spec = realdata.WV1
+		default:
+			spec = realdata.WV2
+		}
+		if seed != 1 {
+			spec.Seed = seed
+		}
+		d = spec.Scaled(scale).Generate()
+	default:
+		return fmt.Errorf("unknown type %q (quest, pos, wv1, wv2)", typ)
+	}
+
+	w := os.Stdout
+	if out != "" {
+		var err error
+		w, err = os.Create(out)
+		if err != nil {
+			return err
+		}
+		defer w.Close()
+	}
+	if stats {
+		st := d.ComputeStats()
+		fmt.Fprintf(w, "records=%d terms=%d max=%d avg=%.2f\n",
+			st.NumRecords, st.DomainSize, st.MaxRecord, st.AvgRecord)
+		dataset.NewHistogram(d.RecordLengths(), 8).Fprint(w, "record lengths")
+		dataset.NewHistogram(d.SupportValues(), 8).Fprint(w, "term supports")
+		return nil
+	}
+	return disasso.WriteIDs(w, d)
+}

@@ -1,0 +1,66 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestRunQuest(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "quest.txt")
+	if err := run("quest", 200, 50, 5, 1, 3, out, false); err != nil {
+		t.Fatalf("quest: %v", err)
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(string(data)), "\n")
+	if len(lines) != 200 {
+		t.Errorf("generated %d lines, want 200", len(lines))
+	}
+}
+
+func TestRunStandIns(t *testing.T) {
+	for _, typ := range []string{"pos", "wv1", "wv2"} {
+		out := filepath.Join(t.TempDir(), typ+".txt")
+		if err := run(typ, 0, 0, 0, 400, 1, out, false); err != nil {
+			t.Fatalf("%s: %v", typ, err)
+		}
+		data, err := os.ReadFile(out)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(strings.TrimSpace(string(data))) == 0 {
+			t.Errorf("%s output empty", typ)
+		}
+	}
+}
+
+func TestRunUnknownType(t *testing.T) {
+	if err := run("bogus", 10, 10, 2, 1, 1, "", false); err == nil {
+		t.Error("unknown type accepted")
+	}
+}
+
+func TestRunBadQuestConfig(t *testing.T) {
+	if err := run("quest", 10, 0, 5, 1, 1, filepath.Join(t.TempDir(), "x.txt"), false); err == nil {
+		t.Error("domain 0 accepted")
+	}
+}
+
+func TestRunStats(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "stats.txt")
+	if err := run("quest", 300, 60, 5, 1, 2, out, true); err != nil {
+		t.Fatalf("stats: %v", err)
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := string(data)
+	if !strings.Contains(text, "record lengths") || !strings.Contains(text, "term supports") {
+		t.Errorf("stats output missing histograms:\n%s", text)
+	}
+}

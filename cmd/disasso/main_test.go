@@ -1,0 +1,154 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// writeInput creates a small dataset file.
+func writeInput(t *testing.T, dir, content string) string {
+	t.Helper()
+	path := filepath.Join(dir, "in.txt")
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+const toyData = `1 2 3
+1 2
+1 2 3
+2 3
+1 3
+1 2 3
+2 3
+1 2
+1 3
+1 2 3
+`
+
+func TestRunAnonymizeAndVerify(t *testing.T) {
+	dir := t.TempDir()
+	in := writeInput(t, dir, toyData)
+	out := filepath.Join(dir, "anon.json")
+
+	if err := run(in, out, false, 3, 2, 0, false, 1, 1, 0, "", false, 0, false); err != nil {
+		t.Fatalf("anonymize: %v", err)
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), "\"K\": 3") {
+		t.Errorf("output JSON missing parameters: %s", data[:min(len(data), 120)])
+	}
+
+	verifyOut := filepath.Join(dir, "verify.txt")
+	if err := run(in, verifyOut, false, 3, 2, 0, false, 1, 1, 0, out, false, 0, false); err != nil {
+		t.Fatalf("verify: %v", err)
+	}
+	msg, _ := os.ReadFile(verifyOut)
+	if !strings.Contains(string(msg), "OK") {
+		t.Errorf("verify output: %s", msg)
+	}
+}
+
+func TestRunReconstruct(t *testing.T) {
+	dir := t.TempDir()
+	in := writeInput(t, dir, toyData)
+	out := filepath.Join(dir, "recon.txt")
+	if err := run(in, out, false, 3, 2, 0, false, 1, 1, 2, "", false, 0, false); err != nil {
+		t.Fatalf("reconstruct: %v", err)
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := string(data)
+	if !strings.Contains(text, "%%") {
+		t.Error("missing dataset separator between reconstructions")
+	}
+	lines := strings.Split(strings.TrimSpace(text), "\n")
+	// 10 records × 2 reconstructions + 1 separator.
+	if len(lines) != 21 {
+		t.Errorf("reconstruction output has %d lines, want 21", len(lines))
+	}
+}
+
+func TestRunStats(t *testing.T) {
+	dir := t.TempDir()
+	in := writeInput(t, dir, toyData)
+	out := filepath.Join(dir, "stats.txt")
+	if err := run(in, out, false, 3, 2, 0, false, 1, 1, 0, "", true, 0, false); err != nil {
+		t.Fatalf("stats: %v", err)
+	}
+	data, _ := os.ReadFile(out)
+	if !strings.Contains(string(data), "records: 10") {
+		t.Errorf("stats output: %s", data)
+	}
+}
+
+func TestRunAudit(t *testing.T) {
+	dir := t.TempDir()
+	in := writeInput(t, dir, toyData)
+	out := filepath.Join(dir, "anon.json")
+	if err := run(in, out, false, 3, 2, 0, false, 1, 1, 0, "", false, 50, false); err != nil {
+		t.Fatalf("audit: %v", err)
+	}
+}
+
+func TestRunBinaryFormat(t *testing.T) {
+	dir := t.TempDir()
+	in := writeInput(t, dir, toyData)
+	out := filepath.Join(dir, "anon.bin")
+	if err := run(in, out, false, 3, 2, 0, false, 1, 1, 0, "", false, 0, true); err != nil {
+		t.Fatalf("binary anonymize: %v", err)
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(string(data), "DSA1") {
+		t.Errorf("binary output missing magic: %q", data[:4])
+	}
+	verifyOut := filepath.Join(dir, "verify.txt")
+	if err := run(in, verifyOut, false, 3, 2, 0, false, 1, 1, 0, out, false, 0, true); err != nil {
+		t.Fatalf("binary verify: %v", err)
+	}
+	msg, _ := os.ReadFile(verifyOut)
+	if !strings.Contains(string(msg), "OK") {
+		t.Errorf("binary verify output: %s", msg)
+	}
+}
+
+func TestRunNames(t *testing.T) {
+	dir := t.TempDir()
+	in := writeInput(t, dir, "apple banana\napple banana\napple cherry\napple cherry\nbanana cherry\nbanana cherry\n")
+	out := filepath.Join(dir, "recon.txt")
+	if err := run(in, out, true, 2, 2, 0, false, 1, 1, 1, "", false, 0, false); err != nil {
+		t.Fatalf("names reconstruct: %v", err)
+	}
+	data, _ := os.ReadFile(out)
+	if !strings.Contains(string(data), "apple") {
+		t.Errorf("names output lost the dictionary: %s", data)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	dir := t.TempDir()
+	if err := run("", "", false, 3, 2, 0, false, 1, 1, 0, "", false, 0, false); err == nil {
+		t.Error("missing -in accepted")
+	}
+	if err := run(filepath.Join(dir, "missing.txt"), "", false, 3, 2, 0, false, 1, 1, 0, "", false, 0, false); err == nil {
+		t.Error("nonexistent input accepted")
+	}
+	in := writeInput(t, dir, toyData)
+	if err := run(in, "", false, 1, 2, 0, false, 1, 1, 0, "", false, 0, false); err == nil {
+		t.Error("k=1 accepted")
+	}
+	if err := run(in, "", false, 3, 2, 0, false, 1, 1, 0, filepath.Join(dir, "missing.json"), false, 0, false); err == nil {
+		t.Error("nonexistent verify file accepted")
+	}
+}

@@ -1,0 +1,56 @@
+// Command experiments regenerates the tables and figures of the paper's
+// Section 7 evaluation (see EXPERIMENTS.md for the paper-vs-measured
+// record).
+//
+// Usage:
+//
+//	experiments                 # every figure at scale 1/10
+//	experiments -fig fig7a      # one figure
+//	experiments -scale 1        # the paper's full dataset sizes
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"disasso/internal/experiments"
+)
+
+func main() {
+	var (
+		fig      = flag.String("fig", "all", "figure to run: all, or one of "+strings.Join(experiments.RegistryOrder, ", "))
+		scale    = flag.Int("scale", 10, "divide all dataset sizes by this factor (1 = paper size)")
+		k        = flag.Int("k", 5, "k parameter")
+		m        = flag.Int("m", 2, "m parameter")
+		topK     = flag.Int("topk", 1000, "top-K itemsets for tKd")
+		maxSize  = flag.Int("maxsize", 3, "maximum itemset size mined for tKd")
+		seed     = flag.Uint64("seed", 1, "PRNG seed")
+		parallel = flag.Int("parallel", 0, "anonymizer workers (0 = all cores)")
+	)
+	flag.Parse()
+
+	cfg := experiments.Config{
+		K: *k, M: *m, TopK: *topK, MaxItemsetSize: *maxSize,
+		Scale: *scale, Seed: *seed, Parallel: *parallel,
+	}
+
+	ids := experiments.RegistryOrder
+	if *fig != "all" {
+		ids = strings.Split(*fig, ",")
+	}
+	for _, id := range ids {
+		start := time.Now()
+		tables, err := experiments.Run(strings.TrimSpace(id), cfg)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+			os.Exit(1)
+		}
+		for _, t := range tables {
+			t.Fprint(os.Stdout)
+		}
+		fmt.Printf("(%s completed in %.1fs)\n\n", id, time.Since(start).Seconds())
+	}
+}

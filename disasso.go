@@ -1,0 +1,222 @@
+// Package disasso is a Go implementation of anonymization by disassociation
+// for sparse multidimensional (set-valued) data, reproducing Terrovitis,
+// Liagouris, Mamoulis & Skiadopoulos: "Privacy Preservation by
+// Disassociation", PVLDB 5(10), 2012.
+//
+// Disassociation protects against identity disclosure under the
+// k^m-anonymity model: an adversary who knows up to M terms of a record
+// (search queries, purchased items, clicked URLs) cannot narrow it down to
+// fewer than K candidate records in any original dataset consistent with the
+// published form. Unlike generalization or suppression, every original term
+// survives publication; what is hidden is which infrequent combinations of
+// terms co-occurred in a record.
+//
+// The published form partitions records into clusters, each cluster into
+// k^m-anonymous record chunks plus a term chunk, and optionally joins
+// clusters sharing refining terms into joint clusters with shared chunks:
+//
+//	d, _ := disasso.ReadIDs(file)
+//	a, err := disasso.Anonymize(d, disasso.Options{K: 5, M: 2})
+//	...
+//	sample := disasso.Reconstruct(a, seed) // one plausible original dataset
+//
+// Analysts either work on the disassociated form directly (its itemset
+// supports are certain lower bounds — see LowerBoundSupports) or mine any
+// number of reconstructed datasets, averaging results across them.
+package disasso
+
+import (
+	"fmt"
+	"io"
+	"math/rand/v2"
+
+	"disasso/internal/anonymity"
+	"disasso/internal/attack"
+	"disasso/internal/core"
+	"disasso/internal/dataset"
+	"disasso/internal/metrics"
+	"disasso/internal/query"
+	"disasso/internal/quest"
+	"disasso/internal/reconstruct"
+)
+
+// Core data model, re-exported from the internal packages so that library
+// users interact with one import path.
+type (
+	// Term identifies a term of the domain (a query, product, URL...).
+	Term = dataset.Term
+	// Record is a normalized set of terms.
+	Record = dataset.Record
+	// Dataset is a bag of records.
+	Dataset = dataset.Dataset
+	// Dictionary maps external term strings to Terms and back.
+	Dictionary = dataset.Dictionary
+	// Options configures Anonymize; K and M are the k^m-anonymity
+	// parameters.
+	Options = core.Options
+	// Anonymized is the published disassociated dataset.
+	Anonymized = core.Anonymized
+	// Cluster is one simple cluster of the published form.
+	Cluster = core.Cluster
+	// Chunk is a record chunk or shared chunk.
+	Chunk = core.Chunk
+	// ClusterNode is a node of the published cluster forest (leaf or joint).
+	ClusterNode = core.ClusterNode
+)
+
+// NewRecord builds a normalized record from the given terms.
+func NewRecord(terms ...Term) Record { return dataset.NewRecord(terms...) }
+
+// NewDataset wraps records (normalized in place) into a dataset.
+func NewDataset(records ...Record) *Dataset {
+	d := dataset.New(len(records))
+	for _, r := range records {
+		d.Add(r)
+	}
+	return d
+}
+
+// NewDictionary returns an empty term dictionary.
+func NewDictionary() *Dictionary { return dataset.NewDictionary() }
+
+// ReadIDs parses a dataset of integer term IDs, one record per line.
+func ReadIDs(r io.Reader) (*Dataset, error) { return dataset.ReadIDs(r) }
+
+// WriteIDs writes a dataset as integer term IDs, one record per line.
+func WriteIDs(w io.Writer, d *Dataset) error { return dataset.WriteIDs(w, d) }
+
+// ReadNames parses a dataset of whitespace-separated term names, interning
+// them in dict.
+func ReadNames(r io.Reader, dict *Dictionary) (*Dataset, error) {
+	return dataset.ReadNames(r, dict)
+}
+
+// WriteNames writes a dataset through the dictionary.
+func WriteNames(w io.Writer, d *Dataset, dict *Dictionary) error {
+	return dataset.WriteNames(w, d, dict)
+}
+
+// Anonymize runs the disassociation pipeline (HORPART, VERPART, REFINE) and
+// returns the published k^m-anonymous dataset. The input is unchanged.
+func Anonymize(d *Dataset, opts Options) (*Anonymized, error) {
+	return core.Anonymize(d, opts)
+}
+
+// Verify independently re-checks every privacy condition of the published
+// dataset (chunk k^m-anonymity, the Lemma 2 record-count condition, Property
+// 1 on shared chunks, structural invariants) and returns nil when all hold.
+func Verify(a *Anonymized) error {
+	return anonymity.Verify(a).Err()
+}
+
+// VerifyAgainstOriginal additionally cross-checks record counts and domain
+// coverage against the original dataset.
+func VerifyAgainstOriginal(a *Anonymized, d *Dataset) error {
+	return anonymity.VerifyAgainstOriginal(a, d).Err()
+}
+
+// Reconstruct samples one plausible original dataset D' ∈ I(D_A).
+func Reconstruct(a *Anonymized, seed uint64) *Dataset {
+	return reconstruct.Sample(a, rand.New(rand.NewPCG(seed, 0x5EED)))
+}
+
+// ReconstructMany samples n independent reconstructions.
+func ReconstructMany(a *Anonymized, n int, seed uint64) []*Dataset {
+	return reconstruct.SampleMany(a, n, rand.New(rand.NewPCG(seed, 0x5EED)))
+}
+
+// TopKDeviation computes the tKd information-loss metric between the
+// original records and published (e.g. reconstructed) records: the fraction
+// of the original's top-K frequent itemsets (of size up to maxSize) missing
+// from the published top-K.
+func TopKDeviation(original, published *Dataset, k, maxSize int) float64 {
+	return metrics.TopKDeviation(original.Records, published.Records, k, maxSize)
+}
+
+// RelativeError computes the re metric: the mean relative error of pair
+// supports over the given terms, in [0, 2].
+func RelativeError(original, published *Dataset, terms []Term) float64 {
+	return metrics.RelativeError(original.Records, published.Records, terms)
+}
+
+// RangeTerms returns the dataset's terms ranked [lo, hi) by descending
+// support — e.g. RangeTerms(d, 200, 220) for the paper's re convention.
+func RangeTerms(d *Dataset, lo, hi int) []Term {
+	return metrics.RangeTerms(d, lo, hi)
+}
+
+// TermsLost computes the tlost metric: the fraction of terms frequent in the
+// original (support ≥ k) that the anonymization left only in term chunks.
+func TermsLost(d *Dataset, a *Anonymized, k int) float64 {
+	return metrics.TermsLost(d, a, k)
+}
+
+// Summary describes the shape of a published dataset (clusters, chunks,
+// subrecords, term-chunk load) — what a publisher inspects before release.
+type Summary = core.Summary
+
+// Stats summarizes the published form.
+func Stats(a *Anonymized) Summary { return a.Stats() }
+
+// SupportEstimate carries the three support estimators computable directly
+// on the published form (Section 6): certain lower bound, reconstruction
+// upper bound, and the expected value under the probabilistic chunk model.
+type SupportEstimate = query.Estimate
+
+// EstimateSupport estimates an itemset's support from the published form
+// alone, without sampling reconstructions.
+func EstimateSupport(a *Anonymized, itemset Record) SupportEstimate {
+	return query.Support(a, itemset)
+}
+
+// Candidates returns how many records an adversary holding the given
+// background knowledge must consider — the quantity the k^m guarantee bounds
+// below by K (or zero, when the combination never existed).
+func Candidates(a *Anonymized, knowledge Record) int {
+	return attack.Candidates(a, knowledge)
+}
+
+// AuditGuarantee sweeps adversary knowledge drawn from the original records
+// (random subsets of up to m terms, trials samples) plus every single term,
+// and returns an error describing the first k^m violation found, if any.
+func AuditGuarantee(a *Anonymized, d *Dataset, m, k, trials int, seed uint64) error {
+	if v := attack.AuditTerms(a, k); len(v) > 0 {
+		return fmt.Errorf("disasso: term %v has only %d candidates (k=%d)", v[0].Knowledge, v[0].Candidates, k)
+	}
+	rng := rand.New(rand.NewPCG(seed, 0xA0D17))
+	if v := attack.AuditRecords(a, d, m, k, trials, rng); len(v) > 0 {
+		return fmt.Errorf("disasso: knowledge %v has only %d candidates (k=%d)", v[0].Knowledge, v[0].Candidates, k)
+	}
+	return nil
+}
+
+// WriteJSON serializes a published dataset as indented JSON — the archival
+// wire format of cmd/disasso.
+func WriteJSON(w io.Writer, a *Anonymized) error { return core.WriteJSON(w, a) }
+
+// ReadJSON parses a dataset written by WriteJSON.
+func ReadJSON(r io.Reader) (*Anonymized, error) { return core.ReadJSON(r) }
+
+// WriteBinary serializes a published dataset in the compact delta-encoded
+// binary format (roughly 8× smaller than JSON on large publications).
+func WriteBinary(w io.Writer, a *Anonymized) error { return core.WriteBinary(w, a) }
+
+// ReadBinary parses a dataset written by WriteBinary.
+func ReadBinary(r io.Reader) (*Anonymized, error) { return core.ReadBinary(r) }
+
+// QuestConfig parameterizes the bundled IBM Quest market-basket generator.
+type QuestConfig = quest.Config
+
+// DefaultQuestConfig returns the paper's synthetic defaults (1M records, 5k
+// terms, average record length 10).
+func DefaultQuestConfig() QuestConfig { return quest.DefaultConfig() }
+
+// GenerateQuest produces a synthetic transactional dataset with the classic
+// Agrawal–Srikant procedure; same seed, same dataset.
+func GenerateQuest(cfg QuestConfig) (*Dataset, error) {
+	g, err := quest.New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return g.Generate(), nil
+}

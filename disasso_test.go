@@ -1,0 +1,186 @@
+package disasso_test
+
+import (
+	"bytes"
+	"fmt"
+	"strings"
+	"testing"
+
+	"disasso"
+)
+
+func TestFacadeEndToEnd(t *testing.T) {
+	cfg := disasso.DefaultQuestConfig()
+	cfg.NumTransactions = 500
+	cfg.DomainSize = 80
+	cfg.NumPatterns = 40
+	cfg.Seed = 5
+	d, err := disasso.GenerateQuest(cfg)
+	if err != nil {
+		t.Fatalf("GenerateQuest: %v", err)
+	}
+	a, err := disasso.Anonymize(d, disasso.Options{K: 4, M: 2, Seed: 9})
+	if err != nil {
+		t.Fatalf("Anonymize: %v", err)
+	}
+	if err := disasso.VerifyAgainstOriginal(a, d); err != nil {
+		t.Fatalf("Verify: %v", err)
+	}
+	r := disasso.Reconstruct(a, 1)
+	if r.Len() != d.Len() {
+		t.Fatalf("reconstruction has %d records, want %d", r.Len(), d.Len())
+	}
+	tkd := disasso.TopKDeviation(d, r, 100, 2)
+	if tkd < 0 || tkd > 1 {
+		t.Errorf("tKd = %v out of range", tkd)
+	}
+	terms := disasso.RangeTerms(d, 10, 30)
+	re := disasso.RelativeError(d, r, terms)
+	if re < 0 || re > 2 {
+		t.Errorf("re = %v out of range", re)
+	}
+	tl := disasso.TermsLost(d, a, 4)
+	if tl < 0 || tl > 1 {
+		t.Errorf("tlost = %v out of range", tl)
+	}
+	many := disasso.ReconstructMany(a, 3, 2)
+	if len(many) != 3 {
+		t.Fatalf("ReconstructMany returned %d", len(many))
+	}
+}
+
+func TestFacadeIO(t *testing.T) {
+	d := disasso.NewDataset(
+		disasso.NewRecord(1, 2, 3),
+		disasso.NewRecord(4),
+	)
+	var buf bytes.Buffer
+	if err := disasso.WriteIDs(&buf, d); err != nil {
+		t.Fatal(err)
+	}
+	back, err := disasso.ReadIDs(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Len() != 2 || !back.Records[0].Equal(disasso.NewRecord(1, 2, 3)) {
+		t.Errorf("round trip broken: %v", back.Records)
+	}
+
+	// Tokens in the names format are whitespace-delimited; multi-word terms
+	// need interning with their own separator.
+	dict := disasso.NewDictionary()
+	named := disasso.NewDataset(dict.InternRecord("new-york", "air-tickets"))
+	buf.Reset()
+	if err := disasso.WriteNames(&buf, named, dict); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "air-tickets") {
+		t.Errorf("WriteNames output %q", buf.String())
+	}
+	back, err = disasso.ReadNames(strings.NewReader(buf.String()), dict)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !back.Records[0].Equal(named.Records[0]) {
+		t.Error("names round trip broken")
+	}
+}
+
+func TestFacadeQueryAndAudit(t *testing.T) {
+	cfg := disasso.DefaultQuestConfig()
+	cfg.NumTransactions = 400
+	cfg.DomainSize = 60
+	cfg.NumPatterns = 30
+	cfg.Seed = 9
+	d, err := disasso.GenerateQuest(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := disasso.Anonymize(d, disasso.Options{K: 4, M: 2, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every term of the original must be estimable with sound bounds.
+	for _, term := range d.Domain() {
+		s := disasso.NewRecord(term)
+		est := disasso.EstimateSupport(a, s)
+		orig := d.SupportOf(s)
+		if orig < est.Lower || orig > est.Upper {
+			t.Errorf("term %d: support %d outside [%d, %d]", term, orig, est.Lower, est.Upper)
+		}
+		if c := disasso.Candidates(a, s); c != est.Upper {
+			t.Errorf("Candidates(%d) = %d, Upper = %d", term, c, est.Upper)
+		}
+	}
+	if err := disasso.AuditGuarantee(a, d, 2, 4, 100, 5); err != nil {
+		t.Errorf("AuditGuarantee: %v", err)
+	}
+}
+
+func TestFacadeStatsAndRangeTerms(t *testing.T) {
+	d := disasso.NewDataset(
+		disasso.NewRecord(1, 2), disasso.NewRecord(1, 2), disasso.NewRecord(1, 2),
+		disasso.NewRecord(1, 3), disasso.NewRecord(1, 3), disasso.NewRecord(1, 3),
+	)
+	a, err := disasso.Anonymize(d, disasso.Options{K: 3, M: 2, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := disasso.Stats(a)
+	if s.Records != 6 || s.Leaves < 1 {
+		t.Errorf("Stats = %+v", s)
+	}
+	terms := disasso.RangeTerms(d, 0, 2)
+	if len(terms) != 2 || terms[0] != 1 {
+		t.Errorf("RangeTerms = %v", terms)
+	}
+}
+
+func TestFacadeJSONRoundTrip(t *testing.T) {
+	d := disasso.NewDataset(
+		disasso.NewRecord(1, 2), disasso.NewRecord(1, 2), disasso.NewRecord(1, 2),
+		disasso.NewRecord(3), disasso.NewRecord(3), disasso.NewRecord(3),
+	)
+	a, err := disasso.Anonymize(d, disasso.Options{K: 3, M: 2, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := disasso.WriteJSON(&buf, a); err != nil {
+		t.Fatal(err)
+	}
+	back, err := disasso.ReadJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := disasso.VerifyAgainstOriginal(back, d); err != nil {
+		t.Errorf("re-read output fails verification: %v", err)
+	}
+}
+
+// Example demonstrates the basic anonymize–verify–reconstruct loop on the
+// paper's motivating scenario: a web search log where the combination
+// {new york, air tickets} identifies a single user.
+func Example() {
+	dict := disasso.NewDictionary()
+	d := disasso.NewDataset(
+		dict.InternRecord("new york", "air tickets", "hotels"),
+		dict.InternRecord("new york", "pizza"),
+		dict.InternRecord("air tickets", "visa"),
+		dict.InternRecord("new york", "pizza"),
+		dict.InternRecord("air tickets", "visa"),
+		dict.InternRecord("new york", "pizza", "visa"),
+	)
+	a, err := disasso.Anonymize(d, disasso.Options{K: 2, M: 2, Seed: 1})
+	if err != nil {
+		panic(err)
+	}
+	if err := disasso.VerifyAgainstOriginal(a, d); err != nil {
+		panic(err)
+	}
+	fmt.Println("records:", a.NumRecords())
+	fmt.Println("verified: k =", a.K, "m =", a.M)
+	// Output:
+	// records: 6
+	// verified: k = 2 m = 2
+}

@@ -1,0 +1,79 @@
+package disasso_test
+
+import (
+	"fmt"
+
+	"disasso"
+)
+
+// ExampleAnonymize shows the minimal publish pipeline: anonymize, verify,
+// inspect.
+func ExampleAnonymize() {
+	d := disasso.NewDataset(
+		disasso.NewRecord(1, 2), disasso.NewRecord(1, 2), disasso.NewRecord(1, 2),
+		disasso.NewRecord(3, 4), disasso.NewRecord(3, 4), disasso.NewRecord(3, 4),
+	)
+	a, err := disasso.Anonymize(d, disasso.Options{K: 3, M: 2, Seed: 1})
+	if err != nil {
+		panic(err)
+	}
+	if err := disasso.VerifyAgainstOriginal(a, d); err != nil {
+		panic(err)
+	}
+	fmt.Println("records:", a.NumRecords())
+	// Output:
+	// records: 6
+}
+
+// ExampleEstimateSupport shows analysis on the published form without
+// reconstructing: supports come back as certain lower bounds, sound upper
+// bounds and expected values.
+func ExampleEstimateSupport() {
+	d := disasso.NewDataset(
+		disasso.NewRecord(1, 2), disasso.NewRecord(1, 2), disasso.NewRecord(1, 2),
+		disasso.NewRecord(1, 2), disasso.NewRecord(1), disasso.NewRecord(2),
+	)
+	a, err := disasso.Anonymize(d, disasso.Options{K: 3, M: 2, Seed: 1})
+	if err != nil {
+		panic(err)
+	}
+	est := disasso.EstimateSupport(a, disasso.NewRecord(1, 2))
+	fmt.Printf("pair support in [%d, %d]\n", est.Lower, est.Upper)
+	// Output:
+	// pair support in [4, 4]
+}
+
+// ExampleReconstruct shows sampling a plausible original dataset and mining
+// it.
+func ExampleReconstruct() {
+	d := disasso.NewDataset(
+		disasso.NewRecord(1, 2), disasso.NewRecord(1, 2), disasso.NewRecord(1, 2),
+		disasso.NewRecord(1, 3), disasso.NewRecord(1, 3), disasso.NewRecord(1, 3),
+	)
+	a, err := disasso.Anonymize(d, disasso.Options{K: 3, M: 2, Seed: 1})
+	if err != nil {
+		panic(err)
+	}
+	r := disasso.Reconstruct(a, 7)
+	fmt.Println("records:", r.Len(), "tKd:", disasso.TopKDeviation(d, r, 5, 2))
+	// Output:
+	// records: 6 tKd: 0
+}
+
+// ExampleCandidates shows the adversary's view: how many records match a
+// piece of background knowledge.
+func ExampleCandidates() {
+	d := disasso.NewDataset(
+		disasso.NewRecord(1, 2, 9), disasso.NewRecord(1, 2), disasso.NewRecord(1, 2),
+		disasso.NewRecord(1, 2), disasso.NewRecord(1), disasso.NewRecord(2),
+	)
+	a, err := disasso.Anonymize(d, disasso.Options{K: 3, M: 2, Seed: 1})
+	if err != nil {
+		panic(err)
+	}
+	// The adversary knows one user searched for both 1 and 2.
+	c := disasso.Candidates(a, disasso.NewRecord(1, 2))
+	fmt.Println("at least k candidates:", c >= 3)
+	// Output:
+	// at least k candidates: true
+}

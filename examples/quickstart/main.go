@@ -1,0 +1,80 @@
+// Quickstart: anonymize the paper's running example (Figure 2) and inspect
+// the published form.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"strings"
+
+	"disasso"
+)
+
+func main() {
+	// The web search log of Figure 2a: one record per user.
+	dict := disasso.NewDictionary()
+	d := disasso.NewDataset(
+		dict.InternRecord("itunes", "flu", "madonna", "ikea", "ruby"),
+		dict.InternRecord("madonna", "flu", "viagra", "ruby", "audi-a4", "sony-tv"),
+		dict.InternRecord("itunes", "madonna", "audi-a4", "ikea", "sony-tv"),
+		dict.InternRecord("itunes", "flu", "viagra"),
+		dict.InternRecord("itunes", "flu", "madonna", "audi-a4", "sony-tv"),
+		dict.InternRecord("madonna", "digital-camera", "panic-disorder", "playboy"),
+		dict.InternRecord("iphone-sdk", "madonna", "ikea", "ruby"),
+		dict.InternRecord("iphone-sdk", "digital-camera", "madonna", "playboy"),
+		dict.InternRecord("iphone-sdk", "digital-camera", "panic-disorder"),
+		dict.InternRecord("iphone-sdk", "digital-camera", "madonna", "ikea", "ruby"),
+	)
+
+	// k^m-anonymity with k=3, m=2: an adversary knowing any 2 queries of a
+	// user faces at least 3 candidate records.
+	a, err := disasso.Anonymize(d, disasso.Options{K: 3, M: 2, MaxClusterSize: 6, Seed: 1})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := disasso.VerifyAgainstOriginal(a, d); err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("anonymized %d records into %d top-level clusters (k=%d, m=%d)\n\n",
+		a.NumRecords(), len(a.Clusters), a.K, a.M)
+	for i, node := range a.Clusters {
+		printNode(dict, node, i, 0)
+	}
+
+	// Sample one plausible original dataset and show it.
+	fmt.Println("one reconstructed dataset:")
+	r := disasso.Reconstruct(a, 42)
+	if err := disasso.WriteNames(os.Stdout, r, dict); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func printNode(dict *disasso.Dictionary, n *disasso.ClusterNode, idx, depth int) {
+	pad := strings.Repeat("  ", depth)
+	if n.IsLeaf() {
+		cl := n.Simple
+		fmt.Printf("%scluster %d (|P|=%d)\n", pad, idx, cl.Size)
+		for j, c := range cl.RecordChunks {
+			fmt.Printf("%s  record chunk %d over {%s}:\n", pad, j, strings.Join(dict.Names(c.Domain), ", "))
+			for _, sr := range c.Subrecords {
+				fmt.Printf("%s    {%s}\n", pad, strings.Join(dict.Names(sr), ", "))
+			}
+		}
+		fmt.Printf("%s  term chunk: {%s}\n\n", pad, strings.Join(dict.Names(cl.TermChunk), ", "))
+		return
+	}
+	fmt.Printf("%sjoint cluster %d (size %d)\n", pad, idx, n.Size())
+	for j, c := range n.SharedChunks {
+		fmt.Printf("%s  shared chunk %d over {%s}:\n", pad, j, strings.Join(dict.Names(c.Domain), ", "))
+		for _, sr := range c.Subrecords {
+			fmt.Printf("%s    {%s}\n", pad, strings.Join(dict.Names(sr), ", "))
+		}
+	}
+	for j, child := range n.Children {
+		printNode(dict, child, j, depth+1)
+	}
+}

@@ -1,0 +1,244 @@
+// Package anonymity independently verifies that a disassociated dataset
+// satisfies the paper's privacy conditions: k^m-anonymity of every record
+// chunk (Section 3), the Lemma 2 subrecord-count condition that closes the
+// Example 1 attack (Section 5), Property 1 on shared chunks that closes the
+// Figure 5a attack, and the structural invariants of the published form.
+//
+// The verifier shares no state with the anonymizer — it recomputes every
+// check from scratch — so tests can use it as an oracle: if core.Anonymize
+// ever emits output this package rejects, one of the two is wrong.
+package anonymity
+
+import (
+	"fmt"
+
+	"disasso/internal/core"
+	"disasso/internal/dataset"
+)
+
+// Violation describes one failed check.
+type Violation struct {
+	// Where locates the problem (e.g. "cluster 3, record chunk 1").
+	Where string
+	// What states the failed condition.
+	What string
+}
+
+func (v Violation) String() string { return v.Where + ": " + v.What }
+
+// Report collects the violations found in one verification run.
+type Report struct {
+	Violations []Violation
+}
+
+// OK reports whether no violations were found.
+func (r *Report) OK() bool { return len(r.Violations) == 0 }
+
+// Err returns nil when the report is clean, or an error summarizing the
+// first violation and the total count.
+func (r *Report) Err() error {
+	if r.OK() {
+		return nil
+	}
+	return fmt.Errorf("anonymity: %d violation(s), first: %s", len(r.Violations), r.Violations[0])
+}
+
+func (r *Report) addf(where, format string, args ...any) {
+	r.Violations = append(r.Violations, Violation{Where: where, What: fmt.Sprintf(format, args...)})
+}
+
+// Verify checks the whole anonymized dataset and returns the full report.
+func Verify(a *core.Anonymized) *Report {
+	rep := &Report{}
+	// Minimum cluster size: a term disclosed only in a term chunk offers at
+	// most |P| candidate records, so |P| < k breaks the guarantee (unless
+	// the whole dataset is smaller than k — nothing can fix that).
+	minSize := a.K
+	if total := a.NumRecords(); total < minSize {
+		minSize = total
+	}
+	for i, n := range a.Clusters {
+		where := fmt.Sprintf("cluster %d", i)
+		for li, leaf := range n.Leaves(nil) {
+			if leaf.Size < minSize {
+				rep.addf(fmt.Sprintf("%s, leaf %d", where, li),
+					"cluster size %d below k=%d: term-chunk terms have too few candidates", leaf.Size, a.K)
+			}
+		}
+		verifyNode(rep, where, n, a.K, a.M)
+	}
+	return rep
+}
+
+func verifyNode(rep *Report, where string, n *core.ClusterNode, k, m int) {
+	if n.IsLeaf() {
+		if len(n.Children) > 0 || len(n.SharedChunks) > 0 {
+			rep.addf(where, "leaf node carries children or shared chunks")
+		}
+		verifyLeaf(rep, where, n.Simple, k, m)
+		return
+	}
+	if len(n.Children) < 2 {
+		rep.addf(where, "joint node has %d children, need ≥ 2", len(n.Children))
+	}
+	verifyJoint(rep, where, n, k, m)
+	for i, c := range n.Children {
+		verifyNode(rep, fmt.Sprintf("%s, child %d", where, i), c, k, m)
+	}
+}
+
+// verifyLeaf checks the structural invariants, the k^m-anonymity of every
+// record chunk and the Lemma 2 condition of one simple cluster.
+func verifyLeaf(rep *Report, where string, cl *core.Cluster, k, m int) {
+	if cl.Size <= 0 {
+		rep.addf(where, "cluster size %d", cl.Size)
+		return
+	}
+	seen := make(map[dataset.Term]string)
+	claim := func(terms dataset.Record, label string) {
+		for _, t := range terms {
+			if prev, ok := seen[t]; ok {
+				rep.addf(where, "term %d appears in both %s and %s", t, prev, label)
+			}
+			seen[t] = label
+		}
+	}
+	for i, c := range cl.RecordChunks {
+		label := fmt.Sprintf("record chunk %d", i)
+		claim(c.Domain, label)
+		verifyChunkStructure(rep, where+", "+label, c, cl.Size)
+		if !core.IsChunkKMAnonymous(c.Domain, c.Subrecords, k, m) {
+			rep.addf(where+", "+label, "not %d^%d-anonymous", k, m)
+		}
+	}
+	claim(cl.TermChunk, "term chunk")
+	if !cl.TermChunk.IsNormalized() {
+		rep.addf(where, "term chunk not normalized: %v", cl.TermChunk)
+	}
+
+	// Lemma 2: with an empty term chunk the chunks must hold enough
+	// subrecords to populate a valid original cluster.
+	if len(cl.TermChunk) == 0 {
+		total := 0
+		for _, c := range cl.RecordChunks {
+			total += len(c.Subrecords)
+		}
+		h := m
+		if v := len(cl.RecordChunks); v < h {
+			h = v
+		}
+		if len(cl.RecordChunks) == 0 {
+			rep.addf(where, "cluster has no chunks and no term chunk")
+		} else if total < cl.Size+k*(h-1) {
+			rep.addf(where, "Lemma 2 violated: %d subrecords < %d + %d·(%d−1)", total, cl.Size, k, h)
+		}
+	}
+}
+
+// verifyChunkStructure checks one chunk's internal invariants against the
+// cluster (or joint) size bound.
+func verifyChunkStructure(rep *Report, where string, c core.Chunk, sizeBound int) {
+	if !c.Domain.IsNormalized() || len(c.Domain) == 0 {
+		rep.addf(where, "bad domain %v", c.Domain)
+	}
+	if len(c.Subrecords) > sizeBound {
+		rep.addf(where, "%d subrecords exceed cluster size %d", len(c.Subrecords), sizeBound)
+	}
+	for j, sr := range c.Subrecords {
+		if len(sr) == 0 {
+			rep.addf(where, "subrecord %d is empty (empties must be implicit)", j)
+			continue
+		}
+		if !sr.IsNormalized() {
+			rep.addf(where, "subrecord %d not normalized: %v", j, sr)
+		}
+		if !c.Domain.ContainsAll(sr) {
+			rep.addf(where, "subrecord %d ⊄ domain: %v ⊄ %v", j, sr, c.Domain)
+		}
+	}
+}
+
+// verifyJoint checks a joint node: shared chunk domains must be pairwise
+// disjoint, disjoint from descendant term chunks, and each shared chunk must
+// be k-anonymous when its domain meets T^r (Property 1) or k^m-anonymous
+// otherwise.
+func verifyJoint(rep *Report, where string, n *core.ClusterNode, k, m int) {
+	// T^r: record-chunk terms of descendant leaves plus shared-chunk terms
+	// of descendant joints (the node's own shared chunks are excluded — they
+	// are what is being checked).
+	tr := make(map[dataset.Term]bool)
+	termChunkTerms := make(map[dataset.Term]bool)
+	for _, child := range n.Children {
+		child.Walk(func(cn *core.ClusterNode) {
+			if cn.IsLeaf() {
+				for _, c := range cn.Simple.RecordChunks {
+					for _, t := range c.Domain {
+						tr[t] = true
+					}
+				}
+				for _, t := range cn.Simple.TermChunk {
+					termChunkTerms[t] = true
+				}
+			} else {
+				for _, c := range cn.SharedChunks {
+					for _, t := range c.Domain {
+						tr[t] = true
+					}
+				}
+			}
+		})
+	}
+
+	size := n.Size()
+	claimed := make(map[dataset.Term]bool)
+	for i, c := range n.SharedChunks {
+		label := fmt.Sprintf("%s, shared chunk %d", where, i)
+		verifyChunkStructure(rep, label, c, size)
+		conflict := false
+		for _, t := range c.Domain {
+			if claimed[t] {
+				rep.addf(label, "term %d appears in two shared chunks of the same joint", t)
+			}
+			claimed[t] = true
+			if termChunkTerms[t] {
+				rep.addf(label, "term %d is both in a shared chunk and in a descendant term chunk", t)
+			}
+			if tr[t] {
+				conflict = true
+			}
+		}
+		if conflict {
+			if !core.IsChunkKAnonymous(c.Domain, c.Subrecords, k) {
+				rep.addf(label, "domain meets T^r but chunk is not %d-anonymous (Property 1)", k)
+			}
+		} else if !core.IsChunkKMAnonymous(c.Domain, c.Subrecords, k, m) {
+			rep.addf(label, "not %d^%d-anonymous", k, m)
+		}
+	}
+}
+
+// VerifyAgainstOriginal adds cross-checks that need the original dataset:
+// the anonymized output must cover exactly the original terms (disassociation
+// never deletes or invents terms), and the total record count must match.
+func VerifyAgainstOriginal(a *core.Anonymized, d *dataset.Dataset) *Report {
+	rep := Verify(a)
+	if got, want := a.NumRecords(), d.Len(); got != want {
+		rep.addf("dataset", "anonymized covers %d records, original has %d", got, want)
+	}
+	origDomain := dataset.NewRecord(d.Domain()...)
+	anonDomain := dataset.Record(a.Domain())
+	if !origDomain.Equal(anonDomain) {
+		missing := origDomain.Subtract(anonDomain)
+		invented := anonDomain.Subtract(origDomain)
+		rep.addf("dataset", "domain mismatch: %d terms missing %v, %d invented %v",
+			len(missing), truncate(missing), len(invented), truncate(invented))
+	}
+	return rep
+}
+
+func truncate(r dataset.Record) dataset.Record {
+	if len(r) > 8 {
+		return r[:8]
+	}
+	return r
+}

@@ -1,0 +1,350 @@
+package anonymity
+
+import (
+	"math/rand/v2"
+	"strings"
+	"testing"
+
+	"disasso/internal/core"
+	"disasso/internal/dataset"
+)
+
+func rec(terms ...dataset.Term) dataset.Record { return dataset.NewRecord(terms...) }
+
+// figure2b builds the paper's anonymized dataset of Figure 2b by hand.
+func figure2b() *core.Anonymized {
+	const (
+		itunes dataset.Term = iota
+		flu
+		madonna
+		ikea
+		ruby
+		viagra
+		audiA4
+		sonyTV
+		iphoneSDK
+		digitalCam
+		panicDis
+		playboy
+	)
+	p1 := &core.Cluster{
+		Size: 5,
+		RecordChunks: []core.Chunk{
+			{
+				Domain: rec(itunes, flu, madonna),
+				Subrecords: []dataset.Record{
+					rec(itunes, flu, madonna), rec(madonna, flu), rec(itunes, madonna),
+					rec(itunes, flu), rec(itunes, flu, madonna),
+				},
+			},
+			{
+				Domain: rec(audiA4, sonyTV),
+				Subrecords: []dataset.Record{
+					rec(audiA4, sonyTV), rec(audiA4, sonyTV), rec(audiA4, sonyTV),
+				},
+			},
+		},
+		TermChunk: rec(ikea, viagra, ruby),
+	}
+	p2 := &core.Cluster{
+		Size: 5,
+		RecordChunks: []core.Chunk{
+			{
+				Domain: rec(madonna, iphoneSDK, digitalCam),
+				Subrecords: []dataset.Record{
+					rec(madonna, digitalCam), rec(iphoneSDK, madonna),
+					rec(iphoneSDK, digitalCam, madonna), rec(iphoneSDK, digitalCam),
+					rec(iphoneSDK, digitalCam, madonna),
+				},
+			},
+		},
+		TermChunk: rec(panicDis, playboy, ikea, ruby),
+	}
+	return &core.Anonymized{
+		K: 3, M: 2,
+		Clusters: []*core.ClusterNode{{Simple: p1}, {Simple: p2}},
+	}
+}
+
+func TestVerifyAcceptsFigure2b(t *testing.T) {
+	rep := Verify(figure2b())
+	if !rep.OK() {
+		t.Fatalf("the paper's own example rejected: %v", rep.Violations)
+	}
+	if rep.Err() != nil {
+		t.Error("Err() must be nil for a clean report")
+	}
+}
+
+func TestVerifyAcceptsFigure3JointCluster(t *testing.T) {
+	// Figure 3: P1 and P2 joined with shared chunk {ikea, ruby}.
+	const (
+		ikea dataset.Term = 3
+		ruby dataset.Term = 4
+	)
+	a := figure2b()
+	p1 := a.Clusters[0].Simple
+	p2 := a.Clusters[1].Simple
+	p1.TermChunk = rec(5)      // viagra
+	p2.TermChunk = rec(10, 11) // panic disorder, playboy
+	joint := &core.ClusterNode{
+		Children: []*core.ClusterNode{{Simple: p1}, {Simple: p2}},
+		SharedChunks: []core.Chunk{{
+			Domain: rec(ikea, ruby),
+			Subrecords: []dataset.Record{
+				rec(ikea, ruby), rec(ruby), rec(ikea), rec(ikea, ruby), rec(ikea, ruby),
+			},
+		}},
+	}
+	rep := Verify(&core.Anonymized{K: 3, M: 2, Clusters: []*core.ClusterNode{joint}})
+	if !rep.OK() {
+		t.Fatalf("Figure 3 joint cluster rejected: %v", rep.Violations)
+	}
+}
+
+func TestVerifyFlagsFigure4Lemma2Violation(t *testing.T) {
+	// Example 1 (Figure 4): 3^2-anonymous chunks but an invalid cluster —
+	// 6 subrecords cannot fill 5 records with pairs spanning two chunks.
+	a, b, c := dataset.Term(0), dataset.Term(1), dataset.Term(2)
+	cl := &core.Cluster{
+		Size: 5,
+		RecordChunks: []core.Chunk{
+			{Domain: rec(a), Subrecords: []dataset.Record{rec(a), rec(a), rec(a)}},
+			{Domain: rec(b, c), Subrecords: []dataset.Record{rec(b, c), rec(b, c), rec(b, c)}},
+		},
+	}
+	rep := Verify(&core.Anonymized{K: 3, M: 2, Clusters: []*core.ClusterNode{{Simple: cl}}})
+	if rep.OK() {
+		t.Fatal("the Example 1 attack dataset passed verification")
+	}
+	found := false
+	for _, v := range rep.Violations {
+		if strings.Contains(v.What, "Lemma 2") {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("expected a Lemma 2 violation, got %v", rep.Violations)
+	}
+}
+
+func TestVerifyFlagsFigure5aUnsafeSharedChunk(t *testing.T) {
+	// Figure 5a: term a appears in a record chunk (with x) and in a shared
+	// chunk that is not k-anonymous → Property 1 violation.
+	const (
+		a dataset.Term = 0
+		e dataset.Term = 1
+		o dataset.Term = 2
+		x dataset.Term = 3
+		b dataset.Term = 4
+	)
+	first := &core.Cluster{
+		Size: 10,
+		RecordChunks: []core.Chunk{
+			{Domain: rec(e), Subrecords: []dataset.Record{rec(e), rec(e), rec(e)}},
+			{Domain: rec(a, x), Subrecords: []dataset.Record{rec(a, x), rec(a, x), rec(a, x)}},
+		},
+		TermChunk: rec(),
+	}
+	second := &core.Cluster{
+		Size:         3,
+		RecordChunks: []core.Chunk{{Domain: rec(b), Subrecords: []dataset.Record{rec(b), rec(b), rec(b)}}},
+		TermChunk:    rec(),
+	}
+	joint := &core.ClusterNode{
+		Children: []*core.ClusterNode{{Simple: first}, {Simple: second}},
+		SharedChunks: []core.Chunk{{
+			Domain: rec(a, o),
+			// {a,o}×2, {a}, {o}: distinct groups below k=3, and term a
+			// conflicts with the record chunk {a,x}.
+			Subrecords: []dataset.Record{rec(a, o), rec(a, o), rec(a), rec(o)},
+		}},
+	}
+	rep := Verify(&core.Anonymized{K: 3, M: 2, Clusters: []*core.ClusterNode{joint}})
+	if rep.OK() {
+		t.Fatal("the Figure 5a unsafe shared chunk passed verification")
+	}
+	found := false
+	for _, v := range rep.Violations {
+		if strings.Contains(v.What, "Property 1") {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("expected a Property 1 violation, got %v", rep.Violations)
+	}
+}
+
+func TestVerifyFlagsNonAnonymousChunk(t *testing.T) {
+	cl := &core.Cluster{
+		Size: 4,
+		RecordChunks: []core.Chunk{{
+			Domain: rec(1, 2),
+			// Pair {1,2} appears twice < k=3.
+			Subrecords: []dataset.Record{rec(1, 2), rec(1, 2), rec(1), rec(2)},
+		}},
+		TermChunk: rec(9),
+	}
+	rep := Verify(&core.Anonymized{K: 3, M: 2, Clusters: []*core.ClusterNode{{Simple: cl}}})
+	if rep.OK() {
+		t.Fatal("non-k^m-anonymous chunk passed")
+	}
+}
+
+func TestVerifyFlagsStructuralProblems(t *testing.T) {
+	mk := func(mutate func(*core.Cluster)) *core.Anonymized {
+		cl := &core.Cluster{
+			Size: 3,
+			RecordChunks: []core.Chunk{{
+				Domain:     rec(1),
+				Subrecords: []dataset.Record{rec(1), rec(1), rec(1)},
+			}},
+			TermChunk: rec(2),
+		}
+		mutate(cl)
+		return &core.Anonymized{K: 3, M: 2, Clusters: []*core.ClusterNode{{Simple: cl}}}
+	}
+	cases := []struct {
+		name   string
+		mutate func(*core.Cluster)
+	}{
+		{"zero size", func(c *core.Cluster) { c.Size = 0 }},
+		{"term overlap", func(c *core.Cluster) { c.TermChunk = rec(1, 2) }},
+		{"subrecord outside domain", func(c *core.Cluster) {
+			c.RecordChunks[0].Subrecords[0] = rec(9)
+		}},
+		{"empty materialized subrecord", func(c *core.Cluster) {
+			c.RecordChunks[0].Subrecords[0] = rec()
+		}},
+		{"more subrecords than records", func(c *core.Cluster) {
+			c.RecordChunks[0].Subrecords = append(c.RecordChunks[0].Subrecords, rec(1), rec(1))
+		}},
+		{"empty domain", func(c *core.Cluster) { c.RecordChunks[0].Domain = rec() }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if Verify(mk(tc.mutate)).OK() {
+				t.Error("corrupted structure passed verification")
+			}
+		})
+	}
+}
+
+func TestVerifyNestedJoints(t *testing.T) {
+	// A two-level joint: the inner joint's shared chunk holds term 5; the
+	// outer joint's shared chunk holds term 6. Both k^m-anonymous; the
+	// verifier must accept the nesting and reject a single-child joint.
+	leaf := func(size int, tc ...dataset.Term) *core.ClusterNode {
+		return &core.ClusterNode{Simple: &core.Cluster{Size: size, TermChunk: rec(tc...)}}
+	}
+	inner := &core.ClusterNode{
+		Children: []*core.ClusterNode{leaf(3, 7), leaf(3, 8)},
+		SharedChunks: []core.Chunk{{
+			Domain:     rec(5),
+			Subrecords: []dataset.Record{rec(5), rec(5), rec(5)},
+		}},
+	}
+	outer := &core.ClusterNode{
+		Children: []*core.ClusterNode{inner, leaf(3, 9)},
+		SharedChunks: []core.Chunk{{
+			Domain:     rec(6),
+			Subrecords: []dataset.Record{rec(6), rec(6), rec(6)},
+		}},
+	}
+	rep := Verify(&core.Anonymized{K: 3, M: 2, Clusters: []*core.ClusterNode{outer}})
+	if !rep.OK() {
+		t.Fatalf("valid nested joint rejected: %v", rep.Violations)
+	}
+
+	bad := &core.ClusterNode{Children: []*core.ClusterNode{leaf(3, 7)}}
+	rep = Verify(&core.Anonymized{K: 3, M: 2, Clusters: []*core.ClusterNode{bad}})
+	if rep.OK() {
+		t.Error("single-child joint accepted")
+	}
+}
+
+func TestVerifyFlagsUndersizedCluster(t *testing.T) {
+	// Two clusters: one fine, one with 2 < k records — the term-chunk
+	// candidate-set weakness the anonymizer's MergeUndersized prevents.
+	ok := &core.ClusterNode{Simple: &core.Cluster{Size: 5, TermChunk: rec(1)}}
+	tiny := &core.ClusterNode{Simple: &core.Cluster{Size: 2, TermChunk: rec(2)}}
+	rep := Verify(&core.Anonymized{K: 3, M: 2, Clusters: []*core.ClusterNode{ok, tiny}})
+	if rep.OK() {
+		t.Fatal("undersized cluster accepted")
+	}
+	found := false
+	for _, v := range rep.Violations {
+		if strings.Contains(v.What, "below k") {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("expected a cluster-size violation, got %v", rep.Violations)
+	}
+}
+
+func TestVerifyAgainstOriginal(t *testing.T) {
+	rng := rand.New(rand.NewPCG(8, 8))
+	var records []dataset.Record
+	for i := 0; i < 120; i++ {
+		terms := make([]dataset.Term, 1+rng.IntN(5))
+		for j := range terms {
+			terms[j] = dataset.Term(rng.IntN(25))
+		}
+		records = append(records, rec(terms...))
+	}
+	d := dataset.FromRecords(records)
+	a, err := core.Anonymize(d, core.Options{K: 3, M: 2, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := VerifyAgainstOriginal(a, d)
+	if !rep.OK() {
+		t.Fatalf("anonymizer output rejected: %v", rep.Violations)
+	}
+	// Tamper: drop a cluster → record count mismatch.
+	tampered := &core.Anonymized{K: a.K, M: a.M, Clusters: a.Clusters[1:]}
+	if VerifyAgainstOriginal(tampered, d).OK() {
+		t.Error("record-count mismatch not flagged")
+	}
+}
+
+// Property: the verifier accepts every anonymizer output across random
+// datasets and parameter combinations — the central end-to-end invariant.
+func TestVerifierAcceptsAnonymizerOutput(t *testing.T) {
+	rng := rand.New(rand.NewPCG(123, 456))
+	for trial := 0; trial < 30; trial++ {
+		var records []dataset.Record
+		n := 30 + rng.IntN(300)
+		domain := 5 + rng.IntN(60)
+		maxLen := 1 + rng.IntN(7)
+		for i := 0; i < n; i++ {
+			terms := make([]dataset.Term, 1+rng.IntN(maxLen))
+			for j := range terms {
+				terms[j] = dataset.Term(rng.IntN(domain))
+			}
+			records = append(records, rec(terms...))
+		}
+		d := dataset.FromRecords(records)
+		opts := core.Options{
+			K:    2 + rng.IntN(5),
+			M:    1 + rng.IntN(3),
+			Seed: uint64(trial),
+		}
+		if rng.IntN(3) == 0 {
+			opts.DisableRefine = true
+		}
+		if rng.IntN(3) == 0 {
+			opts.Sensitive = map[dataset.Term]bool{dataset.Term(rng.IntN(domain)): true}
+		}
+		a, err := core.Anonymize(d, opts)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		rep := VerifyAgainstOriginal(a, d)
+		if !rep.OK() {
+			t.Fatalf("trial %d (k=%d, m=%d, refine=%v): %v",
+				trial, opts.K, opts.M, !opts.DisableRefine, rep.Violations[:min(len(rep.Violations), 5)])
+		}
+	}
+}

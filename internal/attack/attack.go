@@ -1,0 +1,159 @@
+// Package attack simulates the paper's adversary (Section 2 attack model,
+// Section 5 "Protection against stronger adversaries"): an attacker holds
+// background knowledge — a set of terms she knows a user's record contains —
+// and tries to narrow the published dataset down to that record.
+//
+// The candidate set of a knowledge set S is every record that could contain
+// all of S in some valid reconstruction. Guarantee 1 promises |candidates|
+// is zero (the combination never existed) or at least k whenever |S| ≤ m.
+// Audit sweeps verify this empirically over the published form; the
+// stronger-adversary helpers quantify how the protection degrades once
+// knowledge exceeds m — the paper's qualitative discussion, measured.
+package attack
+
+import (
+	"math/rand/v2"
+
+	"disasso/internal/core"
+	"disasso/internal/dataset"
+	"disasso/internal/itemset"
+	"disasso/internal/query"
+)
+
+// Candidates returns the number of candidate records for the given
+// background knowledge: the largest number of records that can carry all
+// knowledge terms in any single reconstruction (the adversary must consider
+// each of them).
+func Candidates(a *core.Anonymized, knowledge dataset.Record) int {
+	return query.Support(a, knowledge).Upper
+}
+
+// GuaranteeHolds reports whether the k^m promise stands for one knowledge
+// set: no candidates at all, or at least k of them.
+func GuaranteeHolds(a *core.Anonymized, knowledge dataset.Record, k int) bool {
+	c := Candidates(a, knowledge)
+	return c == 0 || c >= k
+}
+
+// Violation records one knowledge set whose candidate count lands strictly
+// between zero and k.
+type Violation struct {
+	Knowledge  dataset.Record
+	Candidates int
+}
+
+// AuditTerms checks every single term of the published domain (the m = 1
+// adversary) and returns all violations.
+func AuditTerms(a *core.Anonymized, k int) []Violation {
+	var out []Violation
+	for _, t := range a.Domain() {
+		s := dataset.Record{t}
+		if c := Candidates(a, s); c > 0 && c < k {
+			out = append(out, Violation{Knowledge: s.Clone(), Candidates: c})
+		}
+	}
+	return out
+}
+
+// AuditRecords draws background knowledge the way the paper's adversary
+// obtains it: random m-subsets of actual original records (knowledge that
+// certainly existed). It samples up to trials subsets and returns the
+// violations found.
+func AuditRecords(a *core.Anonymized, d *dataset.Dataset, m, k, trials int, rng *rand.Rand) []Violation {
+	var out []Violation
+	if d.Len() == 0 {
+		return out
+	}
+	seen := make(map[string]bool)
+	for i := 0; i < trials; i++ {
+		r := d.Records[rng.IntN(d.Len())]
+		if len(r) == 0 {
+			continue
+		}
+		size := m
+		if size > len(r) {
+			size = len(r)
+		}
+		perm := rng.Perm(len(r))[:size]
+		terms := make([]dataset.Term, size)
+		for j, idx := range perm {
+			terms[j] = r[idx]
+		}
+		s := dataset.NewRecord(terms...)
+		if seen[s.Key()] {
+			continue
+		}
+		seen[s.Key()] = true
+		if c := Candidates(a, s); c < k {
+			// Knowledge drawn from a real record must be reconstructable:
+			// zero candidates would itself be a soundness bug.
+			out = append(out, Violation{Knowledge: s, Candidates: c})
+		}
+	}
+	return out
+}
+
+// Exposure summarizes a stronger-adversary sweep: how the candidate count
+// shrinks as the background knowledge grows past m.
+type Exposure struct {
+	KnowledgeSize int
+	// MinCandidates is the smallest non-zero candidate count observed.
+	MinCandidates int
+	// MeanCandidates averages the non-zero candidate counts.
+	MeanCandidates float64
+	// Identified counts knowledge sets that pinned a single candidate.
+	Identified int
+	// Samples is the number of knowledge sets evaluated.
+	Samples int
+}
+
+// StrongerAdversary measures exposure for knowledge sizes 1..maxKnowledge
+// using random subsets of original records — the degradation the paper
+// discusses for adversaries exceeding the attack-model assumptions. Records
+// shorter than the knowledge size contribute their full term set.
+func StrongerAdversary(a *core.Anonymized, d *dataset.Dataset, maxKnowledge, trials int, rng *rand.Rand) []Exposure {
+	out := make([]Exposure, 0, maxKnowledge)
+	for size := 1; size <= maxKnowledge; size++ {
+		exp := Exposure{KnowledgeSize: size}
+		sum := 0
+		for i := 0; i < trials; i++ {
+			r := d.Records[rng.IntN(d.Len())]
+			if len(r) == 0 {
+				continue
+			}
+			take := size
+			if take > len(r) {
+				take = len(r)
+			}
+			perm := rng.Perm(len(r))[:take]
+			terms := make([]dataset.Term, take)
+			for j, idx := range perm {
+				terms[j] = r[idx]
+			}
+			s := dataset.NewRecord(terms...)
+			c := Candidates(a, s)
+			if c <= 0 {
+				continue
+			}
+			exp.Samples++
+			sum += c
+			if exp.MinCandidates == 0 || c < exp.MinCandidates {
+				exp.MinCandidates = c
+			}
+			if c == 1 {
+				exp.Identified++
+			}
+		}
+		if exp.Samples > 0 {
+			exp.MeanCandidates = float64(sum) / float64(exp.Samples)
+		}
+		out = append(out, exp)
+	}
+	return out
+}
+
+// BaselineCandidates counts the records of the raw (unprotected) dataset
+// matching the knowledge — what the adversary gets without anonymization.
+func BaselineCandidates(d *dataset.Dataset, knowledge dataset.Record) int {
+	return itemset.SupportOf(d.Records, knowledge)
+}

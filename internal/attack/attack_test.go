@@ -1,0 +1,159 @@
+package attack
+
+import (
+	"math/rand/v2"
+	"testing"
+
+	"disasso/internal/core"
+	"disasso/internal/dataset"
+)
+
+func rec(terms ...dataset.Term) dataset.Record { return dataset.NewRecord(terms...) }
+
+func randomDataset(seed uint64, n, domain, maxLen int) *dataset.Dataset {
+	rng := rand.New(rand.NewPCG(seed, 9))
+	var records []dataset.Record
+	for i := 0; i < n; i++ {
+		terms := make([]dataset.Term, 1+rng.IntN(maxLen))
+		for j := range terms {
+			terms[j] = dataset.Term(rng.IntN(domain))
+		}
+		records = append(records, rec(terms...))
+	}
+	return dataset.FromRecords(records)
+}
+
+func TestCandidatesOnHandBuiltCluster(t *testing.T) {
+	a := &core.Anonymized{
+		K: 3, M: 2,
+		Clusters: []*core.ClusterNode{{Simple: &core.Cluster{
+			Size: 6,
+			RecordChunks: []core.Chunk{{
+				Domain: rec(1, 2),
+				Subrecords: []dataset.Record{
+					rec(1, 2), rec(1, 2), rec(1, 2), rec(1), rec(1),
+				},
+			}},
+			TermChunk: rec(9),
+		}}},
+	}
+	if got := Candidates(a, rec(1, 2)); got != 3 {
+		t.Errorf("Candidates({1,2}) = %d, want 3", got)
+	}
+	if got := Candidates(a, rec(9)); got != 6 {
+		t.Errorf("Candidates({9}) = %d, want 6 (whole cluster)", got)
+	}
+	if got := Candidates(a, rec(42)); got != 0 {
+		t.Errorf("Candidates(absent) = %d, want 0", got)
+	}
+	if !GuaranteeHolds(a, rec(1, 2), 3) || !GuaranteeHolds(a, rec(42), 3) {
+		t.Error("GuaranteeHolds false on satisfied cases")
+	}
+	if GuaranteeHolds(a, rec(1), 6) {
+		t.Error("GuaranteeHolds true at k above the candidate count")
+	}
+}
+
+// The tiny-cluster weakness the anonymizer must avoid: a term confined to
+// the term chunk of a 2-record cluster yields 2 < k candidates.
+func TestAuditTermsFlagsTinyClusterLeak(t *testing.T) {
+	bad := &core.Anonymized{
+		K: 5, M: 2,
+		Clusters: []*core.ClusterNode{{Simple: &core.Cluster{
+			Size:      2,
+			TermChunk: rec(7, 8),
+		}}},
+	}
+	violations := AuditTerms(bad, 5)
+	if len(violations) != 2 {
+		t.Fatalf("violations = %v, want both term-chunk terms flagged", violations)
+	}
+	for _, v := range violations {
+		if v.Candidates != 2 {
+			t.Errorf("violation %v: candidates %d, want 2", v.Knowledge, v.Candidates)
+		}
+	}
+}
+
+// End-to-end: the anonymizer (with undersized-cluster merging) must pass the
+// single-term audit and the record-sampled m-term audit.
+func TestAnonymizerPassesAudit(t *testing.T) {
+	for seed := uint64(1); seed <= 4; seed++ {
+		d := randomDataset(seed, 300, 40, 5)
+		k := 3 + int(seed)%3
+		a, err := core.Anonymize(d, core.Options{K: k, M: 2, Seed: seed})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if v := AuditTerms(a, k); len(v) > 0 {
+			t.Errorf("seed %d: single-term audit failed: %v", seed, v[:min(3, len(v))])
+		}
+		rng := rand.New(rand.NewPCG(seed, 77))
+		if v := AuditRecords(a, d, 2, k, 200, rng); len(v) > 0 {
+			t.Errorf("seed %d: record audit failed: %v", seed, v[:min(3, len(v))])
+		}
+	}
+}
+
+func TestStrongerAdversaryDegrades(t *testing.T) {
+	d := randomDataset(11, 400, 30, 6)
+	a, err := core.Anonymize(d, core.Options{K: 5, M: 2, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewPCG(12, 13))
+	exposures := StrongerAdversary(a, d, 5, 300, rng)
+	if len(exposures) != 5 {
+		t.Fatalf("exposures = %d", len(exposures))
+	}
+	// Within the model (size ≤ m=2): min candidates ≥ k.
+	for _, e := range exposures[:2] {
+		if e.Samples == 0 {
+			t.Fatalf("no samples at size %d", e.KnowledgeSize)
+		}
+		if e.MinCandidates < 5 {
+			t.Errorf("size %d: min candidates %d < k", e.KnowledgeSize, e.MinCandidates)
+		}
+	}
+	// Candidate counts shrink (weakly) as knowledge grows.
+	for i := 1; i < len(exposures); i++ {
+		if exposures[i].Samples == 0 {
+			continue
+		}
+		if exposures[i].MeanCandidates > exposures[i-1].MeanCandidates*1.5+1 {
+			t.Errorf("mean candidates grew sharply from size %d to %d: %v → %v",
+				i, i+1, exposures[i-1].MeanCandidates, exposures[i].MeanCandidates)
+		}
+	}
+}
+
+func TestBaselineCandidates(t *testing.T) {
+	d := dataset.FromRecords([]dataset.Record{rec(1, 2), rec(1, 2), rec(1)})
+	if got := BaselineCandidates(d, rec(1, 2)); got != 2 {
+		t.Errorf("BaselineCandidates = %d", got)
+	}
+}
+
+func TestAuditRecordsZeroCandidatesIsViolation(t *testing.T) {
+	// Knowledge drawn from a real record must never be unreconstructable.
+	// Build a broken publication that dropped a record's terms.
+	d := dataset.FromRecords([]dataset.Record{rec(1, 2), rec(3)})
+	broken := &core.Anonymized{
+		K: 2, M: 2,
+		Clusters: []*core.ClusterNode{{Simple: &core.Cluster{
+			Size:      2,
+			TermChunk: rec(1, 2), // term 3 vanished
+		}}},
+	}
+	rng := rand.New(rand.NewPCG(1, 1))
+	v := AuditRecords(broken, d, 1, 2, 100, rng)
+	found := false
+	for _, violation := range v {
+		if violation.Knowledge.Contains(3) {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("dropped term not flagged by the record audit")
+	}
+}

@@ -1,0 +1,135 @@
+package core
+
+import (
+	"fmt"
+	"math/rand/v2"
+	"runtime"
+	"sync"
+
+	"disasso/internal/dataset"
+)
+
+// DefaultMaxClusterSize is the horizontal-partitioning threshold used when
+// Options.MaxClusterSize is zero. Clusters of a few dozen records keep the
+// vertical partitioning local (limiting disassociation's reach, as Section 3
+// motivates) while giving VERPART enough rows to clear the k threshold.
+const DefaultMaxClusterSize = 30
+
+// Options configures the disassociation anonymizer.
+type Options struct {
+	// K and M are the k^m-anonymity parameters (Definition 1): an adversary
+	// knowing up to M terms of a record must face at least K candidate
+	// records. Both must be at least 2 and 1 respectively.
+	K int
+	M int
+	// MaxClusterSize bounds the horizontal partitions; 0 means
+	// DefaultMaxClusterSize. It must exceed K for the guarantee to be
+	// satisfiable with non-trivial record chunks.
+	MaxClusterSize int
+	// DisableRefine skips the REFINE step (no joint clusters); used by the
+	// ablation benchmarks.
+	DisableRefine bool
+	// Sensitive marks terms to protect against attribute disclosure
+	// (Section 5): they are ignored during horizontal partitioning and always
+	// placed in term chunks, so they associate with any record of a cluster
+	// with probability at most 1/|P|.
+	Sensitive map[dataset.Term]bool
+	// Parallel sets the number of workers for the per-cluster vertical
+	// partitioning (Section 3 notes clusters anonymize independently).
+	// 0 means GOMAXPROCS; 1 forces sequential operation.
+	Parallel int
+	// Seed drives subrecord shuffling. Results are deterministic for a fixed
+	// seed, including under parallelism.
+	Seed uint64
+}
+
+func (o Options) withDefaults() Options {
+	if o.MaxClusterSize == 0 {
+		o.MaxClusterSize = DefaultMaxClusterSize
+	}
+	if o.Parallel == 0 {
+		o.Parallel = runtime.GOMAXPROCS(0)
+	}
+	return o
+}
+
+// Validate reports whether the options are usable.
+func (o Options) Validate() error {
+	if o.K < 2 {
+		return fmt.Errorf("core: K = %d, need K ≥ 2", o.K)
+	}
+	if o.M < 1 {
+		return fmt.Errorf("core: M = %d, need M ≥ 1", o.M)
+	}
+	if o.MaxClusterSize != 0 && o.MaxClusterSize <= o.K {
+		return fmt.Errorf("core: MaxClusterSize = %d must exceed K = %d", o.MaxClusterSize, o.K)
+	}
+	if o.Parallel < 0 {
+		return fmt.Errorf("core: Parallel = %d is negative", o.Parallel)
+	}
+	return nil
+}
+
+// Anonymize runs the full disassociation pipeline — HORPART, VERPART per
+// cluster, then REFINE — and returns the published dataset. The input is not
+// modified. Records must be non-empty and normalized (dataset.Validate).
+func Anonymize(d *dataset.Dataset, opts Options) (*Anonymized, error) {
+	if err := opts.Validate(); err != nil {
+		return nil, err
+	}
+	if err := d.Validate(); err != nil {
+		return nil, fmt.Errorf("core: invalid input: %w", err)
+	}
+	opts = opts.withDefaults()
+
+	clusters := HorPart(d, opts.MaxClusterSize, opts.Sensitive)
+	// Every cluster needs at least K records, or a term confined to its term
+	// chunk would leave an adversary fewer than K candidates (Section 5's
+	// reconstruction argument pads up to |P| records only).
+	clusters = MergeUndersized(clusters, opts.K)
+
+	leaves := make([]*leafState, len(clusters))
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, opts.Parallel)
+	for i, records := range clusters {
+		wg.Add(1)
+		go func(i int, records []dataset.Record) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			// Per-cluster PRNG: deterministic regardless of scheduling.
+			rng := rand.New(rand.NewPCG(opts.Seed, uint64(i)+1))
+			cl := VerPart(records, opts.K, opts.M, opts.Sensitive, rng)
+			leaves[i] = &leafState{records: records, cluster: cl}
+		}(i, records)
+	}
+	wg.Wait()
+
+	nodes := make([]*refNode, len(leaves))
+	for i, l := range leaves {
+		nodes[i] = &refNode{leaf: l}
+	}
+	if !opts.DisableRefine {
+		rng := rand.New(rand.NewPCG(opts.Seed, 0xEF11E))
+		nodes = refine(nodes, opts.K, opts.M, opts.Sensitive, rng)
+	}
+
+	out := &Anonymized{K: opts.K, M: opts.M, Clusters: make([]*ClusterNode, len(nodes))}
+	for i, n := range nodes {
+		out.Clusters[i] = exportNode(n)
+	}
+	return out, nil
+}
+
+// exportNode converts the working representation into the published form,
+// dropping the original records.
+func exportNode(n *refNode) *ClusterNode {
+	if n.leaf != nil {
+		return &ClusterNode{Simple: n.leaf.cluster}
+	}
+	out := &ClusterNode{SharedChunks: n.shared}
+	for _, c := range n.children {
+		out.Children = append(out.Children, exportNode(c))
+	}
+	return out
+}

@@ -1,0 +1,271 @@
+package core
+
+import (
+	"math/rand/v2"
+	"testing"
+
+	"disasso/internal/dataset"
+)
+
+func TestOptionsValidate(t *testing.T) {
+	good := Options{K: 3, M: 2}
+	if err := good.Validate(); err != nil {
+		t.Errorf("valid options rejected: %v", err)
+	}
+	bad := []Options{
+		{K: 1, M: 2},
+		{K: 0, M: 2},
+		{K: 3, M: 0},
+		{K: 3, M: 2, MaxClusterSize: 3},
+		{K: 3, M: 2, Parallel: -1},
+	}
+	for i, o := range bad {
+		if err := o.Validate(); err == nil {
+			t.Errorf("bad options %d accepted: %+v", i, o)
+		}
+	}
+}
+
+func TestAnonymizeRejectsInvalidInput(t *testing.T) {
+	d := dataset.FromRecords([]dataset.Record{{}})
+	if _, err := Anonymize(d, Options{K: 3, M: 2}); err == nil {
+		t.Error("empty record accepted")
+	}
+	if _, err := Anonymize(dataset.FromRecords(figure2Records()), Options{K: 1, M: 2}); err == nil {
+		t.Error("K=1 accepted")
+	}
+}
+
+func TestAnonymizeFigure2(t *testing.T) {
+	d := dataset.FromRecords(figure2Records())
+	a, err := Anonymize(d, Options{K: 3, M: 2, MaxClusterSize: 6, Parallel: 1, Seed: 1})
+	if err != nil {
+		t.Fatalf("Anonymize: %v", err)
+	}
+	if a.NumRecords() != 10 {
+		t.Errorf("NumRecords = %d", a.NumRecords())
+	}
+	// Every original term must survive.
+	if got, want := dataset.Record(a.Domain()), dataset.NewRecord(d.Domain()...); !got.Equal(want) {
+		t.Errorf("domain = %v, want %v", got, want)
+	}
+	// Every record chunk k^m-anonymous at the configured parameters.
+	for _, c := range a.AllChunks() {
+		if !IsChunkKMAnonymous(c.Domain, c.Subrecords, 3, 2) {
+			t.Errorf("chunk %v fails the 3^2 check", c.Domain)
+		}
+	}
+}
+
+func TestAnonymizeEmptyDataset(t *testing.T) {
+	a, err := Anonymize(dataset.New(0), Options{K: 3, M: 2})
+	if err != nil {
+		t.Fatalf("Anonymize(empty): %v", err)
+	}
+	if len(a.Clusters) != 0 || a.NumRecords() != 0 {
+		t.Errorf("empty dataset gave %d clusters", len(a.Clusters))
+	}
+}
+
+func TestAnonymizeDeterministicAcrossParallelism(t *testing.T) {
+	rng := rand.New(rand.NewPCG(9, 9))
+	var records []dataset.Record
+	for i := 0; i < 300; i++ {
+		terms := make([]dataset.Term, 1+rng.IntN(6))
+		for j := range terms {
+			terms[j] = dataset.Term(rng.IntN(40))
+		}
+		records = append(records, dataset.NewRecord(terms...))
+	}
+	d := dataset.FromRecords(records)
+	opts := Options{K: 4, M: 2, Seed: 3}
+	opts.Parallel = 1
+	seq, err := Anonymize(d, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts.Parallel = 8
+	par, err := Anonymize(d, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(seq.Clusters) != len(par.Clusters) {
+		t.Fatalf("cluster counts differ: %d vs %d", len(seq.Clusters), len(par.Clusters))
+	}
+	sa, sb := seq.AllLeaves(), par.AllLeaves()
+	if len(sa) != len(sb) {
+		t.Fatalf("leaf counts differ")
+	}
+	for i := range sa {
+		if sa[i].Size != sb[i].Size || !sa[i].TermChunk.Equal(sb[i].TermChunk) {
+			t.Fatalf("leaf %d differs between sequential and parallel runs", i)
+		}
+		if len(sa[i].RecordChunks) != len(sb[i].RecordChunks) {
+			t.Fatalf("leaf %d chunk counts differ", i)
+		}
+		for j := range sa[i].RecordChunks {
+			ca, cb := sa[i].RecordChunks[j], sb[i].RecordChunks[j]
+			if !ca.Domain.Equal(cb.Domain) {
+				t.Fatalf("leaf %d chunk %d domains differ", i, j)
+			}
+			for x := range ca.Subrecords {
+				if !ca.Subrecords[x].Equal(cb.Subrecords[x]) {
+					t.Fatalf("leaf %d chunk %d subrecord %d differs (shuffle not deterministic)", i, j, x)
+				}
+			}
+		}
+	}
+}
+
+func TestAnonymizeDisableRefine(t *testing.T) {
+	d := dataset.FromRecords(figure2Records())
+	a, err := Anonymize(d, Options{K: 3, M: 2, MaxClusterSize: 6, DisableRefine: true, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, n := range a.Clusters {
+		if !n.IsLeaf() {
+			t.Error("DisableRefine produced a joint cluster")
+		}
+	}
+}
+
+func TestAnonymizeSensitiveMode(t *testing.T) {
+	d := dataset.FromRecords(figure2Records())
+	sensitive := map[dataset.Term]bool{viagra: true, panicDis: true}
+	a, err := Anonymize(d, Options{K: 3, M: 2, MaxClusterSize: 6, Sensitive: sensitive, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range a.AllChunks() {
+		for _, term := range c.Domain {
+			if sensitive[term] {
+				t.Errorf("sensitive term %d appears in a record/shared chunk", term)
+			}
+		}
+	}
+	// Sensitive terms must still be published (in term chunks).
+	found := map[dataset.Term]bool{}
+	for _, leaf := range a.AllLeaves() {
+		for _, term := range leaf.TermChunk {
+			found[term] = true
+		}
+	}
+	if !found[viagra] || !found[panicDis] {
+		t.Error("sensitive terms vanished from the output")
+	}
+}
+
+func TestSensitiveTermsSurviveRefine(t *testing.T) {
+	// Regression: sensitive terms used to leak from term chunks into shared
+	// chunks during REFINE. Build many clusters sharing an infrequent-per-
+	// cluster sensitive term whose total support clears k, so it would be a
+	// prime refining candidate.
+	rng := rand.New(rand.NewPCG(44, 45))
+	sens := dataset.Term(999)
+	var records []dataset.Record
+	for i := 0; i < 300; i++ {
+		terms := []dataset.Term{dataset.Term(rng.IntN(20)), dataset.Term(rng.IntN(20))}
+		if i%10 == 0 {
+			terms = append(terms, sens)
+		}
+		records = append(records, dataset.NewRecord(terms...))
+	}
+	d := dataset.FromRecords(records)
+	a, err := Anonymize(d, Options{K: 3, M: 2, Sensitive: map[dataset.Term]bool{sens: true}, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range a.AllChunks() {
+		if c.Domain.Contains(sens) {
+			t.Fatal("sensitive term leaked into a record or shared chunk")
+		}
+	}
+	if a.TermChunkTerms()[sens] == 0 {
+		t.Error("sensitive term vanished from the output")
+	}
+}
+
+func TestLowerBoundSupports(t *testing.T) {
+	d := dataset.FromRecords(figure2Records())
+	a, err := Anonymize(d, Options{K: 3, M: 2, MaxClusterSize: 6, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lower := a.LowerBoundSupports()
+	orig := d.Supports()
+	for term, lb := range lower {
+		if lb > orig[term] {
+			t.Errorf("lower bound of term %d is %d, exceeds original support %d", term, lb, orig[term])
+		}
+		if lb == 0 {
+			t.Errorf("term %d has zero lower bound but appears in the output", term)
+		}
+	}
+	if len(lower) != len(orig) {
+		t.Errorf("lower bounds cover %d terms, original has %d", len(lower), len(orig))
+	}
+}
+
+func TestLowerBoundItemsetSupport(t *testing.T) {
+	d := dataset.FromRecords(figure2Records())
+	a, err := Anonymize(d, Options{K: 3, M: 2, MaxClusterSize: 6, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Pairs inside one chunk keep exact support; any pair's bound must not
+	// exceed the original support.
+	pairs := [][2]dataset.Term{
+		{itunes, flu}, {madonna, flu}, {audiA4, sonyTV}, {ikea, ruby}, {itunes, viagra},
+	}
+	for _, p := range pairs {
+		s := dataset.NewRecord(p[0], p[1])
+		lb := a.LowerBoundItemsetSupport(s)
+		orig := d.SupportOf(s)
+		if lb > orig {
+			t.Errorf("pair %v: lower bound %d > original %d", s, lb, orig)
+		}
+	}
+}
+
+// Property: on random datasets the pipeline must always produce output whose
+// chunks pass the exhaustive anonymity checks and whose structure accounts
+// for every record and term. (The independent verifier package re-checks
+// this from the outside; this is the in-package version.)
+func TestAnonymizeRandomDatasets(t *testing.T) {
+	rng := rand.New(rand.NewPCG(77, 99))
+	for trial := 0; trial < 20; trial++ {
+		var records []dataset.Record
+		n := 50 + rng.IntN(200)
+		domain := 10 + rng.IntN(40)
+		for i := 0; i < n; i++ {
+			terms := make([]dataset.Term, 1+rng.IntN(5))
+			for j := range terms {
+				terms[j] = dataset.Term(rng.IntN(domain))
+			}
+			records = append(records, dataset.NewRecord(terms...))
+		}
+		d := dataset.FromRecords(records)
+		k := 2 + rng.IntN(4)
+		m := 1 + rng.IntN(3)
+		a, err := Anonymize(d, Options{K: k, M: m, Seed: uint64(trial)})
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if a.NumRecords() != n {
+			t.Fatalf("trial %d: %d records out, %d in", trial, a.NumRecords(), n)
+		}
+		if got, want := dataset.Record(a.Domain()), dataset.NewRecord(d.Domain()...); !got.Equal(want) {
+			t.Fatalf("trial %d: domain mismatch", trial)
+		}
+		for _, c := range a.AllChunks() {
+			if !IsChunkKMAnonymous(c.Domain, c.Subrecords, k, m) {
+				// Shared chunks under Property 1 satisfy the stronger
+				// k-anonymity instead; accept either.
+				if !IsChunkKAnonymous(c.Domain, c.Subrecords, k) {
+					t.Fatalf("trial %d: chunk %v fails both checks (k=%d, m=%d)", trial, c.Domain, k, m)
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,44 @@
+package core
+
+import (
+	"disasso/internal/dataset"
+)
+
+// The paper's running example (Figure 2a): a web search query log of 10
+// records. Term IDs are assigned in a fixed order so tests can reference
+// them symbolically.
+const (
+	itunes dataset.Term = iota
+	flu
+	madonna
+	ikea
+	ruby
+	viagra
+	audiA4
+	sonyTV
+	iphoneSDK
+	digitalCam
+	panicDis
+	playboy
+)
+
+// figure2Records returns the ten records r1..r10 of Figure 2a.
+func figure2Records() []dataset.Record {
+	return []dataset.Record{
+		dataset.NewRecord(itunes, flu, madonna, ikea, ruby),           // r1
+		dataset.NewRecord(madonna, flu, viagra, ruby, audiA4, sonyTV), // r2
+		dataset.NewRecord(itunes, madonna, audiA4, ikea, sonyTV),      // r3
+		dataset.NewRecord(itunes, flu, viagra),                        // r4
+		dataset.NewRecord(itunes, flu, madonna, audiA4, sonyTV),       // r5
+		dataset.NewRecord(madonna, digitalCam, panicDis, playboy),     // r6
+		dataset.NewRecord(iphoneSDK, madonna, ikea, ruby),             // r7
+		dataset.NewRecord(iphoneSDK, digitalCam, madonna, playboy),    // r8
+		dataset.NewRecord(iphoneSDK, digitalCam, panicDis),            // r9
+		dataset.NewRecord(iphoneSDK, digitalCam, madonna, ikea, ruby), // r10
+	}
+}
+
+// figure2P1 and figure2P2 are the paper's horizontal partitioning: P1 =
+// r1..r5, P2 = r6..r10.
+func figure2P1() []dataset.Record { return figure2Records()[:5] }
+func figure2P2() []dataset.Record { return figure2Records()[5:] }

@@ -1,0 +1,138 @@
+package core
+
+import (
+	"disasso/internal/dataset"
+)
+
+// HorPart implements Algorithm HORPART (Section 4): it recursively splits the
+// dataset on its most frequent not-yet-used term — records containing the
+// term go to one side (and the term joins the ignore set there), the rest to
+// the other — until partitions fall below maxClusterSize. The result is a
+// partition of the records of d: similar records (sharing frequent terms)
+// end up in the same cluster.
+//
+// Terms in exclude (the sensitive terms of the l-diversity mode, Section 5)
+// are never used for splitting. The returned clusters reference the input's
+// record slices without copying. maxClusterSize values below 2 are treated
+// as 2.
+func HorPart(d *dataset.Dataset, maxClusterSize int, exclude map[dataset.Term]bool) [][]dataset.Record {
+	if maxClusterSize < 2 {
+		maxClusterSize = 2
+	}
+	var clusters [][]dataset.Record
+	if d.Len() == 0 {
+		return clusters
+	}
+
+	// Explicit work stack: recursion depth can reach the domain size on
+	// pathological inputs, so avoid the call stack. The ignore set grows only
+	// along "records containing a" branches; sharing one map per branch via
+	// copy keeps semantics exact while splits stay shallow in practice.
+	type task struct {
+		records []dataset.Record
+		ignore  map[dataset.Term]bool
+	}
+	rootIgnore := make(map[dataset.Term]bool, len(exclude))
+	for t := range exclude {
+		rootIgnore[t] = true
+	}
+	stack := []task{{records: d.Records, ignore: rootIgnore}}
+
+	for len(stack) > 0 {
+		cur := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if len(cur.records) == 0 {
+			continue
+		}
+		if len(cur.records) < maxClusterSize {
+			clusters = append(clusters, cur.records)
+			continue
+		}
+		a, ok := mostFrequentTerm(cur.records, cur.ignore)
+		if !ok {
+			// Every term is ignored: the records cannot be distinguished by
+			// any unused term, so they form one (possibly oversized) cluster.
+			clusters = append(clusters, cur.records)
+			continue
+		}
+		var with, without []dataset.Record
+		for _, r := range cur.records {
+			if r.Contains(a) {
+				with = append(with, r)
+			} else {
+				without = append(without, r)
+			}
+		}
+		withIgnore := make(map[dataset.Term]bool, len(cur.ignore)+1)
+		for t := range cur.ignore {
+			withIgnore[t] = true
+		}
+		withIgnore[a] = true
+		stack = append(stack, task{records: without, ignore: cur.ignore})
+		stack = append(stack, task{records: with, ignore: withIgnore})
+	}
+	return clusters
+}
+
+// MergeUndersized repairs the partitioning for the k^m guarantee: a cluster
+// with fewer than min records cannot offer min candidate records even for a
+// term disclosed only in its term chunk (the Lemma 2 reconstruction needs
+// |P| ≥ k records to pad). Undersized clusters are merged together, and a
+// still-undersized remainder is absorbed into the largest cluster. Only if
+// the whole dataset has fewer than min records can the result stay
+// undersized.
+func MergeUndersized(clusters [][]dataset.Record, min int) [][]dataset.Record {
+	if min <= 1 {
+		return clusters
+	}
+	out := clusters[:0]
+	var pending []dataset.Record
+	largest := -1
+	push := func(c []dataset.Record) {
+		out = append(out, c)
+		if largest == -1 || len(c) > len(out[largest]) {
+			largest = len(out) - 1
+		}
+	}
+	for _, c := range clusters {
+		if len(c) < min {
+			pending = append(pending, c...)
+			if len(pending) >= min {
+				push(pending)
+				pending = nil
+			}
+			continue
+		}
+		push(c)
+	}
+	if len(pending) > 0 {
+		if largest >= 0 {
+			out[largest] = append(append([]dataset.Record{}, out[largest]...), pending...)
+		} else {
+			out = append(out, pending)
+		}
+	}
+	return out
+}
+
+// mostFrequentTerm returns the term with the highest support among the
+// records, skipping ignored terms; ties break toward the smaller term ID so
+// the partitioning is deterministic.
+func mostFrequentTerm(records []dataset.Record, ignore map[dataset.Term]bool) (dataset.Term, bool) {
+	supports := make(map[dataset.Term]int)
+	for _, r := range records {
+		for _, t := range r {
+			if !ignore[t] {
+				supports[t]++
+			}
+		}
+	}
+	best := dataset.Term(-1)
+	bestSup := 0
+	for t, s := range supports {
+		if s > bestSup || (s == bestSup && t < best) {
+			best, bestSup = t, s
+		}
+	}
+	return best, bestSup > 0
+}

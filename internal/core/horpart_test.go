@@ -1,0 +1,199 @@
+package core
+
+import (
+	"math/rand/v2"
+	"testing"
+
+	"disasso/internal/dataset"
+)
+
+// collectPartition flattens clusters and checks they form an exact partition
+// of the input records (same multiset).
+func assertPartition(t *testing.T, d *dataset.Dataset, clusters [][]dataset.Record) {
+	t.Helper()
+	count := make(map[string]int)
+	for _, r := range d.Records {
+		count[r.Key()]++
+	}
+	total := 0
+	for _, c := range clusters {
+		for _, r := range c {
+			count[r.Key()]--
+			total++
+		}
+	}
+	if total != d.Len() {
+		t.Fatalf("clusters cover %d records, dataset has %d", total, d.Len())
+	}
+	for key, n := range count {
+		if n != 0 {
+			t.Fatalf("record %s imbalance %d", key, n)
+		}
+	}
+}
+
+func TestHorPartFormsPartition(t *testing.T) {
+	d := dataset.FromRecords(figure2Records())
+	clusters := HorPart(d, 6, nil)
+	assertPartition(t, d, clusters)
+	for i, c := range clusters {
+		if len(c) >= 7 {
+			t.Errorf("cluster %d has %d records, exceeding the bound", i, len(c))
+		}
+	}
+}
+
+func TestHorPartFigure2Split(t *testing.T) {
+	// On Figure 2a with maxClusterSize 6 the first split is on madonna
+	// (support 8); the recursion then splits the madonna side on ikea
+	// (support 4 there). The resulting clusters keep co-occurring records
+	// together.
+	d := dataset.FromRecords(figure2Records())
+	clusters := HorPart(d, 6, nil)
+	if len(clusters) != 3 {
+		t.Fatalf("got %d clusters, want 3", len(clusters))
+	}
+	sizes := []int{len(clusters[0]), len(clusters[1]), len(clusters[2])}
+	want := map[int]int{4: 2, 2: 1} // two clusters of 4 and the {r4, r9} leftover
+	got := map[int]int{}
+	for _, s := range sizes {
+		got[s]++
+	}
+	for k, v := range want {
+		if got[k] != v {
+			t.Fatalf("cluster sizes %v, want two of 4 and one of 2", sizes)
+		}
+	}
+}
+
+func TestHorPartSmallDatasetSingleCluster(t *testing.T) {
+	d := dataset.FromRecords(figure2Records()[:3])
+	clusters := HorPart(d, 10, nil)
+	if len(clusters) != 1 || len(clusters[0]) != 3 {
+		t.Errorf("clusters = %v", clusters)
+	}
+}
+
+func TestHorPartEmptyDataset(t *testing.T) {
+	if got := HorPart(dataset.New(0), 10, nil); len(got) != 0 {
+		t.Errorf("empty dataset gave %d clusters", len(got))
+	}
+}
+
+func TestHorPartIgnoreExhaustion(t *testing.T) {
+	// All records identical: after splitting on every term, the remaining
+	// block cannot be split and must be emitted as one oversized cluster.
+	var records []dataset.Record
+	for i := 0; i < 20; i++ {
+		records = append(records, dataset.NewRecord(1, 2))
+	}
+	d := dataset.FromRecords(records)
+	clusters := HorPart(d, 5, nil)
+	assertPartition(t, d, clusters)
+	// Splitting on 1 keeps all 20 together; splitting on 2 likewise; then
+	// terms are exhausted. One cluster of 20 results.
+	if len(clusters) != 1 || len(clusters[0]) != 20 {
+		t.Errorf("got %d clusters with sizes %v, want one of 20", len(clusters), clusterSizes(clusters))
+	}
+}
+
+func clusterSizes(clusters [][]dataset.Record) []int {
+	out := make([]int, len(clusters))
+	for i, c := range clusters {
+		out[i] = len(c)
+	}
+	return out
+}
+
+func TestHorPartExcludedTermsNeverSplit(t *testing.T) {
+	// Term 1 is the most frequent but excluded (sensitive); the split must
+	// use term 2 instead, grouping by it.
+	var records []dataset.Record
+	for i := 0; i < 6; i++ {
+		records = append(records, dataset.NewRecord(1, 2))
+	}
+	for i := 0; i < 6; i++ {
+		records = append(records, dataset.NewRecord(1, dataset.Term(10+i)))
+	}
+	d := dataset.FromRecords(records)
+	clusters := HorPart(d, 8, map[dataset.Term]bool{1: true})
+	assertPartition(t, d, clusters)
+	for _, c := range clusters {
+		has2, lacks2 := 0, 0
+		for _, r := range c {
+			if r.Contains(2) {
+				has2++
+			} else {
+				lacks2++
+			}
+		}
+		if has2 > 0 && lacks2 > 0 {
+			t.Errorf("cluster mixes term-2 and non-term-2 records: %v", c)
+		}
+	}
+}
+
+func TestHorPartGroupsSimilarRecords(t *testing.T) {
+	// Two disjoint communities; every cluster must be pure.
+	rng := rand.New(rand.NewPCG(3, 1))
+	var records []dataset.Record
+	for i := 0; i < 100; i++ {
+		base := dataset.Term(0)
+		if i%2 == 1 {
+			base = 100
+		}
+		terms := make([]dataset.Term, 3)
+		for j := range terms {
+			terms[j] = base + dataset.Term(rng.IntN(10))
+		}
+		records = append(records, dataset.NewRecord(terms...))
+	}
+	d := dataset.FromRecords(records)
+	clusters := HorPart(d, 20, nil)
+	assertPartition(t, d, clusters)
+	// The heuristic may emit one mixed catch-all of leftovers, but the bulk
+	// of records must land in community-pure clusters.
+	pure := 0
+	for _, c := range clusters {
+		lo, hi := false, false
+		for _, r := range c {
+			if r[0] < 100 {
+				lo = true
+			} else {
+				hi = true
+			}
+		}
+		if !(lo && hi) {
+			pure += len(c)
+		}
+	}
+	if pure < 80 {
+		t.Errorf("only %d of 100 records in community-pure clusters", pure)
+	}
+}
+
+func TestHorPartDeterministic(t *testing.T) {
+	d := dataset.FromRecords(figure2Records())
+	a := HorPart(d, 4, nil)
+	b := HorPart(d, 4, nil)
+	if len(a) != len(b) {
+		t.Fatal("nondeterministic cluster count")
+	}
+	for i := range a {
+		if len(a[i]) != len(b[i]) {
+			t.Fatalf("cluster %d sizes differ", i)
+		}
+		for j := range a[i] {
+			if !a[i][j].Equal(b[i][j]) {
+				t.Fatalf("cluster %d record %d differs", i, j)
+			}
+		}
+	}
+}
+
+func TestHorPartMinimumClusterSize(t *testing.T) {
+	// maxClusterSize below 2 is clamped; must not loop or panic.
+	d := dataset.FromRecords(figure2Records())
+	clusters := HorPart(d, 0, nil)
+	assertPartition(t, d, clusters)
+}

@@ -1,0 +1,210 @@
+package core
+
+import (
+	"encoding/binary"
+
+	"disasso/internal/dataset"
+	"disasso/internal/itemset"
+)
+
+// comboKey encodes a small sorted term combination (plus one extra term) into
+// a compact string usable as a map key. Binary 4-byte big-endian encoding
+// keeps keys unique and cheap to hash.
+func comboKey(buf []byte, combo dataset.Record, extra dataset.Term) string {
+	buf = buf[:0]
+	placed := false
+	var scratch [4]byte
+	for _, t := range combo {
+		if !placed && extra < t {
+			binary.BigEndian.PutUint32(scratch[:], uint32(extra))
+			buf = append(buf, scratch[:]...)
+			placed = true
+		}
+		binary.BigEndian.PutUint32(scratch[:], uint32(t))
+		buf = append(buf, scratch[:]...)
+	}
+	if !placed {
+		binary.BigEndian.PutUint32(scratch[:], uint32(extra))
+		buf = append(buf, scratch[:]...)
+	}
+	return string(buf)
+}
+
+// kmChecker incrementally grows a chunk domain over a fixed bag of records
+// while maintaining k^m-anonymity: every combination of at most m domain
+// terms that appears in the projected chunk appears at least k times.
+//
+// TryAdd exploits that extending the domain with a term t cannot change the
+// support of combinations not involving t, so only combinations that include
+// t need counting — each is a subset of (record ∩ current domain) of size at
+// most m−1, unioned with {t}.
+type kmChecker struct {
+	k, m    int
+	records []dataset.Record
+	domain  dataset.Record // current chunk domain, sorted
+	keyBuf  []byte
+	counts  map[string]int // scratch map reused across TryAdd calls
+}
+
+// newKMChecker builds a checker over the given record bag.
+func newKMChecker(k, m int, records []dataset.Record) *kmChecker {
+	return &kmChecker{
+		k:       k,
+		m:       m,
+		records: records,
+		keyBuf:  make([]byte, 0, 4*(m+1)),
+		counts:  make(map[string]int),
+	}
+}
+
+// Domain returns the accumulated chunk domain.
+func (c *kmChecker) Domain() dataset.Record { return c.domain }
+
+// TryAdd tests whether the domain extended with t keeps the projected chunk
+// k^m-anonymous; on success the term is added and TryAdd reports true.
+func (c *kmChecker) TryAdd(t dataset.Term) bool {
+	clear(c.counts)
+	maxSub := c.m - 1
+	for _, r := range c.records {
+		if !r.Contains(t) {
+			continue
+		}
+		proj := r.Intersect(c.domain)
+		top := maxSub
+		if top > len(proj) {
+			top = len(proj)
+		}
+		for size := 0; size <= top; size++ {
+			itemset.Subsets(proj, size, func(s dataset.Record) bool {
+				c.counts[comboKey(c.keyBuf, s, t)]++
+				return true
+			})
+		}
+	}
+	for _, n := range c.counts {
+		if n < c.k {
+			return false
+		}
+	}
+	c.domain = insertTerm(c.domain, t)
+	return true
+}
+
+// insertTerm inserts t into the sorted record, keeping it normalized.
+func insertTerm(r dataset.Record, t dataset.Term) dataset.Record {
+	i := 0
+	for i < len(r) && r[i] < t {
+		i++
+	}
+	if i < len(r) && r[i] == t {
+		return r
+	}
+	r = append(r, 0)
+	copy(r[i+1:], r[i:])
+	r[i] = t
+	return r
+}
+
+// kAnonChecker incrementally grows a chunk domain while maintaining plain
+// k-anonymity of the projected chunk: every *distinct non-empty subrecord*
+// appears at least k times. Property 1 requires this stronger condition for
+// shared chunks whose terms also appear in record chunks of descendants.
+type kAnonChecker struct {
+	k       int
+	records []dataset.Record
+	domain  dataset.Record
+	keyBuf  []byte
+	counts  map[string]int
+}
+
+func newKAnonChecker(k int, records []dataset.Record) *kAnonChecker {
+	return &kAnonChecker{k: k, records: records, counts: make(map[string]int)}
+}
+
+// Domain returns the accumulated chunk domain.
+func (c *kAnonChecker) Domain() dataset.Record { return c.domain }
+
+// TryAdd tests whether extending the domain with t keeps every distinct
+// non-empty projection occurring at least k times; on success the term is
+// added. Unlike the k^m check, adding a term can split existing groups, so
+// the projection multiset is recounted from scratch.
+func (c *kAnonChecker) TryAdd(t dataset.Term) bool {
+	candidate := insertTerm(c.domain.Clone(), t)
+	clear(c.counts)
+	var scratch [4]byte
+	for _, r := range c.records {
+		proj := r.Intersect(candidate)
+		if len(proj) == 0 {
+			continue
+		}
+		c.keyBuf = c.keyBuf[:0]
+		for _, term := range proj {
+			binary.BigEndian.PutUint32(scratch[:], uint32(term))
+			c.keyBuf = append(c.keyBuf, scratch[:]...)
+		}
+		c.counts[string(c.keyBuf)]++
+	}
+	for _, n := range c.counts {
+		if n < c.k {
+			return false
+		}
+	}
+	c.domain = candidate
+	return true
+}
+
+// IsChunkKMAnonymous verifies from scratch that every combination of at most
+// m domain terms appearing in the subrecords appears at least k times. The
+// anonymizer itself uses the incremental checkers; this full check backs the
+// independent verifier and tests.
+func IsChunkKMAnonymous(domain dataset.Record, subrecords []dataset.Record, k, m int) bool {
+	counts := make(map[string]int)
+	var keyBuf []byte
+	var scratch [4]byte
+	encode := func(s dataset.Record) string {
+		keyBuf = keyBuf[:0]
+		for _, t := range s {
+			binary.BigEndian.PutUint32(scratch[:], uint32(t))
+			keyBuf = append(keyBuf, scratch[:]...)
+		}
+		return string(keyBuf)
+	}
+	for _, sr := range subrecords {
+		proj := sr.Intersect(domain)
+		top := m
+		if top > len(proj) {
+			top = len(proj)
+		}
+		for size := 1; size <= top; size++ {
+			itemset.Subsets(proj, size, func(s dataset.Record) bool {
+				counts[encode(s)]++
+				return true
+			})
+		}
+	}
+	for _, n := range counts {
+		if n < k {
+			return false
+		}
+	}
+	return true
+}
+
+// IsChunkKAnonymous verifies that every distinct non-empty subrecord
+// (projected onto the domain) appears at least k times.
+func IsChunkKAnonymous(domain dataset.Record, subrecords []dataset.Record, k int) bool {
+	counts := make(map[string]int)
+	for _, sr := range subrecords {
+		proj := sr.Intersect(domain)
+		if len(proj) == 0 {
+			continue
+		}
+		counts[proj.Key()]++
+	}
+	for _, n := range counts {
+		if n < k {
+			return false
+		}
+	}
+	return true
+}

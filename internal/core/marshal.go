@@ -1,0 +1,61 @@
+package core
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// The published form serializes as JSON: the exported Chunk / Cluster /
+// ClusterNode fields are the wire format, so a disassociated dataset written
+// by cmd/disasso can be archived, diffed and re-verified later.
+
+// WriteJSON writes the anonymized dataset as indented JSON.
+func WriteJSON(w io.Writer, a *Anonymized) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(a); err != nil {
+		return fmt.Errorf("core: encode: %w", err)
+	}
+	return nil
+}
+
+// ReadJSON parses an anonymized dataset written by WriteJSON and validates
+// its basic shape (parameters present, leaf/joint structure consistent).
+func ReadJSON(r io.Reader) (*Anonymized, error) {
+	var a Anonymized
+	dec := json.NewDecoder(r)
+	if err := dec.Decode(&a); err != nil {
+		return nil, fmt.Errorf("core: decode: %w", err)
+	}
+	if a.K < 2 || a.M < 1 {
+		return nil, fmt.Errorf("core: decoded parameters k=%d m=%d invalid", a.K, a.M)
+	}
+	for i, n := range a.Clusters {
+		if err := checkShape(n); err != nil {
+			return nil, fmt.Errorf("core: cluster %d: %w", i, err)
+		}
+	}
+	return &a, nil
+}
+
+func checkShape(n *ClusterNode) error {
+	if n == nil {
+		return fmt.Errorf("nil node")
+	}
+	if n.IsLeaf() {
+		if len(n.Children) > 0 || len(n.SharedChunks) > 0 {
+			return fmt.Errorf("leaf carries joint fields")
+		}
+		return nil
+	}
+	if len(n.Children) < 2 {
+		return fmt.Errorf("joint with %d children", len(n.Children))
+	}
+	for _, c := range n.Children {
+		if err := checkShape(c); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,47 @@
+package core
+
+import (
+	"bytes"
+	"reflect"
+	"strings"
+	"testing"
+
+	"disasso/internal/dataset"
+)
+
+func TestJSONRoundTrip(t *testing.T) {
+	d := dataset.FromRecords(figure2Records())
+	a, err := Anonymize(d, Options{K: 3, M: 2, MaxClusterSize: 6, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteJSON(&buf, a); err != nil {
+		t.Fatalf("WriteJSON: %v", err)
+	}
+	back, err := ReadJSON(&buf)
+	if err != nil {
+		t.Fatalf("ReadJSON: %v", err)
+	}
+	if back.K != a.K || back.M != a.M {
+		t.Errorf("parameters lost: k=%d m=%d", back.K, back.M)
+	}
+	if !reflect.DeepEqual(a, back) {
+		t.Error("round trip not identical")
+	}
+}
+
+func TestReadJSONRejectsGarbage(t *testing.T) {
+	if _, err := ReadJSON(strings.NewReader("{not json")); err == nil {
+		t.Error("garbage accepted")
+	}
+	if _, err := ReadJSON(strings.NewReader(`{"K":0,"M":2,"Clusters":[]}`)); err == nil {
+		t.Error("invalid parameters accepted")
+	}
+	if _, err := ReadJSON(strings.NewReader(`{"K":3,"M":2,"Clusters":[{"Children":[{"Simple":{"Size":1}}]}]}`)); err == nil {
+		t.Error("single-child joint accepted")
+	}
+	if _, err := ReadJSON(strings.NewReader(`{"K":3,"M":2,"Clusters":[null]}`)); err == nil {
+		t.Error("nil node accepted")
+	}
+}

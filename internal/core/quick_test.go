@@ -1,0 +1,164 @@
+package core
+
+import (
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+
+	"disasso/internal/dataset"
+)
+
+// genDataset derives a small random dataset from quick's fuzz values.
+func genDataset(seed1, seed2 uint64, n int) *dataset.Dataset {
+	rng := rand.New(rand.NewPCG(seed1, seed2))
+	if n < 10 {
+		n = 10 + n%10
+	}
+	if n > 200 {
+		n = 200
+	}
+	records := make([]dataset.Record, 0, n)
+	for i := 0; i < n; i++ {
+		terms := make([]dataset.Term, 1+rng.IntN(5))
+		for j := range terms {
+			terms[j] = dataset.Term(rng.IntN(25))
+		}
+		records = append(records, dataset.NewRecord(terms...))
+	}
+	return dataset.FromRecords(records)
+}
+
+// Property (quick): HORPART always yields an exact partition of the input.
+func TestQuickHorPartIsPartition(t *testing.T) {
+	f := func(s1, s2 uint64, n uint8, maxSize uint8) bool {
+		d := genDataset(s1, s2, int(n))
+		clusters := HorPart(d, int(maxSize%40)+2, nil)
+		count := make(map[string]int)
+		for _, r := range d.Records {
+			count[r.Key()]++
+		}
+		total := 0
+		for _, c := range clusters {
+			for _, r := range c {
+				count[r.Key()]--
+				total++
+			}
+		}
+		if total != d.Len() {
+			return false
+		}
+		for _, v := range count {
+			if v != 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property (quick): MergeUndersized preserves the record multiset and leaves
+// at most one undersized cluster (only when the whole input is undersized).
+func TestQuickMergeUndersized(t *testing.T) {
+	f := func(s1, s2 uint64, n uint8, min uint8) bool {
+		d := genDataset(s1, s2, int(n))
+		clusters := HorPart(d, 8, nil)
+		k := int(min%6) + 2
+		merged := MergeUndersized(clusters, k)
+		total := 0
+		undersized := 0
+		for _, c := range merged {
+			total += len(c)
+			if len(c) < k {
+				undersized++
+			}
+		}
+		if total != d.Len() {
+			return false
+		}
+		if undersized > 0 && d.Len() >= k {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property (quick): VERPART chunk domains plus the term chunk exactly tile
+// the cluster's term domain, and all chunks pass the exhaustive k^m check.
+func TestQuickVerPartTiling(t *testing.T) {
+	f := func(s1, s2 uint64, n uint8, kRaw, mRaw uint8) bool {
+		d := genDataset(s1, s2, int(n)%40+5)
+		k := int(kRaw%4) + 2
+		m := int(mRaw%3) + 1
+		cl := VerPart(d.Records, k, m, nil, rand.New(rand.NewPCG(s1, s2)))
+		var all dataset.Record
+		for _, c := range cl.RecordChunks {
+			if len(all.Intersect(c.Domain)) > 0 {
+				return false
+			}
+			all = all.Union(c.Domain)
+			if !IsChunkKMAnonymous(c.Domain, c.Subrecords, k, m) {
+				return false
+			}
+		}
+		if len(all.Intersect(cl.TermChunk)) > 0 {
+			return false
+		}
+		all = all.Union(cl.TermChunk)
+		return all.Equal(dataset.NewRecord(d.Domain()...))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property (quick): the full pipeline conserves records and terms for
+// arbitrary parameter combinations.
+func TestQuickAnonymizeConservation(t *testing.T) {
+	f := func(s1, s2 uint64, n uint8, kRaw uint8, refineOff bool) bool {
+		d := genDataset(s1, s2, int(n))
+		k := int(kRaw%4) + 2
+		a, err := Anonymize(d, Options{K: k, M: 2, DisableRefine: refineOff, Seed: s1 ^ s2})
+		if err != nil {
+			return false
+		}
+		if a.NumRecords() != d.Len() {
+			return false
+		}
+		return dataset.Record(a.Domain()).Equal(dataset.NewRecord(d.Domain()...))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property (quick): lower-bound supports never exceed originals and cover
+// exactly the original domain.
+func TestQuickLowerBounds(t *testing.T) {
+	f := func(s1, s2 uint64, n uint8) bool {
+		d := genDataset(s1, s2, int(n))
+		a, err := Anonymize(d, Options{K: 3, M: 2, Seed: s1})
+		if err != nil {
+			return false
+		}
+		orig := d.Supports()
+		lower := a.LowerBoundSupports()
+		if len(lower) != len(orig) {
+			return false
+		}
+		for term, lb := range lower {
+			if lb < 1 || lb > orig[term] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,391 @@
+package core
+
+import (
+	"math/rand/v2"
+	"sort"
+
+	"disasso/internal/dataset"
+)
+
+// leafState is a simple cluster's mutable state during refinement: the
+// published cluster (whose term chunk shrinks as refining terms move to
+// shared chunks) plus the original records needed to build shared-chunk
+// projections.
+type leafState struct {
+	records []dataset.Record
+	cluster *Cluster
+}
+
+// refNode is a work node of the cluster forest during refinement.
+type refNode struct {
+	leaf     *leafState     // non-nil for leaves
+	children []*refNode     // non-nil for joints
+	shared   []Chunk        // shared chunks of a joint
+	virtTC   dataset.Record // cached virtual term chunk (union over leaves)
+}
+
+func (n *refNode) leaves(dst []*leafState) []*leafState {
+	if n.leaf != nil {
+		return append(dst, n.leaf)
+	}
+	for _, c := range n.children {
+		dst = c.leaves(dst)
+	}
+	return dst
+}
+
+func (n *refNode) size() int {
+	total := 0
+	for _, l := range n.leaves(nil) {
+		total += l.cluster.Size
+	}
+	return total
+}
+
+// recordAndSharedDomains collects T^r: every term appearing in a record
+// chunk of a descendant leaf or in a shared chunk of a descendant joint.
+func (n *refNode) recordAndSharedDomains(into map[dataset.Term]bool) {
+	if n.leaf != nil {
+		for _, c := range n.leaf.cluster.RecordChunks {
+			for _, t := range c.Domain {
+				into[t] = true
+			}
+		}
+		return
+	}
+	for _, c := range n.shared {
+		for _, t := range c.Domain {
+			into[t] = true
+		}
+	}
+	for _, child := range n.children {
+		child.recordAndSharedDomains(into)
+	}
+}
+
+func (n *refNode) refreshVirtualTC() {
+	var union dataset.Record
+	for _, l := range n.leaves(nil) {
+		union = union.Union(l.cluster.TermChunk)
+	}
+	n.virtTC = union
+}
+
+// Refine implements Algorithm REFINE (Section 4): it repeatedly orders the
+// cluster forest by term-chunk contents and joins adjacent pairs whose
+// refining terms satisfy the Equation 1 criterion, building k^m-anonymous
+// (or, where Property 1 demands, k-anonymous) shared chunks, until a fixpoint.
+// Sensitive terms never become refining terms: they must stay in term chunks
+// (the l-diversity mode of Section 5).
+func refine(nodes []*refNode, k, m int, sensitive map[dataset.Term]bool, rng *rand.Rand) []*refNode {
+	for {
+		for _, n := range nodes {
+			n.refreshVirtualTC()
+		}
+		orderByTermChunks(nodes)
+
+		modified := false
+		out := make([]*refNode, 0, len(nodes))
+		i := 0
+		for i < len(nodes) {
+			if i+1 < len(nodes) {
+				if j := tryJoin(nodes[i], nodes[i+1], k, m, sensitive, rng); j != nil {
+					out = append(out, j)
+					i += 2
+					modified = true
+					continue
+				}
+			}
+			out = append(out, nodes[i])
+			i++
+		}
+		nodes = out
+		if !modified {
+			return nodes
+		}
+	}
+}
+
+// orderByTermChunks sorts nodes so that clusters sharing frequently-recurring
+// term-chunk terms become adjacent: each term gets a term-chunk support
+// tcs(t) (the number of virtual term chunks it appears in), terms are ranked
+// by descending tcs, and clusters compare lexicographically by their ranked
+// term-chunk contents. Empty term chunks sort last.
+func orderByTermChunks(nodes []*refNode) {
+	tcs := make(map[dataset.Term]int)
+	for _, n := range nodes {
+		for _, t := range n.virtTC {
+			tcs[t]++
+		}
+	}
+	// Global rank: higher tcs first, then smaller term ID.
+	terms := make([]dataset.Term, 0, len(tcs))
+	for t := range tcs {
+		terms = append(terms, t)
+	}
+	sort.Slice(terms, func(i, j int) bool {
+		if tcs[terms[i]] != tcs[terms[j]] {
+			return tcs[terms[i]] > tcs[terms[j]]
+		}
+		return terms[i] < terms[j]
+	})
+	rank := make(map[dataset.Term]int, len(terms))
+	for i, t := range terms {
+		rank[t] = i
+	}
+
+	keys := make([][]int, len(nodes))
+	for i, n := range nodes {
+		key := make([]int, 0, len(n.virtTC))
+		for _, t := range n.virtTC {
+			key = append(key, rank[t])
+		}
+		sort.Ints(key)
+		keys[i] = key
+	}
+	idx := make([]int, len(nodes))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.SliceStable(idx, func(a, b int) bool {
+		ka, kb := keys[idx[a]], keys[idx[b]]
+		if len(ka) == 0 || len(kb) == 0 {
+			return len(ka) > 0 && len(kb) == 0 // non-empty before empty
+		}
+		for x := 0; x < len(ka) && x < len(kb); x++ {
+			if ka[x] != kb[x] {
+				return ka[x] < kb[x]
+			}
+		}
+		return len(ka) < len(kb)
+	})
+	reordered := make([]*refNode, len(nodes))
+	for i, j := range idx {
+		reordered[i] = nodes[j]
+	}
+	copy(nodes, reordered)
+}
+
+// tryJoin evaluates the Equation 1 criterion for joining nodes a and b and,
+// if it holds, returns the joint node with freshly built shared chunks;
+// otherwise it returns nil and leaves both nodes untouched.
+func tryJoin(a, b *refNode, k, m int, sensitive map[dataset.Term]bool, rng *rand.Rand) *refNode {
+	// Refining terms: common to the virtual term chunks of both sides,
+	// excluding sensitive terms (which must remain disassociated from all
+	// subrecords).
+	ts0 := withoutExcluded(a.virtTC.Intersect(b.virtTC), sensitive)
+	if len(ts0) == 0 {
+		return nil
+	}
+	leaves := append(a.leaves(nil), b.leaves(nil)...)
+
+	// Per-leaf contributions: the refining terms present in that leaf's term
+	// chunk. A leaf that would end up with an empty term chunk while failing
+	// the Lemma 2 subrecord-count condition retains its least frequent
+	// refining term, preserving per-cluster validity (Lemma 3 relies on
+	// Lemma 2 holding for each cluster independently).
+	contrib := make([]dataset.Record, len(leaves))
+	for i, l := range leaves {
+		contrib[i] = l.cluster.TermChunk.Intersect(ts0)
+	}
+
+	// Eligibility: total support across contributing leaves must reach k,
+	// otherwise no k^m- or k-anonymous shared chunk can host the term.
+	totalSup := make(map[dataset.Term]int)
+	leafSup := make([]map[dataset.Term]int, len(leaves))
+	for i, l := range leaves {
+		leafSup[i] = make(map[dataset.Term]int)
+		for _, r := range l.records {
+			for _, t := range contrib[i].Intersect(r) {
+				leafSup[i][t]++
+				totalSup[t]++
+			}
+		}
+	}
+	var ts dataset.Record
+	for _, t := range ts0 {
+		if totalSup[t] >= k {
+			ts = append(ts, t)
+		}
+	}
+	if len(ts) == 0 {
+		return nil
+	}
+	for i := range contrib {
+		contrib[i] = contrib[i].Intersect(ts)
+	}
+
+	// Lemma 2 safety: a refining term moves out of *every* term chunk it
+	// appears in (the paper's construction removes all T^s terms from the
+	// initial clusters' term chunks), so a term is never simultaneously in a
+	// term chunk and a shared chunk. If stripping a leaf's contributions
+	// would empty its term chunk while the leaf fails the Lemma 2
+	// subrecord-count condition, exclude that leaf's least frequent refining
+	// term globally: it stays in term chunks everywhere. Exclusions only
+	// enlarge later leaves' remaining term chunks, so one pass suffices.
+	excluded := make(map[dataset.Term]bool)
+	for i, l := range leaves {
+		if len(contrib[i]) == 0 {
+			continue
+		}
+		eff := withoutExcluded(contrib[i], excluded)
+		if len(eff) == 0 {
+			continue
+		}
+		remaining := l.cluster.TermChunk.Subtract(eff)
+		// A leaf may give up its whole term chunk only if its record chunks
+		// alone satisfy Lemma 2; a chunk-less cluster must always keep at
+		// least one term or its records become unreconstructable.
+		if len(remaining) == 0 &&
+			(len(l.cluster.RecordChunks) == 0 || !lemma2Holds(l.cluster, k, m)) {
+			keep := eff[0]
+			for _, t := range eff {
+				if leafSup[i][t] < leafSup[i][keep] {
+					keep = t
+				}
+			}
+			excluded[keep] = true
+		}
+	}
+	if len(excluded) > 0 {
+		for i := range contrib {
+			contrib[i] = withoutExcluded(contrib[i], excluded)
+		}
+		ts = withoutExcluded(ts, excluded)
+		totalSup = make(map[dataset.Term]int)
+		for i := range leaves {
+			for _, t := range contrib[i] {
+				totalSup[t] += leafSup[i][t]
+			}
+		}
+	}
+	if len(ts) == 0 {
+		return nil
+	}
+
+	// Equation 1: join only if publishing the refining terms in shared
+	// chunks attributes them to the joint's records at least as precisely as
+	// the separate term chunks did.
+	left := 0.0
+	for _, t := range ts {
+		left += float64(totalSup[t])
+	}
+	left /= float64(a.size() + b.size())
+	uSum, pSum := 0, 0
+	for i, l := range leaves {
+		if len(contrib[i]) > 0 {
+			uSum += len(contrib[i])
+			pSum += l.cluster.Size
+		}
+	}
+	if pSum == 0 {
+		return nil
+	}
+	right := float64(uSum) / float64(pSum)
+	if left < right {
+		return nil
+	}
+
+	// Masked records: each record projected onto its own leaf's contribution
+	// (CT_j ∩ T^s), so no record contributes the same projection twice.
+	var masked []dataset.Record
+	for i, l := range leaves {
+		if len(contrib[i]) == 0 {
+			continue
+		}
+		for _, r := range l.records {
+			masked = append(masked, r.Intersect(contrib[i]))
+		}
+	}
+
+	// Property 1: refining terms also present in record/shared chunks of the
+	// descendants need plain k-anonymous chunks; the rest need k^m.
+	tr := make(map[dataset.Term]bool)
+	a.recordAndSharedDomains(tr)
+	b.recordAndSharedDomains(tr)
+	var free, conflict dataset.Record
+	for _, t := range ts {
+		if tr[t] {
+			conflict = append(conflict, t)
+		} else {
+			free = append(free, t)
+		}
+	}
+
+	placed := make(map[dataset.Term]bool)
+	var domains []dataset.Record
+	domains = append(domains, greedyDomains(free, totalSup, func() domainChecker {
+		return newKMChecker(k, m, masked)
+	}, placed)...)
+	domains = append(domains, greedyDomains(conflict, totalSup, func() domainChecker {
+		return newKAnonChecker(k, masked)
+	}, placed)...)
+	if len(domains) == 0 {
+		return nil
+	}
+
+	sharedChunks := buildChunks(masked, domains, rng)
+
+	// Remove the placed terms from the leaves' term chunks.
+	for i, l := range leaves {
+		var remove dataset.Record
+		for _, t := range contrib[i] {
+			if placed[t] {
+				remove = append(remove, t)
+			}
+		}
+		l.cluster.TermChunk = l.cluster.TermChunk.Subtract(remove)
+	}
+
+	return &refNode{children: []*refNode{a, b}, shared: sharedChunks}
+}
+
+// withoutExcluded filters a sorted term set, dropping excluded terms.
+func withoutExcluded(r dataset.Record, excluded map[dataset.Term]bool) dataset.Record {
+	out := make(dataset.Record, 0, len(r))
+	for _, t := range r {
+		if !excluded[t] {
+			out = append(out, t)
+		}
+	}
+	return out
+}
+
+// domainChecker abstracts the two incremental chunk checkers so the greedy
+// domain construction is shared between the k^m and the k-anonymous cases.
+type domainChecker interface {
+	TryAdd(t dataset.Term) bool
+	Domain() dataset.Record
+}
+
+// greedyDomains runs VERPART-style passes over the terms (descending total
+// support), starting a fresh checker per chunk, and records every placed
+// term. Terms that fit nowhere are simply not placed.
+func greedyDomains(terms dataset.Record, totalSup map[dataset.Term]int, newChecker func() domainChecker, placed map[dataset.Term]bool) []dataset.Record {
+	remain := terms.Clone()
+	sort.Slice(remain, func(i, j int) bool {
+		if totalSup[remain[i]] != totalSup[remain[j]] {
+			return totalSup[remain[i]] > totalSup[remain[j]]
+		}
+		return remain[i] < remain[j]
+	})
+	var domains []dataset.Record
+	for len(remain) > 0 {
+		checker := newChecker()
+		var leftover dataset.Record
+		for _, t := range remain {
+			if checker.TryAdd(t) {
+				placed[t] = true
+			} else {
+				leftover = append(leftover, t)
+			}
+		}
+		domain := checker.Domain()
+		if len(domain) == 0 {
+			break // nothing placeable: leave the rest in term chunks
+		}
+		domains = append(domains, domain)
+		remain = leftover
+	}
+	return domains
+}

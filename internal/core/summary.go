@@ -1,0 +1,100 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Summary describes the shape of a published dataset — the instrumentation a
+// data publisher inspects before release (how much structure survived in
+// record chunks versus how much was pushed to term chunks).
+type Summary struct {
+	// Records is the total number of original records covered.
+	Records int
+	// Leaves counts simple clusters; Joints counts joint (interior) nodes.
+	Leaves int
+	Joints int
+	// MaxDepth is the deepest joint nesting (0 for a forest of leaves).
+	MaxDepth int
+	// RecordChunks / SharedChunks count the published chunks by kind.
+	RecordChunks int
+	SharedChunks int
+	// Subrecords counts non-empty subrecords across all chunks.
+	Subrecords int
+	// TermChunkEntries sums term-chunk sizes over leaves (a term counts once
+	// per cluster whose term chunk holds it).
+	TermChunkEntries int
+	// DistinctTerms is the size of the published domain.
+	DistinctTerms int
+	// MinClusterSize / MaxClusterSize / AvgClusterSize describe the leaves.
+	MinClusterSize int
+	MaxClusterSize int
+	AvgClusterSize float64
+}
+
+// Stats computes the summary in one walk over the forest.
+func (a *Anonymized) Stats() Summary {
+	s := Summary{}
+	for _, n := range a.Clusters {
+		depth := summarizeNode(n, &s, 0)
+		if depth > s.MaxDepth {
+			s.MaxDepth = depth
+		}
+	}
+	s.Records = a.NumRecords()
+	s.DistinctTerms = len(a.Domain())
+	if s.Leaves > 0 {
+		total := 0
+		for _, leaf := range a.AllLeaves() {
+			total += leaf.Size
+		}
+		s.AvgClusterSize = float64(total) / float64(s.Leaves)
+	}
+	return s
+}
+
+// summarizeNode accumulates counts and returns the node's joint depth.
+func summarizeNode(n *ClusterNode, s *Summary, depth int) int {
+	if n.IsLeaf() {
+		cl := n.Simple
+		s.Leaves++
+		s.RecordChunks += len(cl.RecordChunks)
+		for _, c := range cl.RecordChunks {
+			s.Subrecords += len(c.Subrecords)
+		}
+		s.TermChunkEntries += len(cl.TermChunk)
+		if s.MinClusterSize == 0 || cl.Size < s.MinClusterSize {
+			s.MinClusterSize = cl.Size
+		}
+		if cl.Size > s.MaxClusterSize {
+			s.MaxClusterSize = cl.Size
+		}
+		return depth
+	}
+	s.Joints++
+	s.SharedChunks += len(n.SharedChunks)
+	for _, c := range n.SharedChunks {
+		s.Subrecords += len(c.Subrecords)
+	}
+	deepest := depth
+	for _, child := range n.Children {
+		if d := summarizeNode(child, s, depth+1); d > deepest {
+			deepest = d
+		}
+	}
+	return deepest
+}
+
+// String renders the summary as a compact multi-line report.
+func (s Summary) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "records:           %d\n", s.Records)
+	fmt.Fprintf(&b, "clusters:          %d leaves, %d joints (depth %d)\n", s.Leaves, s.Joints, s.MaxDepth)
+	fmt.Fprintf(&b, "cluster sizes:     min %d, max %d, avg %.1f\n", s.MinClusterSize, s.MaxClusterSize, s.AvgClusterSize)
+	fmt.Fprintf(&b, "record chunks:     %d\n", s.RecordChunks)
+	fmt.Fprintf(&b, "shared chunks:     %d\n", s.SharedChunks)
+	fmt.Fprintf(&b, "subrecords:        %d\n", s.Subrecords)
+	fmt.Fprintf(&b, "term-chunk entries: %d\n", s.TermChunkEntries)
+	fmt.Fprintf(&b, "distinct terms:    %d", s.DistinctTerms)
+	return b.String()
+}

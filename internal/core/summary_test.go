@@ -1,0 +1,76 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"disasso/internal/dataset"
+)
+
+func TestStatsOnFigure2(t *testing.T) {
+	d := dataset.FromRecords(figure2Records())
+	a, err := Anonymize(d, Options{K: 3, M: 2, MaxClusterSize: 6, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := a.Stats()
+	if s.Records != 10 {
+		t.Errorf("Records = %d", s.Records)
+	}
+	if s.Leaves < 1 {
+		t.Errorf("Leaves = %d", s.Leaves)
+	}
+	if s.DistinctTerms != 12 {
+		t.Errorf("DistinctTerms = %d, want 12", s.DistinctTerms)
+	}
+	if s.MinClusterSize <= 0 || s.MaxClusterSize < s.MinClusterSize {
+		t.Errorf("cluster sizes: min %d max %d", s.MinClusterSize, s.MaxClusterSize)
+	}
+	if s.AvgClusterSize <= 0 {
+		t.Errorf("AvgClusterSize = %v", s.AvgClusterSize)
+	}
+	// Totals must agree with direct walks.
+	if got := len(a.AllChunks()); got != s.RecordChunks+s.SharedChunks {
+		t.Errorf("chunk total %d vs %d+%d", got, s.RecordChunks, s.SharedChunks)
+	}
+	sub := 0
+	for _, c := range a.AllChunks() {
+		sub += len(c.Subrecords)
+	}
+	if sub != s.Subrecords {
+		t.Errorf("subrecords %d vs %d", sub, s.Subrecords)
+	}
+}
+
+func TestStatsDepthAndJoints(t *testing.T) {
+	leaf := func(size int) *ClusterNode {
+		return &ClusterNode{Simple: &Cluster{Size: size, TermChunk: dataset.NewRecord(1)}}
+	}
+	nested := &ClusterNode{
+		Children: []*ClusterNode{
+			{Children: []*ClusterNode{leaf(3), leaf(4)}},
+			leaf(5),
+		},
+	}
+	a := &Anonymized{K: 3, M: 2, Clusters: []*ClusterNode{nested}}
+	s := a.Stats()
+	if s.Joints != 2 || s.Leaves != 3 {
+		t.Errorf("joints %d leaves %d", s.Joints, s.Leaves)
+	}
+	if s.MaxDepth != 2 {
+		t.Errorf("MaxDepth = %d, want 2", s.MaxDepth)
+	}
+	if s.MinClusterSize != 3 || s.MaxClusterSize != 5 {
+		t.Errorf("sizes: %d..%d", s.MinClusterSize, s.MaxClusterSize)
+	}
+}
+
+func TestSummaryString(t *testing.T) {
+	s := Summary{Records: 10, Leaves: 2, RecordChunks: 3}
+	out := s.String()
+	for _, want := range []string{"records:", "10", "record chunks:", "3"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("String() missing %q:\n%s", want, out)
+		}
+	}
+}

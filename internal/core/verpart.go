@@ -1,0 +1,151 @@
+package core
+
+import (
+	"math/rand/v2"
+	"sort"
+
+	"disasso/internal/dataset"
+)
+
+// VerPart implements Algorithm VERPART (Section 4) plus the Lemma 2 validity
+// check of Section 5. Given the records of one cluster it returns the
+// published Cluster: k^m-anonymous record chunks C_1..C_v and the term chunk
+// C_T.
+//
+// Terms whose in-cluster support is below k go to the term chunk, as do all
+// sensitive terms (the l-diversity mode of Section 5). The remaining terms
+// are scanned in descending support order and greedily accumulated into
+// chunk domains while the projected chunk stays k^m-anonymous.
+//
+// After partitioning, the Lemma 2 condition is enforced: if the term chunk is
+// empty, the total number of (non-empty) subrecords must reach
+// |P| + k·(min(m, v) − 1); otherwise the least frequent record-chunk term is
+// demoted to the term chunk, which restores Guarantee 1 (and closes the
+// Figure 4 / Example 1 attack).
+//
+// rng drives the subrecord shuffling that hides cross-chunk associations; it
+// must be non-nil.
+func VerPart(records []dataset.Record, k, m int, sensitive map[dataset.Term]bool, rng *rand.Rand) *Cluster {
+	cl := &Cluster{Size: len(records)}
+
+	supports := make(map[dataset.Term]int)
+	for _, r := range records {
+		for _, t := range r {
+			supports[t]++
+		}
+	}
+
+	// Split the cluster domain into the candidate list (support ≥ k, not
+	// sensitive) ordered by descending support, and the term chunk seed.
+	var remain []dataset.Term
+	var termChunk []dataset.Term
+	for t, s := range supports {
+		if s < k || sensitive[t] {
+			termChunk = append(termChunk, t)
+		} else {
+			remain = append(remain, t)
+		}
+	}
+	sort.Slice(remain, func(i, j int) bool {
+		si, sj := supports[remain[i]], supports[remain[j]]
+		if si != sj {
+			return si > sj
+		}
+		return remain[i] < remain[j]
+	})
+
+	// Greedy domain construction: one pass per chunk over the remaining
+	// terms, keeping every term whose addition preserves k^m-anonymity.
+	var domains []dataset.Record
+	for len(remain) > 0 {
+		checker := newKMChecker(k, m, records)
+		var leftover []dataset.Term
+		for _, t := range remain {
+			if !checker.TryAdd(t) {
+				leftover = append(leftover, t)
+			}
+		}
+		domain := checker.Domain()
+		if len(domain) == 0 {
+			// Cannot happen: a singleton chunk of a support-≥k term is always
+			// k^m-anonymous; guard against infinite loops regardless.
+			termChunk = append(termChunk, leftover...)
+			break
+		}
+		domains = append(domains, domain)
+		remain = leftover
+	}
+
+	// Materialize chunks by projection and enforce Lemma 2.
+	cl.RecordChunks = buildChunks(records, domains, rng)
+	cl.TermChunk = dataset.NewRecord(termChunk...)
+	enforceLemma2(cl, records, supports, k, m, rng)
+	return cl
+}
+
+// buildChunks projects the records onto each domain, keeping non-empty
+// projections in randomized order.
+func buildChunks(records []dataset.Record, domains []dataset.Record, rng *rand.Rand) []Chunk {
+	chunks := make([]Chunk, 0, len(domains))
+	for _, dom := range domains {
+		c := Chunk{Domain: dom}
+		for _, r := range records {
+			if proj := r.Intersect(dom); len(proj) > 0 {
+				c.Subrecords = append(c.Subrecords, proj)
+			}
+		}
+		rng.Shuffle(len(c.Subrecords), func(i, j int) {
+			c.Subrecords[i], c.Subrecords[j] = c.Subrecords[j], c.Subrecords[i]
+		})
+		chunks = append(chunks, c)
+	}
+	return chunks
+}
+
+// enforceLemma2 checks the subrecord-count condition of Lemma 2 and, when it
+// fails, demotes the least frequent record-chunk term into the term chunk
+// (re-projecting the affected chunk). A non-empty term chunk always
+// satisfies the lemma, so at most one demotion is needed.
+func enforceLemma2(cl *Cluster, records []dataset.Record, supports map[dataset.Term]int, k, m int, rng *rand.Rand) {
+	if len(cl.TermChunk) > 0 || len(cl.RecordChunks) == 0 {
+		return
+	}
+	if lemma2Holds(cl, k, m) {
+		return
+	}
+	// Find the least frequent term across record chunks (ties: larger ID).
+	var victim dataset.Term
+	victimSup := -1
+	victimChunk := -1
+	for ci, c := range cl.RecordChunks {
+		for _, t := range c.Domain {
+			if victimSup == -1 || supports[t] < victimSup || (supports[t] == victimSup && t > victim) {
+				victim, victimSup, victimChunk = t, supports[t], ci
+			}
+		}
+	}
+	c := &cl.RecordChunks[victimChunk]
+	newDomain := c.Domain.Subtract(dataset.Record{victim})
+	if len(newDomain) == 0 {
+		// Chunk degenerates to nothing: drop it entirely.
+		cl.RecordChunks = append(cl.RecordChunks[:victimChunk], cl.RecordChunks[victimChunk+1:]...)
+	} else {
+		rebuilt := buildChunks(records, []dataset.Record{newDomain}, rng)
+		cl.RecordChunks[victimChunk] = rebuilt[0]
+	}
+	cl.TermChunk = dataset.NewRecord(victim)
+}
+
+// lemma2Holds evaluates the condition of Lemma 2 on a cluster with an empty
+// term chunk: Σ|C_i| ≥ |P| + k·(h−1) with h = min(m, v).
+func lemma2Holds(cl *Cluster, k, m int) bool {
+	total := 0
+	for _, c := range cl.RecordChunks {
+		total += len(c.Subrecords)
+	}
+	h := m
+	if v := len(cl.RecordChunks); v < h {
+		h = v
+	}
+	return total >= cl.Size+k*(h-1)
+}

@@ -1,0 +1,124 @@
+package dataset
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// Histogram summarizes a discrete distribution: bucketed counts for display
+// plus the quantiles datasets are compared by (DESIGN.md §4's stand-in
+// validation relies on record-length and support distributions, not just
+// means).
+type Histogram struct {
+	// Buckets holds (upper bound, count) pairs; counts cover values in
+	// (previous bound, bound].
+	Buckets []HistBucket
+	// Count, Min, Max, Mean describe the whole sample.
+	Count int
+	Min   int
+	Max   int
+	Mean  float64
+	// P50, P90, P99 are quantiles.
+	P50, P90, P99 int
+}
+
+// HistBucket is one histogram bar.
+type HistBucket struct {
+	UpperBound int
+	N          int
+}
+
+// NewHistogram summarizes values with roughly the given number of
+// exponentially widening buckets (suiting the heavy-tailed distributions of
+// transactional data).
+func NewHistogram(values []int, buckets int) Histogram {
+	h := Histogram{Count: len(values)}
+	if len(values) == 0 {
+		return h
+	}
+	sorted := make([]int, len(values))
+	copy(sorted, values)
+	sort.Ints(sorted)
+	h.Min = sorted[0]
+	h.Max = sorted[len(sorted)-1]
+	total := 0
+	for _, v := range sorted {
+		total += v
+	}
+	h.Mean = float64(total) / float64(len(sorted))
+	quantile := func(q float64) int {
+		i := int(q * float64(len(sorted)-1))
+		return sorted[i]
+	}
+	h.P50, h.P90, h.P99 = quantile(0.50), quantile(0.90), quantile(0.99)
+
+	if buckets < 1 {
+		buckets = 8
+	}
+	// Exponentially widening bucket bounds starting at Min: the first bucket
+	// covers exactly the minimum, each later one doubles its width every
+	// other step, capturing heavy tails compactly.
+	bound := h.Min
+	step := 1
+	idx := 0
+	for {
+		n := 0
+		for idx < len(sorted) && sorted[idx] <= bound {
+			n++
+			idx++
+		}
+		h.Buckets = append(h.Buckets, HistBucket{UpperBound: bound, N: n})
+		if idx >= len(sorted) || len(h.Buckets) > 64 {
+			break
+		}
+		bound += step
+		if len(h.Buckets)%2 == 0 {
+			step *= 2
+		}
+	}
+	// Sweep any tail values into a final bucket.
+	if idx < len(sorted) {
+		h.Buckets = append(h.Buckets, HistBucket{UpperBound: h.Max, N: len(sorted) - idx})
+	}
+	return h
+}
+
+// Fprint renders the histogram with proportional bars.
+func (h Histogram) Fprint(w io.Writer, label string) {
+	fmt.Fprintf(w, "%s: n=%d min=%d max=%d mean=%.2f p50=%d p90=%d p99=%d\n",
+		label, h.Count, h.Min, h.Max, h.Mean, h.P50, h.P90, h.P99)
+	maxN := 1
+	for _, b := range h.Buckets {
+		if b.N > maxN {
+			maxN = b.N
+		}
+	}
+	for _, b := range h.Buckets {
+		if b.N == 0 {
+			continue
+		}
+		bar := strings.Repeat("#", 1+b.N*40/maxN)
+		fmt.Fprintf(w, "  ≤%-8d %8d %s\n", b.UpperBound, b.N, bar)
+	}
+}
+
+// RecordLengths returns every record's size, for histogramming.
+func (d *Dataset) RecordLengths() []int {
+	out := make([]int, d.Len())
+	for i, r := range d.Records {
+		out[i] = len(r)
+	}
+	return out
+}
+
+// SupportValues returns every term's support, for histogramming.
+func (d *Dataset) SupportValues() []int {
+	s := d.Supports()
+	out := make([]int, 0, len(s))
+	for _, v := range s {
+		out = append(out, v)
+	}
+	return out
+}

@@ -1,0 +1,99 @@
+package dataset
+
+import (
+	"bytes"
+	"math/rand/v2"
+	"strings"
+	"testing"
+)
+
+func TestHistogramBasics(t *testing.T) {
+	h := NewHistogram([]int{1, 1, 2, 3, 10}, 8)
+	if h.Count != 5 || h.Min != 1 || h.Max != 10 {
+		t.Errorf("summary: %+v", h)
+	}
+	if h.Mean != 3.4 {
+		t.Errorf("Mean = %v", h.Mean)
+	}
+	if h.P50 != 2 {
+		t.Errorf("P50 = %d", h.P50)
+	}
+	// Bucket counts must cover every value exactly once.
+	total := 0
+	for _, b := range h.Buckets {
+		total += b.N
+	}
+	if total != 5 {
+		t.Errorf("buckets cover %d of 5 values: %+v", total, h.Buckets)
+	}
+}
+
+func TestHistogramEmpty(t *testing.T) {
+	h := NewHistogram(nil, 8)
+	if h.Count != 0 || len(h.Buckets) != 0 {
+		t.Errorf("empty histogram: %+v", h)
+	}
+}
+
+func TestHistogramSingleValue(t *testing.T) {
+	h := NewHistogram([]int{7, 7, 7}, 8)
+	if h.Min != 7 || h.Max != 7 || h.P99 != 7 {
+		t.Errorf("%+v", h)
+	}
+	if len(h.Buckets) != 1 || h.Buckets[0].N != 3 {
+		t.Errorf("buckets: %+v", h.Buckets)
+	}
+}
+
+func TestHistogramCoversHeavyTail(t *testing.T) {
+	rng := rand.New(rand.NewPCG(1, 1))
+	values := make([]int, 10000)
+	for i := range values {
+		values[i] = 1 + rng.IntN(3)
+		if rng.IntN(100) == 0 {
+			values[i] = 1000 + rng.IntN(5000) // heavy tail
+		}
+	}
+	h := NewHistogram(values, 8)
+	total := 0
+	for _, b := range h.Buckets {
+		total += b.N
+	}
+	if total != len(values) {
+		t.Errorf("buckets cover %d of %d", total, len(values))
+	}
+	if len(h.Buckets) > 66 {
+		t.Errorf("bucket explosion: %d", len(h.Buckets))
+	}
+	if h.P99 < 100 && h.Max > 1000 {
+		t.Errorf("quantiles off: p99=%d max=%d", h.P99, h.Max)
+	}
+}
+
+func TestHistogramFprint(t *testing.T) {
+	var buf bytes.Buffer
+	NewHistogram([]int{1, 2, 2, 3}, 4).Fprint(&buf, "lengths")
+	out := buf.String()
+	if !strings.Contains(out, "lengths:") || !strings.Contains(out, "#") {
+		t.Errorf("Fprint output:\n%s", out)
+	}
+}
+
+func TestRecordLengthsAndSupportValues(t *testing.T) {
+	d := FromRecords([]Record{NewRecord(1, 2, 3), NewRecord(1)})
+	lens := d.RecordLengths()
+	if len(lens) != 2 || lens[0] != 3 || lens[1] != 1 {
+		t.Errorf("RecordLengths = %v", lens)
+	}
+	sups := d.SupportValues()
+	if len(sups) != 3 {
+		t.Errorf("SupportValues = %v", sups)
+	}
+	total := 0
+	for _, s := range sups {
+		total += s
+	}
+	if total != 4 {
+		t.Errorf("support total = %d, want 4", total)
+	}
+}

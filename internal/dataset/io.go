@@ -1,0 +1,105 @@
+package dataset
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// The on-disk format is the one transactional mining tools conventionally use:
+// one record per line, terms separated by single spaces. ReadIDs/WriteIDs use
+// raw integer IDs; ReadNames/WriteNames use dictionary strings (whitespace-
+// separated tokens).
+
+// ReadIDs parses a dataset of integer term IDs, one record per line. Blank
+// lines are skipped. Records are normalized.
+func ReadIDs(r io.Reader) (*Dataset, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1024*1024), 16*1024*1024)
+	d := New(0)
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" {
+			continue
+		}
+		fields := strings.Fields(text)
+		rec := make(Record, 0, len(fields))
+		for _, f := range fields {
+			v, err := strconv.ParseInt(f, 10, 32)
+			if err != nil {
+				return nil, fmt.Errorf("dataset: line %d: bad term %q: %w", line, f, err)
+			}
+			rec = append(rec, Term(v))
+		}
+		d.Records = append(d.Records, rec.Normalize())
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("dataset: scan: %w", err)
+	}
+	return d, nil
+}
+
+// WriteIDs writes the dataset as integer term IDs, one record per line.
+func WriteIDs(w io.Writer, d *Dataset) error {
+	bw := bufio.NewWriter(w)
+	for _, rec := range d.Records {
+		for i, t := range rec {
+			if i > 0 {
+				if err := bw.WriteByte(' '); err != nil {
+					return err
+				}
+			}
+			if _, err := bw.WriteString(strconv.Itoa(int(t))); err != nil {
+				return err
+			}
+		}
+		if err := bw.WriteByte('\n'); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadNames parses a dataset of whitespace-separated term names, one record
+// per line, interning names through dict (which must be non-nil).
+func ReadNames(r io.Reader, dict *Dictionary) (*Dataset, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1024*1024), 16*1024*1024)
+	d := New(0)
+	for sc.Scan() {
+		text := strings.TrimSpace(sc.Text())
+		if text == "" {
+			continue
+		}
+		d.Records = append(d.Records, dict.InternRecord(strings.Fields(text)...))
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("dataset: scan: %w", err)
+	}
+	return d, nil
+}
+
+// WriteNames writes the dataset through the dictionary, one record per line.
+func WriteNames(w io.Writer, d *Dataset, dict *Dictionary) error {
+	bw := bufio.NewWriter(w)
+	for _, rec := range d.Records {
+		for i, t := range rec {
+			if i > 0 {
+				if err := bw.WriteByte(' '); err != nil {
+					return err
+				}
+			}
+			if _, err := bw.WriteString(dict.Name(t)); err != nil {
+				return err
+			}
+		}
+		if err := bw.WriteByte('\n'); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}

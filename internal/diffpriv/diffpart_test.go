@@ -1,0 +1,169 @@
+package diffpriv
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+
+	"disasso/internal/dataset"
+	"disasso/internal/hierarchy"
+)
+
+func rec(terms ...dataset.Term) dataset.Record { return dataset.NewRecord(terms...) }
+
+func TestConfigValidation(t *testing.T) {
+	h, _ := hierarchy.New(4, 2)
+	d := dataset.FromRecords([]dataset.Record{rec(0)})
+	if _, err := Anonymize(d, h, Config{Epsilon: 0}); err == nil {
+		t.Error("epsilon 0 accepted")
+	}
+	if _, err := Anonymize(d, h, Config{Epsilon: -1}); err == nil {
+		t.Error("negative epsilon accepted")
+	}
+}
+
+func TestLaplaceProperties(t *testing.T) {
+	rng := rand.New(rand.NewPCG(1, 2))
+	const n = 50000
+	sum, absSum := 0.0, 0.0
+	for i := 0; i < n; i++ {
+		v := laplace(rng, 2.0)
+		sum += v
+		absSum += math.Abs(v)
+	}
+	if mean := sum / n; math.Abs(mean) > 0.1 {
+		t.Errorf("Laplace mean %.3f, want ≈0", mean)
+	}
+	// E|X| = b for Laplace(b).
+	if meanAbs := absSum / n; math.Abs(meanAbs-2.0) > 0.1 {
+		t.Errorf("Laplace E|X| = %.3f, want ≈2", meanAbs)
+	}
+}
+
+func TestFrequentItemsetsSurvive(t *testing.T) {
+	// A single dominant itemset must survive with roughly its true support.
+	h, _ := hierarchy.New(8, 2)
+	var records []dataset.Record
+	for i := 0; i < 400; i++ {
+		records = append(records, rec(0, 1))
+	}
+	d := dataset.FromRecords(records)
+	out, err := Anonymize(d, h, Config{Epsilon: 1.0, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sup := out.SupportOf(rec(0, 1))
+	if sup < 300 || sup > 500 {
+		t.Errorf("dominant itemset support %d, want ≈400", sup)
+	}
+}
+
+func TestInfrequentTermsSuppressed(t *testing.T) {
+	// Rare terms must overwhelmingly vanish: that is the behaviour the
+	// paper's Figure 11 comparison relies on.
+	h, _ := hierarchy.New(64, 4)
+	var records []dataset.Record
+	for i := 0; i < 300; i++ {
+		records = append(records, rec(0))
+	}
+	// 32 singleton rare terms.
+	for tm := dataset.Term(32); tm < 64; tm++ {
+		records = append(records, rec(tm))
+	}
+	d := dataset.FromRecords(records)
+	out, err := Anonymize(d, h, Config{Epsilon: 1.0, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sup := out.Supports()
+	if sup[0] < 200 {
+		t.Errorf("frequent term support %d, want near 300", sup[0])
+	}
+	survivors := 0
+	for tm := dataset.Term(32); tm < 64; tm++ {
+		if sup[tm] > 0 {
+			survivors++
+		}
+	}
+	if survivors > 8 {
+		t.Errorf("%d of 32 rare terms survived; suppression too weak", survivors)
+	}
+}
+
+func TestOutputTermsAreLeaves(t *testing.T) {
+	h, _ := hierarchy.New(16, 4)
+	rng := rand.New(rand.NewPCG(7, 8))
+	var records []dataset.Record
+	for i := 0; i < 200; i++ {
+		records = append(records, rec(dataset.Term(rng.IntN(4)), dataset.Term(rng.IntN(16))))
+	}
+	d := dataset.FromRecords(records)
+	out, err := Anonymize(d, h, Config{Epsilon: 1.0, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range out.Records {
+		for _, tm := range r {
+			if !h.IsLeaf(tm) {
+				t.Fatalf("published record %v contains generalized node %d", r, tm)
+			}
+		}
+	}
+}
+
+func TestDeterministicBySeed(t *testing.T) {
+	h, _ := hierarchy.New(16, 4)
+	var records []dataset.Record
+	for i := 0; i < 100; i++ {
+		records = append(records, rec(dataset.Term(i%8), dataset.Term(8+i%4)))
+	}
+	d := dataset.FromRecords(records)
+	a, _ := Anonymize(d, h, Config{Epsilon: 1.0, Seed: 42})
+	b, _ := Anonymize(d, h, Config{Epsilon: 1.0, Seed: 42})
+	if a.Len() != b.Len() {
+		t.Fatal("same seed produced different output sizes")
+	}
+	for i := range a.Records {
+		if !a.Records[i].Equal(b.Records[i]) {
+			t.Fatal("same seed produced different records")
+		}
+	}
+}
+
+func TestHigherEpsilonPreservesMore(t *testing.T) {
+	// More budget → less noise and lower thresholds → more of the original
+	// distinct itemsets survive. Compare a tight and a loose budget.
+	h, _ := hierarchy.New(32, 4)
+	rng := rand.New(rand.NewPCG(11, 12))
+	var records []dataset.Record
+	for i := 0; i < 1000; i++ {
+		records = append(records, rec(dataset.Term(rng.IntN(8)), dataset.Term(rng.IntN(32))))
+	}
+	d := dataset.FromRecords(records)
+	loose, _ := Anonymize(d, h, Config{Epsilon: 2.0, Seed: 1})
+	tight, _ := Anonymize(d, h, Config{Epsilon: 0.1, Seed: 1})
+	looseTerms := len(loose.Supports())
+	tightTerms := len(tight.Supports())
+	if looseTerms < tightTerms {
+		t.Errorf("ε=2.0 kept %d terms, ε=0.1 kept %d — expected more at higher budget", looseTerms, tightTerms)
+	}
+}
+
+func TestEmptyInput(t *testing.T) {
+	h, _ := hierarchy.New(8, 2)
+	out, err := Anonymize(dataset.New(0), h, Config{Epsilon: 1.0, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Pure noise can create a few spurious records, but nothing systematic.
+	if out.Len() > 50 {
+		t.Errorf("empty input produced %d records", out.Len())
+	}
+}
+
+func TestDescribe(t *testing.T) {
+	d := dataset.FromRecords([]dataset.Record{rec(1), rec(1), rec(2)})
+	if got := Describe(d); got != "3 records, 2 distinct itemsets" {
+		t.Errorf("Describe = %q", got)
+	}
+}

@@ -1,0 +1,147 @@
+package experiments
+
+import (
+	"math/rand/v2"
+	"time"
+
+	"disasso/internal/attack"
+	"disasso/internal/core"
+	"disasso/internal/dataset"
+	"disasso/internal/largeitem"
+	"disasso/internal/metrics"
+	"disasso/internal/realdata"
+	"disasso/internal/reconstruct"
+)
+
+// Ablation sweeps the design choices DESIGN.md calls out, beyond what the
+// paper reports: the maximum cluster size of HORPART, and the REFINE step
+// on/off — each measured on the POS stand-in with the standard quality
+// metrics plus wall-clock cost.
+func Ablation(cfg Config) []*Table {
+	cfg = cfg.withDefaults()
+	d := standIn(realdata.POS, cfg)
+	rng := rand.New(rand.NewPCG(cfg.Seed, 0xAB1A))
+
+	mcs := &Table{
+		ID:     "AblationMaxClusterSize",
+		Title:  "effect of the horizontal partition bound (POS stand-in, k=5, m=2)",
+		Header: []string{"maxClusterSize", "tKd-a", "tKd", "re", "tlost", "seconds"},
+	}
+	for _, size := range []int{10, 20, 30, 50, 100} {
+		start := time.Now()
+		a, err := core.Anonymize(d, core.Options{
+			K: cfg.K, M: cfg.M, MaxClusterSize: size, Parallel: cfg.Parallel, Seed: cfg.Seed,
+		})
+		if err != nil {
+			panic(err)
+		}
+		elapsed := time.Since(start)
+		q := quality(d, a, cfg, rng)
+		mcs.AddRow(size, q.tkdA, q.tkd, q.re, q.tlost, elapsed.Seconds())
+	}
+
+	ref := &Table{
+		ID:     "AblationRefine",
+		Title:  "effect of the REFINE step (POS stand-in, k=5, m=2)",
+		Header: []string{"refine", "tKd-a", "tKd", "re", "tlost", "seconds"},
+	}
+	for _, disable := range []bool{false, true} {
+		start := time.Now()
+		a, err := core.Anonymize(d, core.Options{
+			K: cfg.K, M: cfg.M, DisableRefine: disable, Parallel: cfg.Parallel, Seed: cfg.Seed,
+		})
+		if err != nil {
+			panic(err)
+		}
+		elapsed := time.Since(start)
+		q := quality(d, a, cfg, rng)
+		label := "on"
+		if disable {
+			label = "off"
+		}
+		ref.AddRow(label, q.tkdA, q.tkd, q.re, q.tlost, elapsed.Seconds())
+	}
+	return []*Table{mcs, ref}
+}
+
+// Clustering compares HORPART against the large-item transaction clustering
+// of reference [29] (Wang, Xu & Liu, CIKM 1999) as the horizontal step —
+// the comparison behind Section 4's claim that existing set-valued
+// clusterers are too slow and lack size control. Both feed the same VERPART;
+// the large-item side runs on a small sample because its cost evaluation is
+// quadratic (that slowness being half the claim).
+func Clustering(cfg Config) []*Table {
+	cfg = cfg.withDefaults()
+	// Sample size kept small: the large-item algorithm re-evaluates the
+	// global cost per candidate cluster per record. Scale shrinks it further
+	// for tests and benchmarks.
+	spec := realdata.POS
+	spec.NumRecords = 20_000 / cfg.Scale
+	if spec.NumRecords < 200 {
+		spec.NumRecords = 200
+	}
+	d := spec.Generate()
+	// Per-cluster RNGs are derived below; no shared stream needed.
+
+	t := &Table{
+		ID:     "AblationClustering",
+		Title:  "HORPART vs large-item clustering as the horizontal step (2k-record POS sample)",
+		Header: []string{"algorithm", "clusters", "max cluster", "tKd-a", "tlost", "seconds"},
+	}
+
+	evaluate := func(name string, clusters [][]dataset.Record, elapsed time.Duration) {
+		maxSize := 0
+		var leaves []*core.ClusterNode
+		for i, records := range clusters {
+			if len(records) > maxSize {
+				maxSize = len(records)
+			}
+			crng := rand.New(rand.NewPCG(cfg.Seed, uint64(i)+1))
+			cl := core.VerPart(records, cfg.K, cfg.M, nil, crng)
+			leaves = append(leaves, &core.ClusterNode{Simple: cl})
+		}
+		a := &core.Anonymized{K: cfg.K, M: cfg.M, Clusters: leaves}
+		tkdA := metrics.TopKDeviationLowerBound(d.Records, a, cfg.TopK, cfg.MaxItemsetSize)
+		tlost := metrics.TermsLost(d, a, cfg.K)
+		t.AddRow(name, len(clusters), maxSize, tkdA, tlost, elapsed.Seconds())
+	}
+
+	start := time.Now()
+	hp := core.HorPart(d, core.DefaultMaxClusterSize, nil)
+	hp = core.MergeUndersized(hp, cfg.K)
+	evaluate("HORPART", hp, time.Since(start))
+
+	start = time.Now()
+	li := largeitem.Cluster(d.Records, largeitem.DefaultConfig())
+	groups := li.Groups(d.Records)
+	evaluate("large-item [29]", core.MergeUndersized(groups, cfg.K), time.Since(start))
+
+	return []*Table{t}
+}
+
+// Audit measures the privacy guarantee empirically — the Section 5
+// discussion quantified: candidate-set statistics for adversaries whose
+// background knowledge grows from 1 term to beyond the protected m, on the
+// WV1 stand-in (the smallest dataset, hence the most exposed).
+func Audit(cfg Config) []*Table {
+	cfg = cfg.withDefaults()
+	d := standIn(realdata.WV1, cfg)
+	a, _ := anonymize(d, cfg)
+	rng := rand.New(rand.NewPCG(cfg.Seed, 0xA0D17))
+
+	t := &Table{
+		ID:     "Audit",
+		Title:  "adversary candidate sets vs background knowledge size (WV1 stand-in, k=5, m=2)",
+		Header: []string{"knowledge", "min candidates", "mean candidates", "identified", "samples"},
+	}
+	for _, e := range attack.StrongerAdversary(a, d, cfg.M+3, 400, rng) {
+		t.AddRow(e.KnowledgeSize, e.MinCandidates, e.MeanCandidates, e.Identified, e.Samples)
+	}
+
+	// Cross-check: a sampled reconstruction respects the published lower
+	// bounds (sanity line rather than a series).
+	r := reconstruct.Sample(a, rng)
+	tkd := metrics.TopKDeviation(d.Records, r.Records, cfg.TopK, cfg.MaxItemsetSize)
+	t.AddRow("tKd(check)", "", tkd, "", "")
+	return []*Table{t}
+}

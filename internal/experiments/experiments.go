@@ -1,0 +1,229 @@
+// Package experiments regenerates every table and figure of the paper's
+// Section 7 evaluation. Each runner returns one or more Tables carrying the
+// same rows/series the paper plots; cmd/experiments prints them and
+// EXPERIMENTS.md records paper-vs-measured values.
+//
+// The paper's real datasets are replaced by the internal/realdata stand-ins
+// and the IBM Quest binary by internal/quest (DESIGN.md §4); a Scale divisor
+// keeps the multi-million-record sweeps tractable. Absolute values shift
+// accordingly, but the shapes the paper claims — who wins, what grows
+// linearly, where quality degrades — are what the harness reproduces.
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"math/rand/v2"
+	"sort"
+	"strings"
+	"time"
+
+	"disasso/internal/core"
+	"disasso/internal/dataset"
+	"disasso/internal/metrics"
+	"disasso/internal/quest"
+	"disasso/internal/realdata"
+	"disasso/internal/reconstruct"
+)
+
+// Config carries the shared experiment parameters (paper defaults: k = 5,
+// m = 2, top-1000 itemsets, re over the 200th–220th most frequent terms).
+type Config struct {
+	K, M           int
+	TopK           int
+	MaxItemsetSize int
+	// Scale divides every dataset size (real stand-ins and synthetic
+	// sweeps). 1 reproduces the paper's sizes; the default CLI uses 10.
+	Scale int
+	// Parallel is passed to the anonymizer (0 = GOMAXPROCS).
+	Parallel int
+	Seed     uint64
+}
+
+// DefaultConfig returns the paper's parameters at Scale 10.
+func DefaultConfig() Config {
+	return Config{K: 5, M: 2, TopK: 1000, MaxItemsetSize: 3, Scale: 10, Seed: 1}
+}
+
+func (c Config) withDefaults() Config {
+	if c.K == 0 {
+		c.K = 5
+	}
+	if c.M == 0 {
+		c.M = 2
+	}
+	if c.TopK == 0 {
+		c.TopK = 1000
+	}
+	if c.MaxItemsetSize == 0 {
+		c.MaxItemsetSize = 3
+	}
+	if c.Scale < 1 {
+		c.Scale = 1
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	return c
+}
+
+// Table is one figure's data: rows of pre-formatted cells under a header.
+type Table struct {
+	ID     string // e.g. "Fig7a"
+	Title  string
+	Header []string
+	Rows   [][]string
+}
+
+// AddRow appends a formatted row; float64 cells are rendered with 3
+// decimals, ints and strings verbatim.
+func (t *Table) AddRow(cells ...any) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case float64:
+			row[i] = fmt.Sprintf("%.3f", v)
+		case int:
+			row[i] = fmt.Sprintf("%d", v)
+		case string:
+			row[i] = v
+		default:
+			row[i] = fmt.Sprint(v)
+		}
+	}
+	t.Rows = append(t.Rows, row)
+}
+
+// Fprint renders the table with aligned columns.
+func (t *Table) Fprint(w io.Writer) {
+	fmt.Fprintf(w, "%s — %s\n", t.ID, t.Title)
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	line := func(cells []string) {
+		parts := make([]string, len(cells))
+		for i, c := range cells {
+			parts[i] = fmt.Sprintf("%-*s", widths[i], c)
+		}
+		fmt.Fprintln(w, "  "+strings.Join(parts, "  "))
+	}
+	line(t.Header)
+	for _, row := range t.Rows {
+		line(row)
+	}
+	fmt.Fprintln(w)
+}
+
+// Runner produces one or more tables.
+type Runner func(cfg Config) []*Table
+
+// Registry maps figure IDs (lower-case) to runners; cmd/experiments uses it
+// to run figures by name. Runners that share computation are registered
+// jointly (fig7bc produces both 7b and 7c).
+var Registry = map[string]Runner{
+	"fig6":       Fig6,
+	"fig7a":      Fig7a,
+	"fig7bc":     Fig7bc,
+	"fig7d":      Fig7d,
+	"fig8ab":     Fig8ab,
+	"fig8c":      Fig8c,
+	"fig8d":      Fig8d,
+	"fig9ab":     Fig9ab,
+	"fig10a":     Fig10a,
+	"fig10b":     Fig10b,
+	"fig11":      Fig11,
+	"ablation":   Ablation,
+	"clustering": Clustering,
+	"audit":      Audit,
+}
+
+// RegistryOrder lists the registry keys in the paper's order, with the
+// beyond-the-paper ablation and audit sweeps last.
+var RegistryOrder = []string{
+	"fig6", "fig7a", "fig7bc", "fig7d", "fig8ab", "fig8c", "fig8d",
+	"fig9ab", "fig10a", "fig10b", "fig11", "ablation", "clustering", "audit",
+}
+
+// Run executes the named figure (case-insensitive) and returns its tables.
+func Run(id string, cfg Config) ([]*Table, error) {
+	r, ok := Registry[strings.ToLower(id)]
+	if !ok {
+		known := make([]string, 0, len(Registry))
+		for k := range Registry {
+			known = append(known, k)
+		}
+		sort.Strings(known)
+		return nil, fmt.Errorf("experiments: unknown figure %q (known: %s)", id, strings.Join(known, ", "))
+	}
+	return r(cfg), nil
+}
+
+// standIn generates one scaled real-data stand-in.
+func standIn(spec realdata.Spec, cfg Config) *dataset.Dataset {
+	return spec.Scaled(cfg.Scale).Generate()
+}
+
+// anonymize runs the disassociation pipeline with the experiment parameters.
+func anonymize(d *dataset.Dataset, cfg Config) (*core.Anonymized, time.Duration) {
+	start := time.Now()
+	a, err := core.Anonymize(d, core.Options{
+		K: cfg.K, M: cfg.M, Parallel: cfg.Parallel, Seed: cfg.Seed,
+	})
+	if err != nil {
+		// Experiment configurations are statically valid; an error here is a
+		// bug, not an input problem.
+		panic(fmt.Sprintf("experiments: anonymize: %v", err))
+	}
+	return a, time.Since(start)
+}
+
+// quality computes the five standard series for one dataset: tKd-a, tKd,
+// re-a, re and tlost, using one random reconstruction.
+type qualityResult struct {
+	tkdA, tkd, reA, re, tlost float64
+}
+
+func quality(d *dataset.Dataset, a *core.Anonymized, cfg Config, rng *rand.Rand) qualityResult {
+	terms := metrics.RangeTerms(d, 200, 220)
+	if len(terms) == 0 {
+		// Tiny domains: fall back to the least frequent decile.
+		ranked := d.TermsByFrequency()
+		lo := len(ranked) * 4 / 10
+		hi := lo + 20
+		if hi > len(ranked) {
+			hi = len(ranked)
+		}
+		terms = ranked[lo:hi]
+	}
+	r := reconstruct.Sample(a, rng)
+	return qualityResult{
+		tkdA:  metrics.TopKDeviationLowerBound(d.Records, a, cfg.TopK, cfg.MaxItemsetSize),
+		tkd:   metrics.TopKDeviation(d.Records, r.Records, cfg.TopK, cfg.MaxItemsetSize),
+		reA:   metrics.RelativeErrorLowerBound(d.Records, a, terms),
+		re:    metrics.RelativeError(d.Records, r.Records, terms),
+		tlost: metrics.TermsLost(d, a, cfg.K),
+	}
+}
+
+// questDataset generates a synthetic dataset with the paper's defaults (5k
+// domain, average record length 10) at the given record count.
+func questDataset(numRecords, domain int, avgLen float64, seed uint64) *dataset.Dataset {
+	qcfg := quest.DefaultConfig()
+	qcfg.NumTransactions = numRecords
+	qcfg.DomainSize = domain
+	qcfg.AvgTransLen = avgLen
+	qcfg.Seed = seed
+	g, err := quest.New(qcfg)
+	if err != nil {
+		panic(fmt.Sprintf("experiments: quest: %v", err))
+	}
+	return g.Generate()
+}

@@ -1,0 +1,225 @@
+package experiments
+
+import (
+	"bytes"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// testConfig shrinks everything so the whole suite runs in seconds.
+func testConfig() Config {
+	cfg := DefaultConfig()
+	cfg.Scale = 500 // POS → ~1k records; synthetic sweeps → 2k–20k
+	cfg.TopK = 100
+	cfg.Seed = 7
+	return cfg
+}
+
+func parseCell(t *testing.T, cell string) float64 {
+	t.Helper()
+	v, err := strconv.ParseFloat(cell, 64)
+	if err != nil {
+		t.Fatalf("cell %q is not numeric: %v", cell, err)
+	}
+	return v
+}
+
+func TestRunUnknownFigure(t *testing.T) {
+	if _, err := Run("fig99", testConfig()); err == nil {
+		t.Error("unknown figure accepted")
+	}
+}
+
+func TestRegistryComplete(t *testing.T) {
+	if len(RegistryOrder) != len(Registry) {
+		t.Fatalf("RegistryOrder has %d entries, Registry %d", len(RegistryOrder), len(Registry))
+	}
+	for _, id := range RegistryOrder {
+		if _, ok := Registry[id]; !ok {
+			t.Errorf("RegistryOrder lists unknown id %q", id)
+		}
+	}
+}
+
+func TestFig6Shape(t *testing.T) {
+	tables, err := Run("fig6", testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tables) != 1 || len(tables[0].Rows) != 3 {
+		t.Fatalf("Fig6: %d tables, %d rows", len(tables), len(tables[0].Rows))
+	}
+	var buf bytes.Buffer
+	tables[0].Fprint(&buf)
+	out := buf.String()
+	for _, name := range []string{"POS", "WV1", "WV2"} {
+		if !strings.Contains(out, name) {
+			t.Errorf("Fig6 output missing %s:\n%s", name, out)
+		}
+	}
+}
+
+func TestFig7aShapeAndRanges(t *testing.T) {
+	tables, err := Run("fig7a", testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	tab := tables[0]
+	if len(tab.Rows) != 3 {
+		t.Fatalf("Fig7a rows = %d", len(tab.Rows))
+	}
+	for _, row := range tab.Rows {
+		for i := 1; i < len(row); i++ {
+			v := parseCell(t, row[i])
+			if v < 0 || v > 2 {
+				t.Errorf("Fig7a %s %s = %v out of range", row[0], tab.Header[i], v)
+			}
+		}
+	}
+}
+
+func TestFig7bcMonotonicTendency(t *testing.T) {
+	tables, err := Run("fig7bc", testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tables) != 2 {
+		t.Fatalf("Fig7bc produced %d tables", len(tables))
+	}
+	b := tables[0]
+	if len(b.Rows) != 9 { // k = 4..20 step 2
+		t.Fatalf("Fig7b rows = %d, want 9", len(b.Rows))
+	}
+	// The paper's claim: information loss grows (weakly) with k. Check the
+	// ends rather than strict monotonicity (randomness in reconstruction).
+	first := parseCell(t, b.Rows[0][1])
+	last := parseCell(t, b.Rows[len(b.Rows)-1][1])
+	if last+1e-9 < first-0.2 {
+		t.Errorf("tKd-a fell sharply with k: %v → %v", first, last)
+	}
+}
+
+func TestFig7dShape(t *testing.T) {
+	tables, err := Run("fig7d", testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	tab := tables[0]
+	if len(tab.Rows) == 0 {
+		t.Fatal("Fig7d has no rows")
+	}
+	if len(tab.Header) != 6 {
+		t.Fatalf("Fig7d header = %v", tab.Header)
+	}
+}
+
+func TestFig8Family(t *testing.T) {
+	cfg := testConfig()
+	cfg.Scale = 2000 // keep the 10-point sweeps tiny: 500–5000 records
+	tables, err := Run("fig8ab", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tables) != 2 || len(tables[0].Rows) != 10 {
+		t.Fatalf("Fig8ab: %d tables, %d rows", len(tables), len(tables[0].Rows))
+	}
+	for _, id := range []string{"fig8c", "fig8d"} {
+		tabs, err := Run(id, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(tabs) != 1 || len(tabs[0].Rows) == 0 {
+			t.Fatalf("%s shape wrong", id)
+		}
+	}
+}
+
+func TestFig9and10ReportPositiveTimes(t *testing.T) {
+	cfg := testConfig()
+	cfg.Scale = 2000
+	for _, id := range []string{"fig9ab", "fig10a", "fig10b"} {
+		tabs, err := Run(id, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, tab := range tabs {
+			for _, row := range tab.Rows {
+				secs := parseCell(t, row[len(row)-1])
+				if secs < 0 {
+					t.Errorf("%s: negative time %v", tab.ID, secs)
+				}
+			}
+		}
+	}
+}
+
+func TestFig11ComparisonShape(t *testing.T) {
+	cfg := testConfig()
+	cfg.Scale = 500
+	tables, err := Run("fig11", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tables) != 3 {
+		t.Fatalf("Fig11 produced %d tables", len(tables))
+	}
+	for _, tab := range tables {
+		if len(tab.Rows) != 3 {
+			t.Fatalf("%s rows = %d", tab.ID, len(tab.Rows))
+		}
+		for _, row := range tab.Rows {
+			for i := 1; i < len(row); i++ {
+				v := parseCell(t, row[i])
+				if v < 0 || v > 2 {
+					t.Errorf("%s %s col %d = %v out of range", tab.ID, row[0], i, v)
+				}
+			}
+		}
+	}
+	// The headline result: disassociation beats DiffPart on tKd.
+	a11 := tables[0]
+	wins := 0
+	for _, row := range a11.Rows {
+		if parseCell(t, row[1]) <= parseCell(t, row[2]) {
+			wins++
+		}
+	}
+	if wins < 2 {
+		t.Errorf("disassociation won tKd on only %d of 3 datasets:\n%+v", wins, a11.Rows)
+	}
+}
+
+func TestAblationAndAuditRunners(t *testing.T) {
+	cfg := testConfig()
+	cfg.Scale = 500
+	for _, id := range []string{"ablation", "clustering", "audit"} {
+		tabs, err := Run(id, cfg)
+		if err != nil {
+			t.Fatalf("%s: %v", id, err)
+		}
+		if len(tabs) == 0 {
+			t.Fatalf("%s produced no tables", id)
+		}
+		for _, tab := range tabs {
+			if len(tab.Rows) == 0 {
+				t.Errorf("%s table %s has no rows", id, tab.ID)
+			}
+		}
+	}
+}
+
+func TestTableFprintAlignment(t *testing.T) {
+	tab := &Table{ID: "T", Title: "title", Header: []string{"a", "long-header"}}
+	tab.AddRow("x", 1.23456)
+	tab.AddRow("yyyy", 2)
+	var buf bytes.Buffer
+	tab.Fprint(&buf)
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("output lines = %d:\n%s", len(lines), buf.String())
+	}
+	if !strings.Contains(lines[1], "long-header") || !strings.Contains(lines[2], "1.235") {
+		t.Errorf("formatting off:\n%s", buf.String())
+	}
+}

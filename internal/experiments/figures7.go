@@ -1,0 +1,104 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand/v2"
+
+	"disasso/internal/metrics"
+	"disasso/internal/realdata"
+	"disasso/internal/reconstruct"
+)
+
+// Fig6 reproduces the dataset-statistics table (Figure 6): |D|, |T|, max and
+// average record size of the three stand-ins at the configured scale.
+func Fig6(cfg Config) []*Table {
+	cfg = cfg.withDefaults()
+	t := &Table{
+		ID:     "Fig6",
+		Title:  fmt.Sprintf("experimental datasets (stand-ins, scale 1/%d)", cfg.Scale),
+		Header: []string{"Dataset", "|D|", "|T|", "max rec. size", "avg rec. size"},
+	}
+	for _, spec := range realdata.All() {
+		d := standIn(spec, cfg)
+		st := d.ComputeStats()
+		t.AddRow(spec.Name, st.NumRecords, st.DomainSize, st.MaxRecord, fmt.Sprintf("%.1f", st.AvgRecord))
+	}
+	return []*Table{t}
+}
+
+// Fig7a reproduces Figure 7a: information loss of disassociation on the
+// three real datasets at k = 5, m = 2 — the five standard series.
+func Fig7a(cfg Config) []*Table {
+	cfg = cfg.withDefaults()
+	t := &Table{
+		ID:     "Fig7a",
+		Title:  "information loss on real data (k=5, m=2)",
+		Header: []string{"Dataset", "tKd-a", "tKd", "re-a", "re", "tlost"},
+	}
+	rng := rand.New(rand.NewPCG(cfg.Seed, 0x7A))
+	for _, spec := range realdata.All() {
+		d := standIn(spec, cfg)
+		a, _ := anonymize(d, cfg)
+		q := quality(d, a, cfg, rng)
+		t.AddRow(spec.Name, q.tkdA, q.tkd, q.reA, q.re, q.tlost)
+	}
+	return []*Table{t}
+}
+
+// Fig7bc reproduces Figures 7b and 7c: information loss on POS as the
+// guarantee strength k grows from 4 to 20 (tKd-a and tKd in 7b; re-a, re
+// and tlost in 7c).
+func Fig7bc(cfg Config) []*Table {
+	cfg = cfg.withDefaults()
+	b := &Table{
+		ID:     "Fig7b",
+		Title:  "tKd vs k (POS)",
+		Header: []string{"k", "tKd-a", "tKd"},
+	}
+	c := &Table{
+		ID:     "Fig7c",
+		Title:  "re and tlost vs k (POS)",
+		Header: []string{"k", "re-a", "re", "tlost"},
+	}
+	d := standIn(realdata.POS, cfg)
+	rng := rand.New(rand.NewPCG(cfg.Seed, 0x7BC))
+	for k := 4; k <= 20; k += 2 {
+		kcfg := cfg
+		kcfg.K = k
+		a, _ := anonymize(d, kcfg)
+		q := quality(d, a, kcfg, rng)
+		b.AddRow(k, q.tkdA, q.tkd)
+		c.AddRow(k, q.reA, q.re, q.tlost)
+	}
+	return []*Table{b, c}
+}
+
+// Fig7d reproduces Figure 7d: relative error over term-rank windows
+// (0–20th, 100–120th, ..., 400–420th most frequent terms of POS), comparing
+// the chunk lower bounds (re-a) against averages over 1, 2, 5 and 10
+// reconstructions.
+func Fig7d(cfg Config) []*Table {
+	cfg = cfg.withDefaults()
+	t := &Table{
+		ID:     "Fig7d",
+		Title:  "re vs term frequency range (POS), averaged reconstructions",
+		Header: []string{"range", "re-a", "re-1", "re-2", "re-5", "re-10"},
+	}
+	d := standIn(realdata.POS, cfg)
+	a, _ := anonymize(d, cfg)
+	rng := rand.New(rand.NewPCG(cfg.Seed, 0x7D))
+	rs := reconstruct.SampleMany(a, 10, rng)
+	for _, lo := range []int{0, 100, 200, 300, 400} {
+		terms := metrics.RangeTerms(d, lo, lo+20)
+		if len(terms) == 0 {
+			continue
+		}
+		reA := metrics.RelativeErrorLowerBound(d.Records, a, terms)
+		re1 := metrics.RelativeErrorAveraged(d.Records, rs[:1], terms)
+		re2 := metrics.RelativeErrorAveraged(d.Records, rs[:2], terms)
+		re5 := metrics.RelativeErrorAveraged(d.Records, rs[:5], terms)
+		re10 := metrics.RelativeErrorAveraged(d.Records, rs, terms)
+		t.AddRow(lo, reA, re1, re2, re5, re10)
+	}
+	return []*Table{t}
+}

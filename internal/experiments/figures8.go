@@ -1,0 +1,82 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand/v2"
+)
+
+// fig8Sizes returns the paper's 1M..10M record sweep divided by Scale.
+func fig8Sizes(cfg Config) []int {
+	var sizes []int
+	for millions := 1; millions <= 10; millions++ {
+		sizes = append(sizes, millions*1_000_000/cfg.Scale)
+	}
+	return sizes
+}
+
+// Fig8ab reproduces Figures 8a and 8b: information loss on Quest synthetic
+// data (5k domain, average record length 10) as the dataset grows from 1M to
+// 10M records (divided by Scale). 8a plots tKd-a and tKd; 8b plots tlost,
+// re-a and re.
+func Fig8ab(cfg Config) []*Table {
+	cfg = cfg.withDefaults()
+	a8 := &Table{
+		ID:     "Fig8a",
+		Title:  fmt.Sprintf("tKd vs dataset size (synthetic, sizes 1/%d of 1M–10M)", cfg.Scale),
+		Header: []string{"records", "tKd-a", "tKd"},
+	}
+	b8 := &Table{
+		ID:     "Fig8b",
+		Title:  "tlost and re vs dataset size (synthetic)",
+		Header: []string{"records", "tlost", "re-a", "re"},
+	}
+	rng := rand.New(rand.NewPCG(cfg.Seed, 0x8AB))
+	for i, n := range fig8Sizes(cfg) {
+		d := questDataset(n, 5000, 10, cfg.Seed+uint64(i))
+		a, _ := anonymize(d, cfg)
+		q := quality(d, a, cfg, rng)
+		a8.AddRow(n, q.tkdA, q.tkd)
+		b8.AddRow(n, q.tlost, q.reA, q.re)
+	}
+	return []*Table{a8, b8}
+}
+
+// Fig8c reproduces Figure 8c: information loss as the domain size grows from
+// 2k to 10k terms (1M records / Scale, average record length 10).
+func Fig8c(cfg Config) []*Table {
+	cfg = cfg.withDefaults()
+	t := &Table{
+		ID:     "Fig8c",
+		Title:  "information loss vs domain size (synthetic)",
+		Header: []string{"domain", "tlost", "re", "tKd-a", "tKd"},
+	}
+	n := 1_000_000 / cfg.Scale
+	rng := rand.New(rand.NewPCG(cfg.Seed, 0x8C))
+	for domain := 2000; domain <= 10000; domain += 1000 {
+		d := questDataset(n, domain, 10, cfg.Seed+uint64(domain))
+		a, _ := anonymize(d, cfg)
+		q := quality(d, a, cfg, rng)
+		t.AddRow(domain, q.tlost, q.re, q.tkdA, q.tkd)
+	}
+	return []*Table{t}
+}
+
+// Fig8d reproduces Figure 8d: information loss as the average record length
+// grows from 6 to 14 (1M records / Scale, 5k domain).
+func Fig8d(cfg Config) []*Table {
+	cfg = cfg.withDefaults()
+	t := &Table{
+		ID:     "Fig8d",
+		Title:  "information loss vs record length (synthetic)",
+		Header: []string{"avg length", "tlost", "re", "tKd-a", "tKd"},
+	}
+	n := 1_000_000 / cfg.Scale
+	rng := rand.New(rand.NewPCG(cfg.Seed, 0x8D))
+	for avgLen := 6; avgLen <= 14; avgLen += 2 {
+		d := questDataset(n, 5000, float64(avgLen), cfg.Seed+uint64(avgLen))
+		a, _ := anonymize(d, cfg)
+		q := quality(d, a, cfg, rng)
+		t.AddRow(avgLen, q.tlost, q.re, q.tkdA, q.tkd)
+	}
+	return []*Table{t}
+}

@@ -1,0 +1,72 @@
+package experiments
+
+import (
+	"fmt"
+
+	"disasso/internal/realdata"
+)
+
+// Fig9ab reproduces Figures 9a and 9b: anonymization cost in seconds on the
+// three real stand-ins (9a), and on POS as k grows (9b — the paper's claim
+// is that cost is insensitive to k).
+func Fig9ab(cfg Config) []*Table {
+	cfg = cfg.withDefaults()
+	a9 := &Table{
+		ID:     "Fig9a",
+		Title:  "anonymization time on real data (seconds)",
+		Header: []string{"Dataset", "seconds"},
+	}
+	for _, spec := range realdata.All() {
+		d := standIn(spec, cfg)
+		_, elapsed := anonymize(d, cfg)
+		a9.AddRow(spec.Name, elapsed.Seconds())
+	}
+	b9 := &Table{
+		ID:     "Fig9b",
+		Title:  "anonymization time vs k (POS, seconds)",
+		Header: []string{"k", "seconds"},
+	}
+	d := standIn(realdata.POS, cfg)
+	for k := 4; k <= 20; k += 2 {
+		kcfg := cfg
+		kcfg.K = k
+		_, elapsed := anonymize(d, kcfg)
+		b9.AddRow(k, elapsed.Seconds())
+	}
+	return []*Table{a9, b9}
+}
+
+// Fig10a reproduces Figure 10a: anonymization cost versus dataset size on
+// Quest synthetic data (the paper's claim: linear growth in |D|).
+func Fig10a(cfg Config) []*Table {
+	cfg = cfg.withDefaults()
+	t := &Table{
+		ID:     "Fig10a",
+		Title:  fmt.Sprintf("anonymization time vs dataset size (synthetic, 1/%d of 1M–10M, seconds)", cfg.Scale),
+		Header: []string{"records", "seconds"},
+	}
+	for i, n := range fig8Sizes(cfg) {
+		d := questDataset(n, 5000, 10, cfg.Seed+uint64(i))
+		_, elapsed := anonymize(d, cfg)
+		t.AddRow(n, elapsed.Seconds())
+	}
+	return []*Table{t}
+}
+
+// Fig10b reproduces Figure 10b: anonymization cost versus domain size (the
+// paper's claim: linear growth in |T|).
+func Fig10b(cfg Config) []*Table {
+	cfg = cfg.withDefaults()
+	t := &Table{
+		ID:     "Fig10b",
+		Title:  "anonymization time vs domain size (synthetic, seconds)",
+		Header: []string{"domain", "seconds"},
+	}
+	n := 1_000_000 / cfg.Scale
+	for domain := 2000; domain <= 10000; domain += 2000 {
+		d := questDataset(n, domain, 10, cfg.Seed+uint64(domain))
+		_, elapsed := anonymize(d, cfg)
+		t.AddRow(domain, elapsed.Seconds())
+	}
+	return []*Table{t}
+}

@@ -1,0 +1,220 @@
+package generalization
+
+import (
+	"math/rand/v2"
+	"testing"
+
+	"disasso/internal/dataset"
+	"disasso/internal/hierarchy"
+)
+
+func rec(terms ...dataset.Term) dataset.Record { return dataset.NewRecord(terms...) }
+
+func TestAnonymizeValidation(t *testing.T) {
+	h, _ := hierarchy.New(4, 2)
+	d := dataset.FromRecords([]dataset.Record{rec(0)})
+	if _, err := Anonymize(d, h, 1, 2); err == nil {
+		t.Error("k=1 accepted")
+	}
+	if _, err := Anonymize(d, h, 2, 0); err == nil {
+		t.Error("m=0 accepted")
+	}
+	bad := dataset.FromRecords([]dataset.Record{{}})
+	if _, err := Anonymize(bad, h, 2, 2); err == nil {
+		t.Error("empty record accepted")
+	}
+}
+
+func TestAlreadyAnonymousUnchanged(t *testing.T) {
+	h, _ := hierarchy.New(4, 2)
+	d := dataset.FromRecords([]dataset.Record{
+		rec(0, 1), rec(0, 1), rec(0, 1),
+	})
+	res, err := Anonymize(d, h, 3, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.GeneralizationSteps != 0 {
+		t.Errorf("took %d steps on already-anonymous data", res.GeneralizationSteps)
+	}
+	for i, r := range res.Dataset.Records {
+		if !r.Equal(d.Records[i]) {
+			t.Errorf("record %d changed: %v", i, r)
+		}
+	}
+}
+
+func TestViolationForcesGeneralization(t *testing.T) {
+	// Terms 0 and 1 are siblings under node 4 in a 4-leaf fanout-2 tree.
+	// {0} appears twice, {1} appears once: k=3 violations at size 1.
+	h, _ := hierarchy.New(4, 2)
+	d := dataset.FromRecords([]dataset.Record{
+		rec(0), rec(0), rec(1),
+	})
+	res, err := Anonymize(d, h, 3, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !IsKMAnonymous(res.Dataset, 3, 2) {
+		t.Fatal("output is not k^m-anonymous")
+	}
+	// 0 and 1 must both publish as their parent (node 4): support becomes 3.
+	if res.Mapping[0] != 4 || res.Mapping[1] != 4 {
+		t.Errorf("mapping = %v, want 0,1 → 4", res.Mapping)
+	}
+	if res.GeneralizationSteps == 0 {
+		t.Error("no steps counted")
+	}
+	for _, r := range res.Dataset.Records {
+		if !r.Equal(rec(4)) {
+			t.Errorf("record = %v, want {4}", r)
+		}
+	}
+}
+
+func TestUncommonTermsDragCommonOnes(t *testing.T) {
+	// The failure mode Section 7.2 describes: one rare term under the same
+	// subtree as a frequent one forces the frequent term up as well (global
+	// recoding).
+	h, _ := hierarchy.New(4, 2) // leaves 0..3; parents: 4={0,1}, 5={2,3}, root 6
+	var records []dataset.Record
+	for i := 0; i < 10; i++ {
+		records = append(records, rec(0)) // frequent term 0
+	}
+	records = append(records, rec(1)) // rare sibling term 1
+	d := dataset.FromRecords(records)
+	res, err := Anonymize(d, h, 3, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !IsKMAnonymous(res.Dataset, 3, 2) {
+		t.Fatal("not anonymous")
+	}
+	if res.Mapping[0] == 0 {
+		t.Error("frequent term 0 should have been dragged up by its rare sibling")
+	}
+}
+
+func TestPairViolations(t *testing.T) {
+	// All singletons frequent, but the pair {0,2} appears only once (k=2).
+	h, _ := hierarchy.New(4, 2)
+	d := dataset.FromRecords([]dataset.Record{
+		rec(0), rec(0), rec(0, 2),
+		rec(2), rec(2),
+	})
+	res, err := Anonymize(d, h, 2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !IsKMAnonymous(res.Dataset, 2, 2) {
+		t.Fatalf("pair violation survived: %v", res.Dataset.Records)
+	}
+}
+
+func TestIsKMAnonymous(t *testing.T) {
+	d := dataset.FromRecords([]dataset.Record{rec(1, 2), rec(1, 2), rec(3)})
+	if IsKMAnonymous(d, 2, 2) {
+		t.Error("support-1 term {3} accepted at k=2")
+	}
+	d = dataset.FromRecords([]dataset.Record{rec(1, 2), rec(1, 2)})
+	if !IsKMAnonymous(d, 2, 2) {
+		t.Error("2-anonymous dataset rejected")
+	}
+}
+
+func TestGeneralizationClimbsToRoot(t *testing.T) {
+	// Every term unique and k = 5: level-2 nodes only reach support 4, so
+	// nothing short of the root fixes the violations, and at the root the
+	// dataset is |D| identical records.
+	h, _ := hierarchy.New(8, 2)
+	d := dataset.FromRecords([]dataset.Record{
+		rec(0), rec(1), rec(2), rec(3), rec(4), rec(5), rec(6), rec(7),
+	})
+	res, err := Anonymize(d, h, 5, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	root := h.Root()
+	for _, r := range res.Dataset.Records {
+		if !r.Equal(rec(root)) {
+			t.Fatalf("record %v, want {root}", r)
+		}
+	}
+	if !IsKMAnonymous(res.Dataset, 5, 2) {
+		t.Error("root-level dataset not anonymous")
+	}
+}
+
+func TestGeneralizationTinyDatasetTerminates(t *testing.T) {
+	// |D| < k: even the root cannot reach support k; the algorithm must
+	// still terminate (at the root) rather than loop.
+	h, _ := hierarchy.New(4, 2)
+	d := dataset.FromRecords([]dataset.Record{rec(0), rec(1)})
+	res, err := Anonymize(d, h, 5, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Dataset.Len() != 2 {
+		t.Fatalf("records = %d", res.Dataset.Len())
+	}
+	for _, r := range res.Dataset.Records {
+		if !r.Equal(rec(h.Root())) {
+			t.Errorf("record %v not fully generalized", r)
+		}
+	}
+}
+
+func TestGeneralizationM1(t *testing.T) {
+	// m = 1: only singleton supports matter; the frequent pair structure is
+	// irrelevant.
+	h, _ := hierarchy.New(4, 2)
+	d := dataset.FromRecords([]dataset.Record{
+		rec(0, 2), rec(0, 2), rec(0, 3),
+	})
+	res, err := Anonymize(d, h, 3, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !IsKMAnonymous(res.Dataset, 3, 1) {
+		t.Error("not 3^1-anonymous")
+	}
+	// 0 has support 3 and must stay a leaf; 2 and 3 (supports 2, 1) climb.
+	if res.Mapping[0] != 0 {
+		t.Errorf("term 0 generalized needlessly to %d", res.Mapping[0])
+	}
+}
+
+// Property: on random datasets the baseline always terminates with a k^m-
+// anonymous result, and the mapping sends every leaf to one of its ancestors.
+func TestAnonymizeRandom(t *testing.T) {
+	rng := rand.New(rand.NewPCG(31, 41))
+	h, _ := hierarchy.New(30, 3)
+	for trial := 0; trial < 15; trial++ {
+		var records []dataset.Record
+		n := 40 + rng.IntN(100)
+		for i := 0; i < n; i++ {
+			terms := make([]dataset.Term, 1+rng.IntN(4))
+			for j := range terms {
+				terms[j] = dataset.Term(rng.IntN(30))
+			}
+			records = append(records, rec(terms...))
+		}
+		d := dataset.FromRecords(records)
+		k := 2 + rng.IntN(3)
+		res, err := Anonymize(d, h, k, 2)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if !IsKMAnonymous(res.Dataset, k, 2) {
+			t.Fatalf("trial %d: output not %d^2-anonymous", trial, k)
+		}
+		if res.Dataset.Len() != d.Len() {
+			t.Fatalf("trial %d: record count changed", trial)
+		}
+		for leaf, g := range res.Mapping {
+			if !h.IsAncestor(g, leaf) {
+				t.Fatalf("trial %d: %d published as non-ancestor %d", trial, leaf, g)
+			}
+		}
+	}
+}

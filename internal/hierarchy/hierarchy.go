@@ -1,0 +1,212 @@
+// Package hierarchy provides generalization hierarchies (taxonomies) over
+// term domains. They are the substrate for the generalization-based Apriori
+// anonymization baseline [Terrovitis et al. 2008], for the tKd-ML2 metric of
+// Section 6 (multiple-level mining), and for DiffPart's top-down domain
+// partitioning.
+//
+// A hierarchy is a balanced n-ary tree whose leaves are the original terms;
+// interior nodes are generalized terms. Node IDs extend the term ID space:
+// leaves keep their term IDs, interior nodes get IDs from DomainSize upward,
+// so generalized datasets remain ordinary datasets over a larger domain.
+package hierarchy
+
+import (
+	"fmt"
+
+	"disasso/internal/dataset"
+)
+
+// Hierarchy is a balanced n-ary generalization tree over the term domain
+// [0, DomainSize).
+type Hierarchy struct {
+	// DomainSize is the number of leaf terms.
+	DomainSize int
+	// Fanout is the tree's branching factor.
+	Fanout int
+	// parent[id] is the generalized node one level above id; the root's
+	// parent is itself.
+	parent []dataset.Term
+	// children[id] lists the node's direct children (nil for leaves).
+	children [][]dataset.Term
+	// level[id] is 0 for leaves, increasing toward the root.
+	level []int
+	// root is the single top node.
+	root dataset.Term
+	// numLevels counts levels including leaves (a domain of 1 has 1 level).
+	numLevels int
+}
+
+// New builds a balanced hierarchy with the given fanout over domainSize leaf
+// terms. fanout must be ≥ 2 and domainSize ≥ 1.
+func New(domainSize, fanout int) (*Hierarchy, error) {
+	if domainSize < 1 {
+		return nil, fmt.Errorf("hierarchy: domain size %d < 1", domainSize)
+	}
+	if fanout < 2 {
+		return nil, fmt.Errorf("hierarchy: fanout %d < 2", fanout)
+	}
+	h := &Hierarchy{DomainSize: domainSize, Fanout: fanout}
+
+	// Build bottom-up: group the current level's nodes in blocks of fanout,
+	// each block getting a fresh parent ID.
+	current := make([]dataset.Term, domainSize)
+	for i := range current {
+		current[i] = dataset.Term(i)
+	}
+	h.parent = make([]dataset.Term, domainSize)
+	h.children = make([][]dataset.Term, domainSize)
+	h.level = make([]int, domainSize)
+	next := dataset.Term(domainSize)
+	lvl := 0
+	for len(current) > 1 {
+		lvl++
+		var upper []dataset.Term
+		for i := 0; i < len(current); i += fanout {
+			end := i + fanout
+			if end > len(current) {
+				end = len(current)
+			}
+			p := next
+			next++
+			h.parent = append(h.parent, 0) // placeholder for p's own parent
+			h.children = append(h.children, append([]dataset.Term(nil), current[i:end]...))
+			h.level = append(h.level, lvl)
+			for _, child := range current[i:end] {
+				h.parent[child] = p
+			}
+			upper = append(upper, p)
+		}
+		current = upper
+	}
+	h.root = current[0]
+	h.parent[h.root] = h.root
+	h.numLevels = lvl + 1
+	return h, nil
+}
+
+// Root returns the hierarchy's top node.
+func (h *Hierarchy) Root() dataset.Term { return h.root }
+
+// NumNodes returns the total number of nodes (leaves + interior).
+func (h *Hierarchy) NumNodes() int { return len(h.parent) }
+
+// NumLevels returns the number of levels including the leaf level.
+func (h *Hierarchy) NumLevels() int { return h.numLevels }
+
+// Level returns a node's level: 0 for leaves, NumLevels−1 for the root.
+func (h *Hierarchy) Level(t dataset.Term) int {
+	if !h.valid(t) {
+		return -1
+	}
+	return h.level[t]
+}
+
+// IsLeaf reports whether t is an original (non-generalized) term.
+func (h *Hierarchy) IsLeaf(t dataset.Term) bool {
+	return int(t) >= 0 && int(t) < h.DomainSize
+}
+
+// Parent returns the node one level up; the root returns itself.
+func (h *Hierarchy) Parent(t dataset.Term) dataset.Term {
+	if !h.valid(t) {
+		return t
+	}
+	return h.parent[t]
+}
+
+// Ancestor returns t generalized up the given number of levels, stopping at
+// the root.
+func (h *Hierarchy) Ancestor(t dataset.Term, levels int) dataset.Term {
+	for i := 0; i < levels; i++ {
+		p := h.Parent(t)
+		if p == t {
+			break
+		}
+		t = p
+	}
+	return t
+}
+
+// AncestorAtLevel returns t's ancestor at exactly the given level (or the
+// root if the level exceeds the tree height).
+func (h *Hierarchy) AncestorAtLevel(t dataset.Term, level int) dataset.Term {
+	for h.valid(t) && h.level[t] < level {
+		p := h.parent[t]
+		if p == t {
+			break
+		}
+		t = p
+	}
+	return t
+}
+
+// IsAncestor reports whether anc is on the path from t to the root
+// (inclusive of t itself).
+func (h *Hierarchy) IsAncestor(anc, t dataset.Term) bool {
+	for {
+		if t == anc {
+			return true
+		}
+		p := h.Parent(t)
+		if p == t {
+			return false
+		}
+		t = p
+	}
+}
+
+// Children returns a node's direct children (nil for leaves). The returned
+// slice must not be modified.
+func (h *Hierarchy) Children(t dataset.Term) []dataset.Term {
+	if !h.valid(t) {
+		return nil
+	}
+	return h.children[t]
+}
+
+// Leaves appends all leaf terms under node t to dst and returns it.
+func (h *Hierarchy) Leaves(t dataset.Term, dst []dataset.Term) []dataset.Term {
+	if h.IsLeaf(t) {
+		return append(dst, t)
+	}
+	for _, c := range h.Children(t) {
+		dst = h.Leaves(c, dst)
+	}
+	return dst
+}
+
+// LeafCount returns the number of leaf terms under t.
+func (h *Hierarchy) LeafCount(t dataset.Term) int {
+	if h.IsLeaf(t) {
+		return 1
+	}
+	n := 0
+	for _, c := range h.Children(t) {
+		n += h.LeafCount(c)
+	}
+	return n
+}
+
+// GeneralizeRecord maps every term of r through cut: cut[t] gives the level
+// to which t must be generalized (0 = keep). Duplicate generalized terms
+// collapse (set semantics).
+func (h *Hierarchy) GeneralizeRecord(r dataset.Record, cut map[dataset.Term]int) dataset.Record {
+	out := make(dataset.Record, 0, len(r))
+	for _, t := range r {
+		out = append(out, h.AncestorAtLevel(t, cut[t]))
+	}
+	return out.Normalize()
+}
+
+// GeneralizeDataset applies GeneralizeRecord to every record.
+func (h *Hierarchy) GeneralizeDataset(d *dataset.Dataset, cut map[dataset.Term]int) *dataset.Dataset {
+	out := dataset.New(d.Len())
+	for _, r := range d.Records {
+		out.Records = append(out.Records, h.GeneralizeRecord(r, cut))
+	}
+	return out
+}
+
+func (h *Hierarchy) valid(t dataset.Term) bool {
+	return int(t) >= 0 && int(t) < len(h.parent)
+}

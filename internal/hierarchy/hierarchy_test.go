@@ -1,0 +1,157 @@
+package hierarchy
+
+import (
+	"testing"
+
+	"disasso/internal/dataset"
+)
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(0, 2); err == nil {
+		t.Error("domain 0 accepted")
+	}
+	if _, err := New(10, 1); err == nil {
+		t.Error("fanout 1 accepted")
+	}
+}
+
+func TestSingleLeafHierarchy(t *testing.T) {
+	h, err := New(1, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Root() != 0 || h.NumLevels() != 1 || h.NumNodes() != 1 {
+		t.Errorf("degenerate hierarchy: root=%d levels=%d nodes=%d", h.Root(), h.NumLevels(), h.NumNodes())
+	}
+	if h.Parent(0) != 0 {
+		t.Error("root's parent must be itself")
+	}
+}
+
+func TestBalancedStructure(t *testing.T) {
+	// 9 leaves, fanout 3: 9 → 3 → 1, so 13 nodes over 3 levels.
+	h, err := New(9, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.NumNodes() != 13 {
+		t.Errorf("NumNodes = %d, want 13", h.NumNodes())
+	}
+	if h.NumLevels() != 3 {
+		t.Errorf("NumLevels = %d, want 3", h.NumLevels())
+	}
+	if h.Root() != 12 {
+		t.Errorf("Root = %d, want 12", h.Root())
+	}
+	// Leaves 0..2 share the first interior node, 9.
+	for leaf := dataset.Term(0); leaf < 3; leaf++ {
+		if h.Parent(leaf) != 9 {
+			t.Errorf("Parent(%d) = %d, want 9", leaf, h.Parent(leaf))
+		}
+	}
+	if h.Parent(9) != h.Root() {
+		t.Errorf("Parent(9) = %d, want root", h.Parent(9))
+	}
+	if h.Level(0) != 0 || h.Level(9) != 1 || h.Level(h.Root()) != 2 {
+		t.Error("levels wrong")
+	}
+}
+
+func TestUnevenDomain(t *testing.T) {
+	// 10 leaves, fanout 3: 10 → 4 → 2 → 1.
+	h, err := New(10, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.NumLevels() != 4 {
+		t.Errorf("NumLevels = %d, want 4", h.NumLevels())
+	}
+	// Every leaf must reach the root.
+	for leaf := dataset.Term(0); leaf < 10; leaf++ {
+		if !h.IsAncestor(h.Root(), leaf) {
+			t.Errorf("leaf %d not under the root", leaf)
+		}
+	}
+}
+
+func TestAncestorOps(t *testing.T) {
+	h, _ := New(9, 3)
+	if got := h.Ancestor(0, 1); got != 9 {
+		t.Errorf("Ancestor(0,1) = %d", got)
+	}
+	if got := h.Ancestor(0, 99); got != h.Root() {
+		t.Errorf("Ancestor(0,99) = %d, want root", got)
+	}
+	if got := h.AncestorAtLevel(0, 0); got != 0 {
+		t.Errorf("AncestorAtLevel(0,0) = %d", got)
+	}
+	if got := h.AncestorAtLevel(0, 1); got != 9 {
+		t.Errorf("AncestorAtLevel(0,1) = %d", got)
+	}
+	if !h.IsAncestor(9, 2) || h.IsAncestor(9, 3) {
+		t.Error("IsAncestor wrong")
+	}
+	if !h.IsAncestor(5, 5) {
+		t.Error("a node must be its own ancestor")
+	}
+}
+
+func TestLeavesAndCounts(t *testing.T) {
+	h, _ := New(9, 3)
+	leaves := h.Leaves(9, nil)
+	if len(leaves) != 3 {
+		t.Fatalf("Leaves(9) = %v", leaves)
+	}
+	if h.LeafCount(h.Root()) != 9 {
+		t.Errorf("LeafCount(root) = %d", h.LeafCount(h.Root()))
+	}
+	if h.LeafCount(4) != 1 {
+		t.Errorf("LeafCount(leaf) = %d", h.LeafCount(4))
+	}
+	if len(h.Children(h.Root())) != 3 {
+		t.Errorf("Children(root) = %v", h.Children(h.Root()))
+	}
+	if h.Children(0) != nil {
+		t.Error("leaf has children")
+	}
+}
+
+func TestGeneralizeRecord(t *testing.T) {
+	h, _ := New(9, 3)
+	r := dataset.NewRecord(0, 1, 5)
+	cut := map[dataset.Term]int{0: 1, 1: 1} // 0 and 1 both generalize to node 9
+	g := h.GeneralizeRecord(r, cut)
+	if !g.Equal(dataset.NewRecord(5, 9)) {
+		t.Errorf("GeneralizeRecord = %v, want {5, 9}", g)
+	}
+}
+
+func TestGeneralizeDataset(t *testing.T) {
+	h, _ := New(9, 3)
+	d := dataset.FromRecords([]dataset.Record{
+		dataset.NewRecord(0, 3),
+		dataset.NewRecord(1),
+	})
+	cut := map[dataset.Term]int{0: 2, 1: 2, 3: 0}
+	g := h.GeneralizeDataset(d, cut)
+	if !g.Records[0].Equal(dataset.NewRecord(3, h.Root())) {
+		t.Errorf("record 0 = %v", g.Records[0])
+	}
+	if !g.Records[1].Equal(dataset.NewRecord(h.Root())) {
+		t.Errorf("record 1 = %v", g.Records[1])
+	}
+}
+
+func TestLargeHierarchy(t *testing.T) {
+	h, err := New(5000, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 5000 → 500 → 50 → 5 → 1.
+	if h.NumLevels() != 5 {
+		t.Errorf("NumLevels = %d, want 5", h.NumLevels())
+	}
+	if h.LeafCount(h.Root()) != 5000 {
+		t.Errorf("LeafCount(root) = %d", h.LeafCount(h.Root()))
+	}
+}

@@ -1,0 +1,199 @@
+package itemset
+
+import (
+	"sort"
+
+	"disasso/internal/dataset"
+)
+
+// Mine runs the Apriori algorithm over the records and returns every itemset
+// of size 1..maxSize whose support is at least minSupport. minSupport values
+// below 1 are treated as 1. Results are in SortFrequent order.
+//
+// Candidate supports are counted with a prefix trie (a hash-tree variant), so
+// cost is proportional to the candidates actually present in each record
+// rather than to C(|r|, size).
+func Mine(records []dataset.Record, minSupport, maxSize int) []Frequent {
+	if minSupport < 1 {
+		minSupport = 1
+	}
+	if maxSize < 1 {
+		return nil
+	}
+	var result []Frequent
+
+	// L1: frequent terms.
+	supports := TermSupports(records)
+	var frequent []dataset.Term
+	for t, s := range supports {
+		if s >= minSupport {
+			frequent = append(frequent, t)
+			result = append(result, Frequent{Items: Itemset{t}, Support: s})
+		}
+	}
+	sort.Slice(frequent, func(i, j int) bool { return frequent[i] < frequent[j] })
+
+	prev := make([]Itemset, len(frequent))
+	for i, t := range frequent {
+		prev[i] = Itemset{t}
+	}
+
+	for size := 2; size <= maxSize && len(prev) >= 2; size++ {
+		candidates := generateCandidates(prev)
+		if len(candidates) == 0 {
+			break
+		}
+		tr := newTrie(candidates)
+		for _, r := range records {
+			tr.countRecord(r)
+		}
+		var next []Itemset
+		for i, c := range candidates {
+			if s := tr.supports[i]; s >= minSupport {
+				next = append(next, c)
+				result = append(result, Frequent{Items: c, Support: s})
+			}
+		}
+		prev = next
+	}
+	SortFrequent(result)
+	return result
+}
+
+// generateCandidates performs the classic Apriori join+prune step: itemsets of
+// size s sharing their first s−1 terms are joined into size s+1 candidates,
+// and any candidate with an infrequent s-subset is pruned. prev must be
+// lexicographically sorted (Mine maintains this).
+func generateCandidates(prev []Itemset) []Itemset {
+	prevSet := make(map[string]bool, len(prev))
+	for _, p := range prev {
+		prevSet[p.Key()] = true
+	}
+	size := len(prev[0])
+	var out []Itemset
+	for i := 0; i < len(prev); i++ {
+		for j := i + 1; j < len(prev); j++ {
+			if !samePrefix(prev[i], prev[j], size-1) {
+				break // prev is sorted: once prefixes diverge they stay diverged
+			}
+			cand := make(Itemset, size+1)
+			copy(cand, prev[i])
+			cand[size] = prev[j][size-1]
+			if hasAllSubsets(cand, prevSet) {
+				out = append(out, cand)
+			}
+		}
+	}
+	return out
+}
+
+func samePrefix(a, b Itemset, n int) bool {
+	for i := 0; i < n; i++ {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// hasAllSubsets reports whether every (len−1)-subset of cand is in prevSet.
+// The first len−2 subsets are guaranteed by construction, so only subsets
+// dropping one of the first len−1 positions need checking.
+func hasAllSubsets(cand Itemset, prevSet map[string]bool) bool {
+	buf := make(Itemset, 0, len(cand)-1)
+	for drop := 0; drop < len(cand)-2; drop++ {
+		buf = buf[:0]
+		for i, t := range cand {
+			if i != drop {
+				buf = append(buf, t)
+			}
+		}
+		if !prevSet[buf.Key()] {
+			return false
+		}
+	}
+	return true
+}
+
+// trie is a prefix tree over sorted candidate itemsets used for support
+// counting. Leaves carry the candidate's index into the supports slice.
+type trie struct {
+	root     *trieNode
+	supports []int
+}
+
+type trieNode struct {
+	children map[dataset.Term]*trieNode
+	leaf     int // candidate index, −1 for interior nodes
+}
+
+func newTrie(candidates []Itemset) *trie {
+	tr := &trie{
+		root:     &trieNode{children: map[dataset.Term]*trieNode{}, leaf: -1},
+		supports: make([]int, len(candidates)),
+	}
+	for idx, c := range candidates {
+		n := tr.root
+		for _, t := range c {
+			child, ok := n.children[t]
+			if !ok {
+				child = &trieNode{children: map[dataset.Term]*trieNode{}, leaf: -1}
+				n.children[t] = child
+			}
+			n = child
+		}
+		n.leaf = idx
+	}
+	return tr
+}
+
+// countRecord increments the support of every candidate contained in r.
+func (tr *trie) countRecord(r dataset.Record) {
+	tr.walk(tr.root, r, 0)
+}
+
+func (tr *trie) walk(n *trieNode, r dataset.Record, start int) {
+	if n.leaf >= 0 {
+		tr.supports[n.leaf]++
+		return
+	}
+	for i := start; i < len(r); i++ {
+		if child, ok := n.children[r[i]]; ok {
+			tr.walk(child, r, i+1)
+		}
+	}
+}
+
+// TopK returns the K most frequent itemsets of size 1..maxSize, mined with an
+// adaptively lowered support threshold: it starts at the support of the K-th
+// most frequent term and keeps lowering until at least K itemsets qualify (or
+// the threshold reaches 1). Ordering follows SortFrequent, so the result is
+// deterministic.
+func TopK(records []dataset.Record, k, maxSize int) []Frequent {
+	if k <= 0 {
+		return nil
+	}
+	supports := TermSupports(records)
+	sups := make([]int, 0, len(supports))
+	for _, s := range supports {
+		sups = append(sups, s)
+	}
+	sort.Sort(sort.Reverse(sort.IntSlice(sups)))
+	threshold := 1
+	if len(sups) >= k {
+		threshold = sups[k-1]
+	}
+	for {
+		mined := Mine(records, threshold, maxSize)
+		if len(mined) >= k || threshold == 1 {
+			if len(mined) > k {
+				mined = mined[:k]
+			}
+			return mined
+		}
+		threshold = threshold * 2 / 3
+		if threshold < 1 {
+			threshold = 1
+		}
+	}
+}

@@ -1,0 +1,151 @@
+// Package itemset provides combination enumeration, support counting and an
+// Apriori frequent-itemset miner over transactional records.
+//
+// It is the substrate for the k^m-anonymity checks of the disassociation core
+// (every combination of up to m terms in a chunk must appear at least k
+// times) and for the information-loss metrics of the paper's Section 6
+// (top-K frequent itemsets, supports of term pairs).
+package itemset
+
+import (
+	"sort"
+
+	"disasso/internal/dataset"
+)
+
+// Itemset is a normalized set of terms, identical in representation to a
+// record.
+type Itemset = dataset.Record
+
+// Frequent is an itemset together with its support in the mined collection.
+type Frequent struct {
+	Items   Itemset
+	Support int
+}
+
+// Subsets enumerates every size-k subset of the normalized record r, invoking
+// fn for each. Enumeration stops early if fn returns false; Subsets reports
+// whether enumeration ran to completion. The slice passed to fn is reused
+// between invocations — callers must clone it if they retain it.
+func Subsets(r Itemset, k int, fn func(Itemset) bool) bool {
+	if k < 0 || k > len(r) {
+		return true
+	}
+	if k == 0 {
+		return fn(Itemset{})
+	}
+	buf := make(Itemset, k)
+	var rec func(start, depth int) bool
+	rec = func(start, depth int) bool {
+		if depth == k {
+			return fn(buf)
+		}
+		for i := start; i <= len(r)-(k-depth); i++ {
+			buf[depth] = r[i]
+			if !rec(i+1, depth+1) {
+				return false
+			}
+		}
+		return true
+	}
+	return rec(0, 0)
+}
+
+// CountSubsets returns the number of size-k subsets of an n-element set,
+// C(n, k), saturating at MaxInt for large values.
+func CountSubsets(n, k int) int {
+	if k < 0 || k > n {
+		return 0
+	}
+	if k > n-k {
+		k = n - k
+	}
+	c := 1
+	for i := 0; i < k; i++ {
+		// c * (n-i) may overflow for degenerate inputs; the library never
+		// calls this with n beyond a few hundred.
+		c = c * (n - i) / (i + 1)
+	}
+	return c
+}
+
+// SupportOf counts the records that contain every term of the normalized
+// itemset s.
+func SupportOf(records []dataset.Record, s Itemset) int {
+	n := 0
+	for _, r := range records {
+		if r.ContainsAll(s) {
+			n++
+		}
+	}
+	return n
+}
+
+// TermSupports returns the support of every term across the records.
+func TermSupports(records []dataset.Record) map[dataset.Term]int {
+	s := make(map[dataset.Term]int)
+	for _, r := range records {
+		for _, t := range r {
+			s[t]++
+		}
+	}
+	return s
+}
+
+// PairKey packs an ordered term pair into a single comparable key.
+func PairKey(a, b dataset.Term) uint64 {
+	if a > b {
+		a, b = b, a
+	}
+	return uint64(uint32(a))<<32 | uint64(uint32(b))
+}
+
+// UnpackPair is the inverse of PairKey.
+func UnpackPair(k uint64) (a, b dataset.Term) {
+	return dataset.Term(k >> 32), dataset.Term(uint32(k))
+}
+
+// PairSupports counts, in one pass, the supports of every pair drawn from the
+// given terms. Pairs that never co-occur are absent from the result.
+func PairSupports(records []dataset.Record, terms []dataset.Term) map[uint64]int {
+	want := make(map[dataset.Term]bool, len(terms))
+	for _, t := range terms {
+		want[t] = true
+	}
+	out := make(map[uint64]int)
+	var buf []dataset.Term
+	for _, r := range records {
+		buf = buf[:0]
+		for _, t := range r {
+			if want[t] {
+				buf = append(buf, t)
+			}
+		}
+		for i := 0; i < len(buf); i++ {
+			for j := i + 1; j < len(buf); j++ {
+				out[PairKey(buf[i], buf[j])]++
+			}
+		}
+	}
+	return out
+}
+
+// SortFrequent orders itemsets by descending support, then ascending size,
+// then lexicographically — a total, deterministic order.
+func SortFrequent(fs []Frequent) {
+	sort.Slice(fs, func(i, j int) bool {
+		a, b := fs[i], fs[j]
+		if a.Support != b.Support {
+			return a.Support > b.Support
+		}
+		if len(a.Items) != len(b.Items) {
+			return len(a.Items) < len(b.Items)
+		}
+		for k := 0; k < len(a.Items); k++ {
+			if a.Items[k] != b.Items[k] {
+				return a.Items[k] < b.Items[k]
+			}
+		}
+		return false
+	})
+}

@@ -1,0 +1,279 @@
+package itemset
+
+import (
+	"math/rand/v2"
+	"reflect"
+	"testing"
+
+	"disasso/internal/dataset"
+)
+
+func rec(terms ...dataset.Term) dataset.Record { return dataset.NewRecord(terms...) }
+
+func TestSubsets(t *testing.T) {
+	var got []string
+	Subsets(rec(1, 2, 3, 4), 2, func(s Itemset) bool {
+		got = append(got, s.Key())
+		return true
+	})
+	want := []string{"1,2", "1,3", "1,4", "2,3", "2,4", "3,4"}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("Subsets = %v, want %v", got, want)
+	}
+}
+
+func TestSubsetsEdgeCases(t *testing.T) {
+	calls := 0
+	Subsets(rec(1, 2), 0, func(s Itemset) bool { calls++; return true })
+	if calls != 1 {
+		t.Errorf("k=0 produced %d calls, want 1 (the empty set)", calls)
+	}
+	calls = 0
+	Subsets(rec(1, 2), 3, func(s Itemset) bool { calls++; return true })
+	if calls != 0 {
+		t.Errorf("k>n produced %d calls, want 0", calls)
+	}
+	calls = 0
+	Subsets(rec(1, 2), -1, func(s Itemset) bool { calls++; return true })
+	if calls != 0 {
+		t.Errorf("k<0 produced %d calls, want 0", calls)
+	}
+}
+
+func TestSubsetsEarlyStop(t *testing.T) {
+	calls := 0
+	done := Subsets(rec(1, 2, 3, 4, 5), 2, func(s Itemset) bool {
+		calls++
+		return calls < 3
+	})
+	if done {
+		t.Error("Subsets reported completion despite early stop")
+	}
+	if calls != 3 {
+		t.Errorf("calls = %d, want 3", calls)
+	}
+}
+
+func TestSubsetsCount(t *testing.T) {
+	for n := 0; n <= 8; n++ {
+		terms := make([]dataset.Term, n)
+		for i := range terms {
+			terms[i] = dataset.Term(i)
+		}
+		r := rec(terms...)
+		for k := 0; k <= n; k++ {
+			count := 0
+			Subsets(r, k, func(Itemset) bool { count++; return true })
+			if count != CountSubsets(n, k) {
+				t.Errorf("n=%d k=%d: enumerated %d, C(n,k)=%d", n, k, count, CountSubsets(n, k))
+			}
+		}
+	}
+}
+
+func TestCountSubsets(t *testing.T) {
+	tests := []struct{ n, k, want int }{
+		{0, 0, 1}, {5, 0, 1}, {5, 5, 1}, {5, 2, 10}, {10, 3, 120},
+		{5, 6, 0}, {5, -1, 0}, {164, 2, 13366},
+	}
+	for _, tc := range tests {
+		if got := CountSubsets(tc.n, tc.k); got != tc.want {
+			t.Errorf("C(%d,%d) = %d, want %d", tc.n, tc.k, got, tc.want)
+		}
+	}
+}
+
+func TestPairKeyRoundTrip(t *testing.T) {
+	a, b := UnpackPair(PairKey(7, 3))
+	if a != 3 || b != 7 {
+		t.Errorf("UnpackPair(PairKey(7,3)) = %d,%d, want 3,7", a, b)
+	}
+	if PairKey(3, 7) != PairKey(7, 3) {
+		t.Error("PairKey is not order-independent")
+	}
+	if PairKey(1, 2) == PairKey(1, 3) {
+		t.Error("distinct pairs share a key")
+	}
+}
+
+func TestPairSupports(t *testing.T) {
+	records := []dataset.Record{
+		rec(1, 2, 3),
+		rec(1, 2),
+		rec(2, 3),
+		rec(4, 5),
+	}
+	got := PairSupports(records, []dataset.Term{1, 2, 3})
+	want := map[uint64]int{
+		PairKey(1, 2): 2,
+		PairKey(1, 3): 1,
+		PairKey(2, 3): 2,
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("PairSupports = %v, want %v", got, want)
+	}
+	// Terms outside the requested set must not appear.
+	if _, ok := got[PairKey(4, 5)]; ok {
+		t.Error("PairSupports counted a pair outside the requested terms")
+	}
+}
+
+func TestSupportOf(t *testing.T) {
+	records := []dataset.Record{rec(1, 2, 3), rec(1, 3), rec(2)}
+	if got := SupportOf(records, rec(1, 3)); got != 2 {
+		t.Errorf("SupportOf({1,3}) = %d, want 2", got)
+	}
+	if got := SupportOf(records, rec()); got != 3 {
+		t.Errorf("SupportOf({}) = %d, want 3", got)
+	}
+}
+
+func TestMineSmall(t *testing.T) {
+	// Classic toy example.
+	records := []dataset.Record{
+		rec(1, 2, 5),
+		rec(2, 4),
+		rec(2, 3),
+		rec(1, 2, 4),
+		rec(1, 3),
+		rec(2, 3),
+		rec(1, 3),
+		rec(1, 2, 3, 5),
+		rec(1, 2, 3),
+	}
+	got := Mine(records, 2, 3)
+	bySupport := make(map[string]int)
+	for _, f := range got {
+		bySupport[f.Items.Key()] = f.Support
+	}
+	want := map[string]int{
+		"1": 6, "2": 7, "3": 6, "4": 2, "5": 2,
+		"1,2": 4, "1,3": 4, "1,5": 2, "2,3": 4, "2,4": 2, "2,5": 2,
+		"1,2,3": 2, "1,2,5": 2,
+	}
+	if !reflect.DeepEqual(bySupport, want) {
+		t.Errorf("Mine = %v\nwant %v", bySupport, want)
+	}
+}
+
+func TestMineOrderingDeterministic(t *testing.T) {
+	records := []dataset.Record{rec(1, 2), rec(1, 2), rec(3), rec(3)}
+	a := Mine(records, 1, 2)
+	b := Mine(records, 1, 2)
+	if !reflect.DeepEqual(a, b) {
+		t.Error("Mine is not deterministic")
+	}
+	for i := 1; i < len(a); i++ {
+		if a[i].Support > a[i-1].Support {
+			t.Errorf("result not sorted by support at %d", i)
+		}
+	}
+}
+
+func TestMineEmptyAndDegenerate(t *testing.T) {
+	if got := Mine(nil, 1, 3); len(got) != 0 {
+		t.Errorf("Mine(nil) = %v", got)
+	}
+	if got := Mine([]dataset.Record{rec(1)}, 2, 3); len(got) != 0 {
+		t.Errorf("Mine above max support = %v", got)
+	}
+	if got := Mine([]dataset.Record{rec(1, 2)}, 1, 0); got != nil {
+		t.Errorf("maxSize 0 = %v", got)
+	}
+}
+
+// Property: every itemset Mine reports has exactly the support that a naive
+// scan computes, and nothing frequent is missed (cross-check on random data).
+func TestMineMatchesNaive(t *testing.T) {
+	rng := rand.New(rand.NewPCG(42, 7))
+	for trial := 0; trial < 25; trial++ {
+		var records []dataset.Record
+		n := 20 + rng.IntN(30)
+		for i := 0; i < n; i++ {
+			size := 1 + rng.IntN(5)
+			terms := make([]dataset.Term, size)
+			for j := range terms {
+				terms[j] = dataset.Term(rng.IntN(10))
+			}
+			records = append(records, rec(terms...))
+		}
+		minSup := 2 + rng.IntN(4)
+		mined := Mine(records, minSup, 3)
+		seen := make(map[string]int)
+		for _, f := range mined {
+			seen[f.Items.Key()] = f.Support
+			if got := SupportOf(records, f.Items); got != f.Support {
+				t.Fatalf("trial %d: support of %v = %d, naive %d", trial, f.Items, f.Support, got)
+			}
+			if f.Support < minSup {
+				t.Fatalf("trial %d: reported infrequent itemset %v (%d < %d)", trial, f.Items, f.Support, minSup)
+			}
+		}
+		// Completeness for sizes 1..3 by brute force over the domain.
+		domain := dataset.FromRecords(records).Domain()
+		all := dataset.NewRecord(domain...)
+		for size := 1; size <= 3; size++ {
+			Subsets(all, size, func(s Itemset) bool {
+				if sup := SupportOf(records, s); sup >= minSup {
+					if _, ok := seen[s.Key()]; !ok {
+						t.Fatalf("trial %d: missed frequent itemset %v (support %d)", trial, s, sup)
+					}
+				}
+				return true
+			})
+		}
+	}
+}
+
+func TestTopK(t *testing.T) {
+	records := []dataset.Record{
+		rec(1, 2), rec(1, 2), rec(1, 2), rec(1), rec(3), rec(3), rec(4),
+	}
+	got := TopK(records, 3, 2)
+	if len(got) != 3 {
+		t.Fatalf("TopK returned %d itemsets, want 3", len(got))
+	}
+	if got[0].Items.Key() != "1" || got[0].Support != 4 {
+		t.Errorf("top itemset = %v (%d)", got[0].Items, got[0].Support)
+	}
+	// The top-3 must be {1}:4, {2}:3, {1,2}:3.
+	keys := []string{got[0].Items.Key(), got[1].Items.Key(), got[2].Items.Key()}
+	if keys[1] != "2" || keys[2] != "1,2" {
+		t.Errorf("TopK order = %v", keys)
+	}
+}
+
+func TestTopKFewerThanK(t *testing.T) {
+	records := []dataset.Record{rec(1), rec(2)}
+	got := TopK(records, 100, 2)
+	if len(got) != 2 {
+		t.Errorf("TopK = %d itemsets, want 2 (all there are)", len(got))
+	}
+	if TopK(records, 0, 2) != nil {
+		t.Error("TopK(0) should be nil")
+	}
+}
+
+// Property: TopK(k) is a prefix of TopK(k') for k < k' (stability of the
+// total order).
+func TestTopKPrefixProperty(t *testing.T) {
+	rng := rand.New(rand.NewPCG(5, 6))
+	var records []dataset.Record
+	for i := 0; i < 60; i++ {
+		terms := make([]dataset.Term, 1+rng.IntN(4))
+		for j := range terms {
+			terms[j] = dataset.Term(rng.IntN(8))
+		}
+		records = append(records, rec(terms...))
+	}
+	small := TopK(records, 5, 3)
+	large := TopK(records, 15, 3)
+	if len(large) < len(small) {
+		t.Fatalf("TopK(15) smaller than TopK(5)")
+	}
+	for i := range small {
+		if !reflect.DeepEqual(small[i], large[i]) {
+			t.Errorf("prefix mismatch at %d: %v vs %v", i, small[i], large[i])
+		}
+	}
+}

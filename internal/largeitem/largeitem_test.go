@@ -1,0 +1,136 @@
+package largeitem
+
+import (
+	"math/rand/v2"
+	"testing"
+
+	"disasso/internal/dataset"
+)
+
+func rec(terms ...dataset.Term) dataset.Record { return dataset.NewRecord(terms...) }
+
+func TestClusterSeparatesCommunities(t *testing.T) {
+	// Two disjoint item communities must land in different clusters.
+	var records []dataset.Record
+	for i := 0; i < 15; i++ {
+		records = append(records, rec(1, 2, 3))
+	}
+	for i := 0; i < 15; i++ {
+		records = append(records, rec(100, 101, 102))
+	}
+	cl := Cluster(records, DefaultConfig())
+	if cl.NumClusters < 2 {
+		t.Fatalf("NumClusters = %d, want ≥ 2", cl.NumClusters)
+	}
+	// All community-A records share a cluster distinct from community B's.
+	a := cl.Assignments[0]
+	for i := 1; i < 15; i++ {
+		if cl.Assignments[i] != a {
+			t.Errorf("community A split: record %d in cluster %d", i, cl.Assignments[i])
+		}
+	}
+	b := cl.Assignments[15]
+	if a == b {
+		t.Error("communities merged")
+	}
+	for i := 16; i < 30; i++ {
+		if cl.Assignments[i] != b {
+			t.Errorf("community B split: record %d in cluster %d", i, cl.Assignments[i])
+		}
+	}
+}
+
+func TestClusterAssignmentsComplete(t *testing.T) {
+	rng := rand.New(rand.NewPCG(1, 2))
+	var records []dataset.Record
+	for i := 0; i < 80; i++ {
+		terms := make([]dataset.Term, 1+rng.IntN(4))
+		for j := range terms {
+			terms[j] = dataset.Term(rng.IntN(20))
+		}
+		records = append(records, rec(terms...))
+	}
+	cl := Cluster(records, DefaultConfig())
+	if len(cl.Assignments) != len(records) {
+		t.Fatalf("assignments %d, records %d", len(cl.Assignments), len(records))
+	}
+	groups := cl.Groups(records)
+	if len(groups) != cl.NumClusters {
+		t.Fatalf("groups %d, NumClusters %d", len(groups), cl.NumClusters)
+	}
+	total := 0
+	for gi, g := range groups {
+		if len(g) == 0 {
+			t.Errorf("cluster %d empty after compaction", gi)
+		}
+		total += len(g)
+	}
+	if total != len(records) {
+		t.Errorf("groups cover %d records, want %d", total, len(records))
+	}
+	for _, ci := range cl.Assignments {
+		if ci < 0 || ci >= cl.NumClusters {
+			t.Fatalf("assignment %d out of range", ci)
+		}
+	}
+}
+
+func TestClusterEmptyAndSingle(t *testing.T) {
+	cl := Cluster(nil, DefaultConfig())
+	if cl.NumClusters != 0 || len(cl.Assignments) != 0 {
+		t.Errorf("empty input: %+v", cl)
+	}
+	cl = Cluster([]dataset.Record{rec(1, 2)}, DefaultConfig())
+	if cl.NumClusters != 1 || cl.Assignments[0] != 0 {
+		t.Errorf("single record: %+v", cl)
+	}
+}
+
+func TestClusterDeterministic(t *testing.T) {
+	rng := rand.New(rand.NewPCG(3, 4))
+	var records []dataset.Record
+	for i := 0; i < 50; i++ {
+		terms := make([]dataset.Term, 1+rng.IntN(3))
+		for j := range terms {
+			terms[j] = dataset.Term(rng.IntN(10))
+		}
+		records = append(records, rec(terms...))
+	}
+	a := Cluster(records, DefaultConfig())
+	b := Cluster(records, DefaultConfig())
+	for i := range a.Assignments {
+		if a.Assignments[i] != b.Assignments[i] {
+			t.Fatal("clustering not deterministic")
+		}
+	}
+}
+
+func TestClusterDefaultsApplied(t *testing.T) {
+	// Zero-value config must not divide by zero or loop forever.
+	records := []dataset.Record{rec(1), rec(1), rec(2)}
+	cl := Cluster(records, Config{})
+	if len(cl.Assignments) != 3 {
+		t.Fatalf("assignments: %v", cl.Assignments)
+	}
+}
+
+// The disassociation paper's complaint (b): no explicit size control. Verify
+// the algorithm indeed produces clusters far beyond any bound when the data
+// is homogeneous — the behaviour HORPART's maxClusterSize prevents.
+func TestClusterHasNoSizeControl(t *testing.T) {
+	var records []dataset.Record
+	for i := 0; i < 200; i++ {
+		records = append(records, rec(1, 2, 3))
+	}
+	cl := Cluster(records, DefaultConfig())
+	groups := cl.Groups(records)
+	max := 0
+	for _, g := range groups {
+		if len(g) > max {
+			max = len(g)
+		}
+	}
+	if max < 100 {
+		t.Errorf("homogeneous data split into clusters of at most %d — expected one giant cluster", max)
+	}
+}

@@ -1,0 +1,206 @@
+// Package metrics implements the information-loss measures of the paper's
+// Section 6 and the conventions its Section 7.1 evaluates them under:
+//
+//   - tKd: top-K frequent-itemset deviation between the original and a
+//     published (reconstructed) dataset, K = 1000 in the paper.
+//   - tKd-a: the same deviation computed against the lower-bound supports
+//     that are certain in any reconstruction (chunk-contained itemsets plus
+//     one appearance per term-chunk term).
+//   - tKd-ML2: the multiple-level variant used against generalization-based
+//     methods — both sides are extended with their hierarchy ancestors
+//     before mining, so generalized itemsets can be traced.
+//   - re: average relative error of pair supports over a chosen term range
+//     (the 200th–220th most frequent terms in the paper), normalized by the
+//     average of the two supports so it lies in [0, 2].
+//   - tlost: fraction of terms frequent in the original (support ≥ k) that
+//     the anonymization left only in term chunks.
+package metrics
+
+import (
+	"math"
+
+	"disasso/internal/core"
+	"disasso/internal/dataset"
+	"disasso/internal/hierarchy"
+	"disasso/internal/itemset"
+)
+
+// TopKDeviation computes tKd = 1 − |FI ∩ FI′| / |FI| where FI are the top-K
+// frequent itemsets of the original records and FI′ those of the published
+// records, both mined up to maxSize. A zero result means the published data
+// preserves the entire top-K.
+func TopKDeviation(original, published []dataset.Record, k, maxSize int) float64 {
+	fi := itemset.TopK(original, k, maxSize)
+	if len(fi) == 0 {
+		return 0
+	}
+	fiPrime := itemset.TopK(published, k, maxSize)
+	prime := make(map[string]bool, len(fiPrime))
+	for _, f := range fiPrime {
+		prime[f.Items.Key()] = true
+	}
+	common := 0
+	for _, f := range fi {
+		if prime[f.Items.Key()] {
+			common++
+		}
+	}
+	return 1 - float64(common)/float64(len(fi))
+}
+
+// PseudoRecords flattens a disassociated dataset into the record bag whose
+// itemset supports are exactly the lower bounds of Section 6: every record
+// and shared chunk contributes its subrecords, and every term-chunk term
+// contributes one singleton per term chunk it appears in.
+func PseudoRecords(a *core.Anonymized) []dataset.Record {
+	var out []dataset.Record
+	for _, c := range a.AllChunks() {
+		out = append(out, c.Subrecords...)
+	}
+	for _, leaf := range a.AllLeaves() {
+		for _, t := range leaf.TermChunk {
+			out = append(out, dataset.Record{t})
+		}
+	}
+	return out
+}
+
+// TopKDeviationLowerBound computes tKd-a: the deviation of the top-K
+// itemsets traceable from the disassociated form alone (no reconstruction).
+func TopKDeviationLowerBound(original []dataset.Record, a *core.Anonymized, k, maxSize int) float64 {
+	return TopKDeviation(original, PseudoRecords(a), k, maxSize)
+}
+
+// ExtendWithAncestors maps each record to the union of its terms and all
+// their hierarchy ancestors (the multiple-level mining transform of Han & Fu
+// the tKd-ML2 metric builds on). The hierarchy root is omitted — it appears
+// in every record and carries no information.
+func ExtendWithAncestors(records []dataset.Record, h *hierarchy.Hierarchy) []dataset.Record {
+	out := make([]dataset.Record, len(records))
+	for i, r := range records {
+		ext := make(dataset.Record, 0, 2*len(r))
+		for _, t := range r {
+			for t != h.Root() {
+				ext = append(ext, t)
+				t = h.Parent(t)
+			}
+		}
+		out[i] = ext.Normalize()
+	}
+	return out
+}
+
+// TopKDeviationML2 computes tKd-ML2: both sides are extended with their
+// ancestors so that itemsets over generalized terms are traceable in both
+// the original and the anonymized data.
+func TopKDeviationML2(original, published []dataset.Record, h *hierarchy.Hierarchy, k, maxSize int) float64 {
+	return TopKDeviation(ExtendWithAncestors(original, h), ExtendWithAncestors(published, h), k, maxSize)
+}
+
+// RelativeError computes the mean re over all pairs drawn from the given
+// terms: |so − sp| / avg(so, sp), using the supports in the original and
+// published records respectively. Pairs absent from both sides are skipped;
+// pairs present on exactly one side contribute the metric's maximum of 2.
+func RelativeError(original, published []dataset.Record, terms []dataset.Term) float64 {
+	so := itemset.PairSupports(original, terms)
+	sp := itemset.PairSupports(published, terms)
+	keys := make(map[uint64]bool, len(so)+len(sp))
+	for k := range so {
+		keys[k] = true
+	}
+	for k := range sp {
+		keys[k] = true
+	}
+	if len(keys) == 0 {
+		return 0
+	}
+	total := 0.0
+	for k := range keys {
+		a, b := float64(so[k]), float64(sp[k])
+		total += math.Abs(a-b) / ((a + b) / 2)
+	}
+	return total / float64(len(keys))
+}
+
+// RelativeErrorAveraged computes re with published supports averaged across
+// several reconstructions (the Figure 7d experiment: re-1, re-2, re-5,
+// re-10).
+func RelativeErrorAveraged(original []dataset.Record, reconstructions []*dataset.Dataset, terms []dataset.Term) float64 {
+	if len(reconstructions) == 0 {
+		return 0
+	}
+	so := itemset.PairSupports(original, terms)
+	avg := make(map[uint64]float64)
+	for _, r := range reconstructions {
+		for k, v := range itemset.PairSupports(r.Records, terms) {
+			avg[k] += float64(v)
+		}
+	}
+	n := float64(len(reconstructions))
+	keys := make(map[uint64]bool, len(so)+len(avg))
+	for k := range so {
+		keys[k] = true
+	}
+	for k := range avg {
+		keys[k] = true
+	}
+	if len(keys) == 0 {
+		return 0
+	}
+	total := 0.0
+	for k := range keys {
+		a := float64(so[k])
+		b := avg[k] / n
+		total += math.Abs(a-b) / ((a + b) / 2)
+	}
+	return total / float64(len(keys))
+}
+
+// RelativeErrorLowerBound computes re-a: pair supports taken only from the
+// published chunks (the lower bounds certain in any reconstruction).
+func RelativeErrorLowerBound(original []dataset.Record, a *core.Anonymized, terms []dataset.Term) float64 {
+	return RelativeError(original, PseudoRecords(a), terms)
+}
+
+// RangeTerms returns the terms ranked [lo, hi) by descending support in the
+// dataset — the paper traces re over the 200th–220th most frequent terms
+// (RangeTerms(d, 200, 220)). Out-of-range bounds are clipped.
+func RangeTerms(d *dataset.Dataset, lo, hi int) []dataset.Term {
+	ranked := d.TermsByFrequency()
+	if lo < 0 {
+		lo = 0
+	}
+	if hi > len(ranked) {
+		hi = len(ranked)
+	}
+	if lo >= hi {
+		return nil
+	}
+	return ranked[lo:hi]
+}
+
+// TermsLost computes tlost: among terms with support ≥ k in the original
+// dataset, the fraction that ended up only in term chunks (appearing in no
+// record or shared chunk), losing their multiplicities and correlations.
+func TermsLost(d *dataset.Dataset, a *core.Anonymized, k int) float64 {
+	inChunks := make(map[dataset.Term]bool)
+	for _, c := range a.AllChunks() {
+		for _, t := range c.Domain {
+			inChunks[t] = true
+		}
+	}
+	frequent, lost := 0, 0
+	for t, s := range d.Supports() {
+		if s < k {
+			continue
+		}
+		frequent++
+		if !inChunks[t] {
+			lost++
+		}
+	}
+	if frequent == 0 {
+		return 0
+	}
+	return float64(lost) / float64(frequent)
+}

@@ -1,0 +1,283 @@
+package metrics
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+
+	"disasso/internal/core"
+	"disasso/internal/dataset"
+	"disasso/internal/hierarchy"
+	"disasso/internal/reconstruct"
+)
+
+func rec(terms ...dataset.Term) dataset.Record { return dataset.NewRecord(terms...) }
+
+func TestTopKDeviationIdentical(t *testing.T) {
+	records := []dataset.Record{rec(1, 2), rec(1, 2), rec(3), rec(3)}
+	if got := TopKDeviation(records, records, 5, 2); got != 0 {
+		t.Errorf("tKd of identical data = %v, want 0", got)
+	}
+}
+
+func TestTopKDeviationDisjoint(t *testing.T) {
+	a := []dataset.Record{rec(1), rec(1), rec(2), rec(2)}
+	b := []dataset.Record{rec(8), rec(8), rec(9), rec(9)}
+	if got := TopKDeviation(a, b, 2, 1); got != 1 {
+		t.Errorf("tKd of disjoint data = %v, want 1", got)
+	}
+}
+
+func TestTopKDeviationPartial(t *testing.T) {
+	// Original top-2 singles: {1}, {2}. Published keeps {1} but replaces
+	// {2} with {9} → deviation 0.5.
+	a := []dataset.Record{rec(1), rec(1), rec(1), rec(2), rec(2)}
+	b := []dataset.Record{rec(1), rec(1), rec(1), rec(9), rec(9)}
+	if got := TopKDeviation(a, b, 2, 1); got != 0.5 {
+		t.Errorf("tKd = %v, want 0.5", got)
+	}
+}
+
+func TestTopKDeviationEmptyOriginal(t *testing.T) {
+	if got := TopKDeviation(nil, []dataset.Record{rec(1)}, 5, 2); got != 0 {
+		t.Errorf("tKd with empty original = %v", got)
+	}
+}
+
+func TestPseudoRecordsLowerBounds(t *testing.T) {
+	// One cluster: chunk over {1,2} with three subrecords, term chunk {5}.
+	a := &core.Anonymized{
+		K: 3, M: 2,
+		Clusters: []*core.ClusterNode{{Simple: &core.Cluster{
+			Size: 4,
+			RecordChunks: []core.Chunk{{
+				Domain:     rec(1, 2),
+				Subrecords: []dataset.Record{rec(1, 2), rec(1, 2), rec(1)},
+			}},
+			TermChunk: rec(5),
+		}}},
+	}
+	pseudo := PseudoRecords(a)
+	if len(pseudo) != 4 {
+		t.Fatalf("pseudo records = %d, want 4 (3 subrecords + 1 term)", len(pseudo))
+	}
+	ps := dataset.FromRecords(pseudo)
+	if ps.Support(1) != 3 || ps.Support(2) != 2 || ps.Support(5) != 1 {
+		t.Errorf("pseudo supports: 1→%d 2→%d 5→%d", ps.Support(1), ps.Support(2), ps.Support(5))
+	}
+	if ps.SupportOf(rec(1, 2)) != 2 {
+		t.Errorf("pair lower bound = %d, want 2", ps.SupportOf(rec(1, 2)))
+	}
+}
+
+func TestPseudoRecordsWithJointClusters(t *testing.T) {
+	// A joint cluster's shared chunks must contribute their subrecords, and
+	// every leaf term chunk one singleton per term.
+	joint := &core.ClusterNode{
+		Children: []*core.ClusterNode{
+			{Simple: &core.Cluster{Size: 3, TermChunk: rec(7)}},
+			{Simple: &core.Cluster{
+				Size: 3,
+				RecordChunks: []core.Chunk{{
+					Domain:     rec(1),
+					Subrecords: []dataset.Record{rec(1), rec(1), rec(1)},
+				}},
+				TermChunk: rec(8),
+			}},
+		},
+		SharedChunks: []core.Chunk{{
+			Domain:     rec(5, 6),
+			Subrecords: []dataset.Record{rec(5, 6), rec(5, 6), rec(5, 6)},
+		}},
+	}
+	a := &core.Anonymized{K: 3, M: 2, Clusters: []*core.ClusterNode{joint}}
+	ps := dataset.FromRecords(PseudoRecords(a))
+	if got := ps.SupportOf(rec(5, 6)); got != 3 {
+		t.Errorf("shared pair lower bound = %d, want 3", got)
+	}
+	if ps.Support(1) != 3 || ps.Support(7) != 1 || ps.Support(8) != 1 {
+		t.Errorf("supports: 1→%d 7→%d 8→%d", ps.Support(1), ps.Support(7), ps.Support(8))
+	}
+}
+
+func TestRelativeErrorExact(t *testing.T) {
+	records := []dataset.Record{rec(1, 2), rec(1, 2), rec(2, 3)}
+	if got := RelativeError(records, records, []dataset.Term{1, 2, 3}); got != 0 {
+		t.Errorf("re of identical data = %v", got)
+	}
+}
+
+func TestRelativeErrorMissingPair(t *testing.T) {
+	orig := []dataset.Record{rec(1, 2), rec(1, 2)}
+	pub := []dataset.Record{rec(1), rec(2)}
+	// The only pair {1,2} exists in the original (2) and not at all in the
+	// published data → re = |2−0| / 1 = 2 (the maximum).
+	if got := RelativeError(orig, pub, []dataset.Term{1, 2}); got != 2 {
+		t.Errorf("re = %v, want 2", got)
+	}
+}
+
+func TestRelativeErrorInventedPair(t *testing.T) {
+	orig := []dataset.Record{rec(1), rec(2)}
+	pub := []dataset.Record{rec(1, 2)}
+	// Pair exists only in the published data — still maximal error, the
+	// averaging denominator keeps it finite.
+	if got := RelativeError(orig, pub, []dataset.Term{1, 2}); got != 2 {
+		t.Errorf("re = %v, want 2", got)
+	}
+}
+
+func TestRelativeErrorHalfway(t *testing.T) {
+	orig := []dataset.Record{rec(1, 2), rec(1, 2), rec(1, 2)}
+	pub := []dataset.Record{rec(1, 2)}
+	// so=3, sp=1 → |3−1|/2 = 1.
+	if got := RelativeError(orig, pub, []dataset.Term{1, 2}); got != 1 {
+		t.Errorf("re = %v, want 1", got)
+	}
+}
+
+func TestRelativeErrorNoPairs(t *testing.T) {
+	if got := RelativeError([]dataset.Record{rec(1)}, []dataset.Record{rec(2)}, []dataset.Term{1, 2}); got != 0 {
+		t.Errorf("re with no pairs anywhere = %v, want 0", got)
+	}
+}
+
+func TestRelativeErrorAveragedImproves(t *testing.T) {
+	// Averaging across reconstructions should not be worse than a single
+	// one for the same anonymized dataset (statistically; fixed seeds).
+	rng := rand.New(rand.NewPCG(15, 16))
+	var records []dataset.Record
+	for i := 0; i < 500; i++ {
+		terms := make([]dataset.Term, 2+rng.IntN(4))
+		for j := range terms {
+			terms[j] = dataset.Term(rng.IntN(30))
+		}
+		records = append(records, rec(terms...))
+	}
+	d := dataset.FromRecords(records)
+	a, err := core.Anonymize(d, core.Options{K: 3, M: 2, Seed: 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	terms := RangeTerms(d, 5, 25)
+	rs := reconstruct.SampleMany(a, 10, rng)
+	one := RelativeErrorAveraged(d.Records, rs[:1], terms)
+	ten := RelativeErrorAveraged(d.Records, rs, terms)
+	if ten > one+0.1 {
+		t.Errorf("averaging 10 reconstructions (%v) much worse than 1 (%v)", ten, one)
+	}
+	if RelativeErrorAveraged(d.Records, nil, terms) != 0 {
+		t.Error("no reconstructions must give 0")
+	}
+}
+
+func TestRangeTerms(t *testing.T) {
+	d := dataset.FromRecords([]dataset.Record{
+		rec(1, 2, 3), rec(1, 2), rec(1),
+	})
+	if got := RangeTerms(d, 0, 2); len(got) != 2 || got[0] != 1 || got[1] != 2 {
+		t.Errorf("RangeTerms(0,2) = %v", got)
+	}
+	if got := RangeTerms(d, 2, 10); len(got) != 1 || got[0] != 3 {
+		t.Errorf("RangeTerms(2,10) = %v", got)
+	}
+	if got := RangeTerms(d, 5, 10); got != nil {
+		t.Errorf("out-of-range = %v", got)
+	}
+}
+
+func TestTermsLost(t *testing.T) {
+	// Terms 1, 2 frequent and in chunks; term 3 frequent but only in a term
+	// chunk; term 4 infrequent (ignored).
+	d := dataset.FromRecords([]dataset.Record{
+		rec(1, 2, 3), rec(1, 2, 3), rec(1, 2, 3), rec(4),
+	})
+	a := &core.Anonymized{
+		K: 3, M: 2,
+		Clusters: []*core.ClusterNode{{Simple: &core.Cluster{
+			Size: 4,
+			RecordChunks: []core.Chunk{{
+				Domain:     rec(1, 2),
+				Subrecords: []dataset.Record{rec(1, 2), rec(1, 2), rec(1, 2)},
+			}},
+			TermChunk: rec(3, 4),
+		}}},
+	}
+	got := TermsLost(d, a, 3)
+	if math.Abs(got-1.0/3.0) > 1e-12 {
+		t.Errorf("tlost = %v, want 1/3", got)
+	}
+}
+
+func TestTermsLostNoFrequentTerms(t *testing.T) {
+	d := dataset.FromRecords([]dataset.Record{rec(1)})
+	a := &core.Anonymized{K: 3, M: 2}
+	if got := TermsLost(d, a, 3); got != 0 {
+		t.Errorf("tlost = %v, want 0", got)
+	}
+}
+
+func TestExtendWithAncestors(t *testing.T) {
+	h, err := hierarchy.New(9, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ext := ExtendWithAncestors([]dataset.Record{rec(0, 4)}, h)
+	// 0 → parent 9; 4 → parent 10; root 12 omitted.
+	want := rec(0, 4, 9, 10)
+	if !ext[0].Equal(want) {
+		t.Errorf("extended = %v, want %v", ext[0], want)
+	}
+}
+
+func TestTopKDeviationML2TracksGeneralization(t *testing.T) {
+	h, err := hierarchy.New(4, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	orig := []dataset.Record{rec(0), rec(0), rec(1), rec(1)}
+	// Fully generalized to the sibling parent (node 4): the leaf-level
+	// itemsets are lost, but the generalized level-1 itemset {4} survives,
+	// so ML2 deviation is below the plain tKd.
+	gen := []dataset.Record{rec(4), rec(4), rec(4), rec(4)}
+	plain := TopKDeviation(orig, gen, 3, 2)
+	ml2 := TopKDeviationML2(orig, gen, h, 3, 2)
+	if plain != 1 {
+		t.Errorf("plain tKd = %v, want 1 (no original term survives)", plain)
+	}
+	if ml2 >= plain {
+		t.Errorf("ML2 (%v) should credit the surviving generalized itemset vs plain (%v)", ml2, plain)
+	}
+}
+
+// End-to-end sanity: disassociation on a structured dataset must preserve
+// the top itemsets far better than random destruction, and tKd-a must be an
+// upper bound proxy consistent with tKd on a reconstruction.
+func TestMetricsEndToEnd(t *testing.T) {
+	rng := rand.New(rand.NewPCG(99, 100))
+	var records []dataset.Record
+	for i := 0; i < 600; i++ {
+		// Strong pair structure plus noise.
+		base := dataset.Term(rng.IntN(5) * 2)
+		terms := []dataset.Term{base, base + 1, dataset.Term(20 + rng.IntN(30))}
+		records = append(records, rec(terms...))
+	}
+	d := dataset.FromRecords(records)
+	a, err := core.Anonymize(d, core.Options{K: 3, M: 2, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := reconstruct.Sample(a, rng)
+	tkd := TopKDeviation(d.Records, r.Records, 50, 2)
+	tkdA := TopKDeviationLowerBound(d.Records, a, 50, 2)
+	if tkd > 0.5 {
+		t.Errorf("tKd = %v — reconstruction lost most of the top-50", tkd)
+	}
+	if tkdA > 0.8 {
+		t.Errorf("tKd-a = %v — chunks lost almost everything", tkdA)
+	}
+	tl := TermsLost(d, a, 3)
+	if tl < 0 || tl > 1 {
+		t.Errorf("tlost = %v out of range", tl)
+	}
+}

@@ -1,0 +1,229 @@
+// Package query answers support queries directly on the disassociated form,
+// without materializing reconstructions — the analysis mode Section 6 of the
+// paper describes: "the analyst can compute lower bounds of the supports of
+// all terms and itemsets [...] Moreover, the analyst can employ models for
+// answering queries in probabilistic databases to directly query the
+// anonymization result".
+package query
+
+import (
+	"disasso/internal/core"
+	"disasso/internal/dataset"
+)
+
+// Estimate carries three support estimators for one itemset:
+//
+//   - Lower: appearances certain in every reconstruction — occurrences
+//     inside single chunks, plus term-chunk presence for singletons.
+//   - Upper: a bound no reconstruction can exceed — per leaf, the minimum
+//     across the chunk parts hosting the itemset, summed over leaves.
+//   - Expected: the probabilistic model the paper cites — each chunk's
+//     subrecords are uniform random assignments to the records the chunk
+//     spans, independent across chunks, and each term-chunk term attaches
+//     to exactly one uniformly chosen record of its cluster.
+type Estimate struct {
+	Lower    int
+	Upper    int
+	Expected float64
+}
+
+// Support estimates the support of the normalized itemset s across the
+// published dataset.
+func Support(a *core.Anonymized, s dataset.Record) Estimate {
+	var est Estimate
+	if len(s) == 0 {
+		est.Lower = a.NumRecords()
+		est.Upper = est.Lower
+		est.Expected = float64(est.Lower)
+		return est
+	}
+	for _, node := range a.Clusters {
+		o := estimateNode(node, s)
+		est.Lower += o.Lower
+		est.Upper += o.Upper
+		est.Expected += o.Expected
+	}
+	return est
+}
+
+// sharedPart is an ancestor shared chunk applicable to a leaf. The terms a
+// leaf actually needs from it depend on what the leaf's own chunks already
+// cover (a term may legitimately sit in both a record chunk here and the
+// shared chunk via other leaves), so counts are computed per leaf.
+type sharedPart struct {
+	chunk *core.Chunk
+	slice dataset.Record // itemset terms inside the chunk domain
+	span  int
+}
+
+// countContaining returns how many of the chunk's subrecords contain the
+// normalized slice.
+func countContaining(c *core.Chunk, slice dataset.Record) int {
+	n := 0
+	for _, sr := range c.Subrecords {
+		if sr.ContainsAll(slice) {
+			n++
+		}
+	}
+	return n
+}
+
+// estimateNode estimates one top-level cluster node's contribution by
+// decomposing the node's records into its leaves: each leaf's records draw
+// from the leaf's own record chunks and term chunk plus the shared chunks of
+// every ancestor joint.
+func estimateNode(n *core.ClusterNode, s dataset.Record) Estimate {
+	var est Estimate
+	walkLeaves(n, s, nil, &est)
+
+	// Certain occurrences inside shared chunks: a shared subrecord
+	// containing the whole itemset lands on some record of the joint in
+	// every valid reconstruction, and (by the disjointness invariants of
+	// REFINE) on a record not already counted by a leaf part.
+	n.Walk(func(cn *core.ClusterNode) {
+		if cn.IsLeaf() {
+			return
+		}
+		for _, c := range cn.SharedChunks {
+			if !c.Domain.ContainsAll(s) {
+				continue
+			}
+			for _, sr := range c.Subrecords {
+				if sr.ContainsAll(s) {
+					est.Lower++
+				}
+			}
+		}
+	})
+	if est.Upper < est.Lower {
+		est.Upper = est.Lower
+	}
+	if est.Expected < float64(est.Lower) {
+		est.Expected = float64(est.Lower)
+	}
+	if est.Expected > float64(est.Upper) {
+		est.Expected = float64(est.Upper)
+	}
+	return est
+}
+
+// walkLeaves descends the node tree accumulating the ancestor shared-chunk
+// parts, then evaluates each leaf.
+func walkLeaves(n *core.ClusterNode, s dataset.Record, shared []sharedPart, est *Estimate) {
+	if n.IsLeaf() {
+		evalLeaf(n.Simple, s, shared, est)
+		return
+	}
+	span := n.Size()
+	next := shared
+	for i := range n.SharedChunks {
+		c := &n.SharedChunks[i]
+		slice := s.Intersect(c.Domain)
+		if len(slice) == 0 {
+			continue
+		}
+		next = append(next, sharedPart{chunk: c, slice: slice, span: span})
+	}
+	for _, child := range n.Children {
+		walkLeaves(child, s, next, est)
+	}
+}
+
+// evalLeaf computes one leaf's contribution to the three estimators.
+func evalLeaf(leaf *core.Cluster, s dataset.Record, shared []sharedPart, est *Estimate) {
+	z := leaf.Size
+	if z == 0 {
+		return
+	}
+	covered := dataset.Record{}
+	upper := -1
+	expected := float64(z)
+
+	// Leaf record chunks.
+	inOneChunkCount := -1 // count when the whole itemset sits in one chunk
+	for _, c := range leaf.RecordChunks {
+		slice := s.Intersect(c.Domain)
+		if len(slice) == 0 {
+			continue
+		}
+		covered = covered.Union(slice)
+		cnt := 0
+		for _, sr := range c.Subrecords {
+			if sr.ContainsAll(slice) {
+				cnt++
+			}
+		}
+		if len(slice) == len(s) {
+			inOneChunkCount = cnt
+		}
+		expected *= float64(cnt) / float64(z)
+		if upper == -1 || cnt < upper {
+			upper = cnt
+		}
+	}
+
+	// Leaf term chunk: each term attaches to exactly one of z records.
+	tcTerms := s.Intersect(leaf.TermChunk)
+	if len(tcTerms) > 0 {
+		covered = covered.Union(tcTerms)
+		for range tcTerms {
+			expected /= float64(z)
+		}
+		if upper == -1 || z < upper {
+			upper = z
+		}
+	}
+
+	// Ancestor shared chunks: the terms not already covered by the leaf's
+	// own parts must each come from some ancestor chunk. A term may be
+	// available in several chunks along the chain (with disjoint source
+	// occurrences), so its capacity is the summed count across them — the
+	// sound per-term bound (any record carrying the term uses one of those
+	// subrecords). Spans exceed the leaf; probabilities stay per-record
+	// uniform over each joint.
+	for _, t := range s.Subtract(covered) {
+		capacity := 0
+		probSum := 0.0
+		found := false
+		single := dataset.Record{t}
+		for _, p := range shared {
+			if !p.chunk.Domain.Contains(t) {
+				continue
+			}
+			found = true
+			cnt := countContaining(p.chunk, single)
+			capacity += cnt
+			probSum += float64(cnt) / float64(p.span)
+		}
+		if !found {
+			return // term unavailable: itemset impossible within this leaf
+		}
+		covered = covered.Union(single)
+		if probSum > 1 {
+			probSum = 1
+		}
+		expected *= probSum
+		if upper == -1 || capacity < upper {
+			upper = capacity
+		}
+	}
+
+	if !covered.Equal(s) {
+		return // itemset impossible within this leaf
+	}
+	if upper > z {
+		upper = z // a leaf cannot host more candidates than records
+	}
+
+	// Lower bound: certain only in the single-chunk cases.
+	switch {
+	case inOneChunkCount >= 0 && len(tcTerms) == 0:
+		est.Lower += inOneChunkCount
+	case len(tcTerms) == 1 && len(s) == 1:
+		est.Lower++ // the term chunk discloses presence
+	}
+	if upper > 0 {
+		est.Upper += upper
+	}
+	est.Expected += expected
+}

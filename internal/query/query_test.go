@@ -1,0 +1,230 @@
+package query
+
+import (
+	"math/rand/v2"
+	"testing"
+
+	"disasso/internal/core"
+	"disasso/internal/dataset"
+	"disasso/internal/reconstruct"
+)
+
+func rec(terms ...dataset.Term) dataset.Record { return dataset.NewRecord(terms...) }
+
+// fixture: one cluster, chunk {1,2} with subrecords {1,2}×3, {1}×2, term
+// chunk {9}, size 6.
+func fixture() *core.Anonymized {
+	return &core.Anonymized{
+		K: 3, M: 2,
+		Clusters: []*core.ClusterNode{{Simple: &core.Cluster{
+			Size: 6,
+			RecordChunks: []core.Chunk{{
+				Domain: rec(1, 2),
+				Subrecords: []dataset.Record{
+					rec(1, 2), rec(1, 2), rec(1, 2), rec(1), rec(1),
+				},
+			}},
+			TermChunk: rec(9),
+		}}},
+	}
+}
+
+func TestSupportEmptyItemset(t *testing.T) {
+	est := Support(fixture(), rec())
+	if est.Lower != 6 || est.Upper != 6 || est.Expected != 6 {
+		t.Errorf("empty itemset = %+v, want 6 everywhere", est)
+	}
+}
+
+func TestSupportSingleChunkExact(t *testing.T) {
+	est := Support(fixture(), rec(1, 2))
+	if est.Lower != 3 || est.Upper != 3 || est.Expected != 3 {
+		t.Errorf("in-chunk pair = %+v, want exact 3", est)
+	}
+	est = Support(fixture(), rec(1))
+	if est.Lower != 5 || est.Upper != 5 || est.Expected != 5 {
+		t.Errorf("single term = %+v, want exact 5", est)
+	}
+}
+
+func TestSupportTermChunkSingle(t *testing.T) {
+	est := Support(fixture(), rec(9))
+	if est.Lower != 1 {
+		t.Errorf("term-chunk term lower = %d, want 1", est.Lower)
+	}
+	if est.Upper != 6 {
+		t.Errorf("term-chunk term upper = %d, want 6 (cluster size)", est.Upper)
+	}
+	if est.Expected != 1 {
+		t.Errorf("term-chunk term expected = %v, want 1", est.Expected)
+	}
+}
+
+func TestSupportCrossChunk(t *testing.T) {
+	// {1, 9} spans the record chunk (count 5) and the term chunk.
+	est := Support(fixture(), rec(1, 9))
+	if est.Lower != 0 {
+		t.Errorf("cross-chunk lower = %d, want 0", est.Lower)
+	}
+	if est.Upper != 5 {
+		// min(record-chunk count 5, term-chunk span 6)
+		t.Errorf("cross-chunk upper = %d, want 5", est.Upper)
+	}
+	// Expected: 6 × (5/6) × (1/6) = 5/6.
+	if est.Expected < 0.82 || est.Expected > 0.84 {
+		t.Errorf("cross-chunk expected = %v, want 5/6", est.Expected)
+	}
+}
+
+func TestSupportAbsentTerm(t *testing.T) {
+	est := Support(fixture(), rec(42))
+	if est.Lower != 0 || est.Upper != 0 || est.Expected != 0 {
+		t.Errorf("absent term = %+v, want zero", est)
+	}
+	// Pair with one absent term is impossible too.
+	est = Support(fixture(), rec(1, 42))
+	if est.Upper != 0 {
+		t.Errorf("pair with absent term = %+v, want zero", est)
+	}
+}
+
+func TestSupportTwoTermChunkTerms(t *testing.T) {
+	a := fixture()
+	a.Clusters[0].Simple.TermChunk = rec(8, 9)
+	est := Support(a, rec(8, 9))
+	if est.Lower != 0 || est.Upper != 6 {
+		t.Errorf("two term-chunk terms = %+v", est)
+	}
+	// Expected 6 × (1/6)² = 1/6.
+	if est.Expected < 0.16 || est.Expected > 0.17 {
+		t.Errorf("expected = %v, want 1/6", est.Expected)
+	}
+}
+
+// Against real anonymizer output: the bounds must bracket the original
+// support AND the support of every reconstruction.
+func TestBoundsBracketReality(t *testing.T) {
+	rng := rand.New(rand.NewPCG(3, 33))
+	var records []dataset.Record
+	for i := 0; i < 400; i++ {
+		terms := make([]dataset.Term, 1+rng.IntN(5))
+		for j := range terms {
+			terms[j] = dataset.Term(rng.IntN(30))
+		}
+		records = append(records, rec(terms...))
+	}
+	d := dataset.FromRecords(records)
+	a, err := core.Anonymize(d, core.Options{K: 3, M: 2, Seed: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	recons := reconstruct.SampleMany(a, 5, rng)
+
+	check := func(s dataset.Record) {
+		t.Helper()
+		est := Support(a, s)
+		orig := d.SupportOf(s)
+		if orig < est.Lower || orig > est.Upper {
+			t.Errorf("itemset %v: original support %d outside [%d, %d]", s, orig, est.Lower, est.Upper)
+		}
+		for i, r := range recons {
+			got := r.SupportOf(s)
+			if got < est.Lower {
+				t.Errorf("itemset %v: reconstruction %d support %d below lower bound %d", s, i, got, est.Lower)
+			}
+		}
+		if est.Expected < float64(est.Lower)-1e-9 || (est.Upper >= 0 && est.Expected > float64(est.Upper)+1e-9) {
+			t.Errorf("itemset %v: expected %v outside bounds [%d, %d]", s, est.Expected, est.Lower, est.Upper)
+		}
+	}
+	for term := dataset.Term(0); term < 30; term++ {
+		check(rec(term))
+	}
+	for trial := 0; trial < 100; trial++ {
+		a1 := dataset.Term(rng.IntN(30))
+		a2 := dataset.Term(rng.IntN(30))
+		if a1 != a2 {
+			check(rec(a1, a2))
+		}
+	}
+}
+
+// The expected estimator should, on average, land nearer the original
+// support than the worst-case bounds for pairs (sanity of the probabilistic
+// model rather than a formal guarantee).
+func TestExpectedEstimatorReasonable(t *testing.T) {
+	rng := rand.New(rand.NewPCG(5, 55))
+	var records []dataset.Record
+	for i := 0; i < 600; i++ {
+		base := dataset.Term(rng.IntN(6) * 2)
+		records = append(records, rec(base, base+1, dataset.Term(12+rng.IntN(20))))
+	}
+	d := dataset.FromRecords(records)
+	a, err := core.Anonymize(d, core.Options{K: 3, M: 2, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	totalErrExp, totalErrLower := 0.0, 0.0
+	n := 0
+	for b := dataset.Term(0); b < 12; b += 2 {
+		s := rec(b, b+1)
+		orig := float64(d.SupportOf(s))
+		if orig == 0 {
+			continue
+		}
+		est := Support(a, s)
+		totalErrExp += abs(orig - est.Expected)
+		totalErrLower += abs(orig - float64(est.Lower))
+		n++
+	}
+	if n == 0 {
+		t.Skip("no structured pairs survived")
+	}
+	if totalErrExp > totalErrLower+1e-9 {
+		t.Errorf("expected-model error %v worse than lower-bound error %v", totalErrExp/float64(n), totalErrLower/float64(n))
+	}
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+// Property: support estimates are antitone in the itemset — adding a term
+// can only shrink (or keep) every estimator, mirroring real supports.
+func TestEstimatorsAntitone(t *testing.T) {
+	rng := rand.New(rand.NewPCG(9, 99))
+	var records []dataset.Record
+	for i := 0; i < 300; i++ {
+		terms := make([]dataset.Term, 1+rng.IntN(5))
+		for j := range terms {
+			terms[j] = dataset.Term(rng.IntN(25))
+		}
+		records = append(records, rec(terms...))
+	}
+	d := dataset.FromRecords(records)
+	a, err := core.Anonymize(d, core.Options{K: 3, M: 2, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for trial := 0; trial < 200; trial++ {
+		t1 := dataset.Term(rng.IntN(25))
+		t2 := dataset.Term(rng.IntN(25))
+		if t1 == t2 {
+			continue
+		}
+		single := Support(a, rec(t1))
+		pair := Support(a, rec(t1, t2))
+		if pair.Upper > single.Upper {
+			t.Fatalf("{%d,%d}.Upper=%d > {%d}.Upper=%d", t1, t2, pair.Upper, t1, single.Upper)
+		}
+		if pair.Lower > single.Lower {
+			t.Fatalf("{%d,%d}.Lower=%d > {%d}.Lower=%d", t1, t2, pair.Lower, t1, single.Lower)
+		}
+		if pair.Expected > single.Expected+1e-9 {
+			t.Fatalf("{%d,%d}.Expected=%v > {%d}.Expected=%v", t1, t2, pair.Expected, t1, single.Expected)
+		}
+	}
+}

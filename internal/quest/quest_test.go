@@ -1,0 +1,224 @@
+package quest
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+
+	"disasso/internal/dataset"
+)
+
+func TestWeightedSamplerDistribution(t *testing.T) {
+	rng := rand.New(rand.NewPCG(1, 1))
+	s := NewWeightedSampler([]float64{1, 3, 6})
+	counts := make([]int, 3)
+	const n = 60000
+	for i := 0; i < n; i++ {
+		counts[s.Sample(rng)]++
+	}
+	want := []float64{0.1, 0.3, 0.6}
+	for i, c := range counts {
+		got := float64(c) / n
+		if math.Abs(got-want[i]) > 0.02 {
+			t.Errorf("index %d frequency %.3f, want %.3f ± 0.02", i, got, want[i])
+		}
+	}
+}
+
+func TestWeightedSamplerDegenerate(t *testing.T) {
+	rng := rand.New(rand.NewPCG(2, 2))
+	s := NewWeightedSampler(nil)
+	if got := s.Sample(rng); got != 0 {
+		t.Errorf("empty sampler returned %d", got)
+	}
+	// All-zero weights fall back to uniform.
+	s = NewWeightedSampler([]float64{0, 0, 0})
+	seen := make(map[int]bool)
+	for i := 0; i < 100; i++ {
+		seen[s.Sample(rng)] = true
+	}
+	if len(seen) != 3 {
+		t.Errorf("zero-weight sampler covered %d of 3 indices", len(seen))
+	}
+	// Single weight always returns 0.
+	s = NewWeightedSampler([]float64{5})
+	for i := 0; i < 10; i++ {
+		if s.Sample(rng) != 0 {
+			t.Fatal("single-element sampler strayed")
+		}
+	}
+}
+
+func TestZipfWeights(t *testing.T) {
+	w := ZipfWeights(4, 1)
+	if w[0] != 1 || math.Abs(w[1]-0.5) > 1e-12 || math.Abs(w[3]-0.25) > 1e-12 {
+		t.Errorf("ZipfWeights = %v", w)
+	}
+	w = ZipfWeights(3, 0)
+	for _, v := range w {
+		if v != 1 {
+			t.Errorf("s=0 should be uniform, got %v", w)
+		}
+	}
+}
+
+func TestPoissonMean(t *testing.T) {
+	rng := rand.New(rand.NewPCG(3, 3))
+	for _, lambda := range []float64{0.5, 4, 10, 50} {
+		sum := 0
+		const n = 20000
+		for i := 0; i < n; i++ {
+			sum += Poisson(rng, lambda)
+		}
+		mean := float64(sum) / n
+		if math.Abs(mean-lambda) > 0.05*lambda+0.1 {
+			t.Errorf("Poisson(%v) mean %.3f", lambda, mean)
+		}
+	}
+	if Poisson(rng, 0) != 0 || Poisson(rng, -1) != 0 {
+		t.Error("Poisson with non-positive lambda must be 0")
+	}
+}
+
+func TestTruncatedGeometric(t *testing.T) {
+	rng := rand.New(rand.NewPCG(4, 4))
+	const n = 30000
+	sum, maxSeen := 0, 0
+	for i := 0; i < n; i++ {
+		v := TruncatedGeometric(rng, 6.5, 164)
+		if v < 1 || v > 164 {
+			t.Fatalf("out of range: %d", v)
+		}
+		sum += v
+		if v > maxSeen {
+			maxSeen = v
+		}
+	}
+	mean := float64(sum) / n
+	if math.Abs(mean-6.5) > 0.5 {
+		t.Errorf("mean %.2f, want ≈6.5", mean)
+	}
+	if maxSeen < 20 {
+		t.Errorf("max seen %d — tail too light", maxSeen)
+	}
+	if TruncatedGeometric(rng, 1, 10) != 1 {
+		t.Error("mean 1 must yield length 1")
+	}
+	if TruncatedGeometric(rng, 5, 0) != 1 {
+		t.Error("max<1 must clamp to 1")
+	}
+}
+
+func TestGeneratorBasics(t *testing.T) {
+	cfg := Config{
+		NumTransactions: 2000,
+		DomainSize:      200,
+		AvgTransLen:     8,
+		AvgPatternLen:   4,
+		NumPatterns:     50,
+		Correlation:     0.5,
+		CorruptionMean:  0.5,
+		CorruptionDev:   0.1,
+		Seed:            7,
+	}
+	g, err := New(cfg)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	d := g.Generate()
+	if d.Len() != 2000 {
+		t.Fatalf("generated %d records, want 2000", d.Len())
+	}
+	if err := d.Validate(); err != nil {
+		t.Fatalf("invalid dataset: %v", err)
+	}
+	st := d.ComputeStats()
+	if st.AvgRecord < 4 || st.AvgRecord > 12 {
+		t.Errorf("avg record length %.2f far from configured 8", st.AvgRecord)
+	}
+	if st.DomainSize > cfg.DomainSize {
+		t.Errorf("domain %d exceeds configured %d", st.DomainSize, cfg.DomainSize)
+	}
+	for _, r := range d.Records {
+		for _, term := range r {
+			if term < 0 || int(term) >= cfg.DomainSize {
+				t.Fatalf("term %d outside domain", term)
+			}
+		}
+	}
+}
+
+func TestGeneratorDeterministic(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.NumTransactions = 500
+	cfg.DomainSize = 100
+	cfg.NumPatterns = 30
+	g1, _ := New(cfg)
+	g2, _ := New(cfg)
+	d1, d2 := g1.Generate(), g2.Generate()
+	if d1.Len() != d2.Len() {
+		t.Fatal("lengths differ")
+	}
+	for i := range d1.Records {
+		if !d1.Records[i].Equal(d2.Records[i]) {
+			t.Fatalf("record %d differs: %v vs %v", i, d1.Records[i], d2.Records[i])
+		}
+	}
+	cfg.Seed = 99
+	g3, _ := New(cfg)
+	d3 := g3.Generate()
+	same := true
+	for i := range d1.Records {
+		if !d1.Records[i].Equal(d3.Records[i]) {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical datasets")
+	}
+}
+
+func TestGeneratorProducesCooccurrence(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.NumTransactions = 5000
+	cfg.DomainSize = 300
+	cfg.NumPatterns = 40
+	g, _ := New(cfg)
+	d := g.Generate()
+	// With a 40-pattern pool, some pair must co-occur far above the
+	// independence baseline. Find the most frequent pair among top terms.
+	top := d.TermsByFrequency()
+	if len(top) > 30 {
+		top = top[:30]
+	}
+	best := 0
+	for i := 0; i < len(top); i++ {
+		for j := i + 1; j < len(top); j++ {
+			s := d.SupportOf(dataset.NewRecord(top[i], top[j]))
+			if s > best {
+				best = s
+			}
+		}
+	}
+	if best < 50 {
+		t.Errorf("max pair support %d — no co-occurrence structure", best)
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	bad := []Config{
+		{NumTransactions: -1, DomainSize: 10, AvgTransLen: 5, NumPatterns: 5},
+		{NumTransactions: 10, DomainSize: 0, AvgTransLen: 5, NumPatterns: 5},
+		{NumTransactions: 10, DomainSize: 10, AvgTransLen: 0.5, NumPatterns: 5},
+		{NumTransactions: 10, DomainSize: 10, AvgTransLen: 5, NumPatterns: 0},
+	}
+	for i, cfg := range bad {
+		if _, err := New(cfg); err == nil {
+			t.Errorf("config %d accepted: %+v", i, cfg)
+		}
+	}
+	if _, err := NewWithPopularity(DefaultConfig(), []float64{1}); err == nil {
+		t.Error("mismatched popularity length accepted")
+	}
+}

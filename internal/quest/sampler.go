@@ -1,0 +1,143 @@
+package quest
+
+import (
+	"math"
+	"math/rand/v2"
+)
+
+// WeightedSampler draws indices in O(1) from a fixed discrete distribution
+// using Walker's alias method. It backs both the pattern-weight roulette of
+// the Quest generator and the Zipf term popularity of the real-data
+// stand-ins.
+type WeightedSampler struct {
+	prob  []float64
+	alias []int
+}
+
+// NewWeightedSampler builds a sampler over the given non-negative weights.
+// Weights need not be normalized. At least one weight must be positive;
+// otherwise the sampler draws uniformly.
+func NewWeightedSampler(weights []float64) *WeightedSampler {
+	n := len(weights)
+	s := &WeightedSampler{prob: make([]float64, n), alias: make([]int, n)}
+	if n == 0 {
+		return s
+	}
+	total := 0.0
+	for _, w := range weights {
+		if w > 0 {
+			total += w
+		}
+	}
+	scaled := make([]float64, n)
+	for i, w := range weights {
+		if total <= 0 {
+			scaled[i] = 1 // degenerate input: uniform
+		} else if w > 0 {
+			scaled[i] = w * float64(n) / total
+		}
+	}
+	var small, large []int
+	for i, p := range scaled {
+		if p < 1 {
+			small = append(small, i)
+		} else {
+			large = append(large, i)
+		}
+	}
+	for len(small) > 0 && len(large) > 0 {
+		l := small[len(small)-1]
+		small = small[:len(small)-1]
+		g := large[len(large)-1]
+		large = large[:len(large)-1]
+		s.prob[l] = scaled[l]
+		s.alias[l] = g
+		scaled[g] = scaled[g] + scaled[l] - 1
+		if scaled[g] < 1 {
+			small = append(small, g)
+		} else {
+			large = append(large, g)
+		}
+	}
+	for _, i := range large {
+		s.prob[i] = 1
+	}
+	for _, i := range small {
+		s.prob[i] = 1 // numerical leftovers
+	}
+	return s
+}
+
+// Sample draws one index.
+func (s *WeightedSampler) Sample(rng *rand.Rand) int {
+	if len(s.prob) == 0 {
+		return 0
+	}
+	i := rng.IntN(len(s.prob))
+	if rng.Float64() < s.prob[i] {
+		return i
+	}
+	return s.alias[i]
+}
+
+// Len returns the size of the distribution's support.
+func (s *WeightedSampler) Len() int { return len(s.prob) }
+
+// ZipfWeights returns weights w_i = 1/(i+1)^s for a finite Zipf distribution
+// over n ranks with exponent s.
+func ZipfWeights(n int, s float64) []float64 {
+	w := make([]float64, n)
+	for i := range w {
+		w[i] = 1 / math.Pow(float64(i+1), s)
+	}
+	return w
+}
+
+// Poisson draws from a Poisson distribution with mean lambda. For small
+// lambda it uses Knuth's product method; for large lambda a normal
+// approximation keeps it O(1).
+func Poisson(rng *rand.Rand, lambda float64) int {
+	if lambda <= 0 {
+		return 0
+	}
+	if lambda < 30 {
+		l := math.Exp(-lambda)
+		k := 0
+		p := 1.0
+		for {
+			p *= rng.Float64()
+			if p <= l {
+				return k
+			}
+			k++
+		}
+	}
+	v := lambda + math.Sqrt(lambda)*rng.NormFloat64()
+	if v < 0 {
+		return 0
+	}
+	return int(v + 0.5)
+}
+
+// TruncatedGeometric draws a record length in [1, max] with mean
+// approximately mean: a geometric distribution on {1, 2, ...} with success
+// probability 1/mean, resampled while above max. The geometric's heavy-ish
+// tail reproduces the long-record skew the paper's real datasets exhibit
+// (avg 6.5 vs max 164 for POS).
+func TruncatedGeometric(rng *rand.Rand, mean float64, max int) int {
+	if max < 1 {
+		return 1
+	}
+	if mean <= 1 {
+		return 1
+	}
+	p := 1 / mean
+	for {
+		// Inverse CDF of geometric on {1,2,...}.
+		u := rng.Float64()
+		l := 1 + int(math.Floor(math.Log(1-u)/math.Log(1-p)))
+		if l >= 1 && l <= max {
+			return l
+		}
+	}
+}

@@ -1,0 +1,101 @@
+package reconstruct
+
+import (
+	"math/rand/v2"
+	"testing"
+
+	"disasso/internal/core"
+	"disasso/internal/dataset"
+)
+
+// Hand-built publication exercising the augmentation path: the shared chunk
+// spans two leaves; leaf A's record-chunk domain conflicts with term 1, so
+// every {1}-subrecord must land in leaf B, and with tight slot counts the
+// greedy's random probes alone can strand one (forcing a relocation).
+func TestAssignSharedAugmentation(t *testing.T) {
+	leafA := &core.Cluster{
+		Size: 3,
+		RecordChunks: []core.Chunk{{
+			Domain:     dataset.NewRecord(1, 2),
+			Subrecords: []dataset.Record{dataset.NewRecord(1, 2), dataset.NewRecord(1, 2), dataset.NewRecord(1, 2)},
+		}},
+		TermChunk: dataset.NewRecord(9),
+	}
+	leafB := &core.Cluster{
+		Size: 3,
+		RecordChunks: []core.Chunk{{
+			Domain:     dataset.NewRecord(5),
+			Subrecords: []dataset.Record{dataset.NewRecord(5), dataset.NewRecord(5), dataset.NewRecord(5)},
+		}},
+		TermChunk: dataset.NewRecord(8),
+	}
+	joint := &core.ClusterNode{
+		Children: []*core.ClusterNode{{Simple: leafA}, {Simple: leafB}},
+		SharedChunks: []core.Chunk{{
+			Domain: dataset.NewRecord(1),
+			// Three {1}-subrecords, exactly leaf B's capacity.
+			Subrecords: []dataset.Record{dataset.NewRecord(1), dataset.NewRecord(1), dataset.NewRecord(1)},
+		}},
+	}
+	a := &core.Anonymized{K: 3, M: 2, Clusters: []*core.ClusterNode{joint}}
+
+	for seed := uint64(0); seed < 30; seed++ {
+		forcedMerges = 0
+		r := Sample(a, rand.New(rand.NewPCG(seed, seed+1)))
+		if forcedMerges != 0 {
+			t.Fatalf("seed %d: forced merge despite feasible assignment", seed)
+		}
+		// All three shared {1}-subrecords must land on leaf B's records
+		// (slots 3..5), never merging with leaf A's chunk-domain slots.
+		count1 := 0
+		for i := 3; i < 6; i++ {
+			if r.Records[i].Contains(1) {
+				count1++
+			}
+		}
+		if count1 != 3 {
+			t.Fatalf("seed %d: %d of 3 shared subrecords reached leaf B", seed, count1)
+		}
+		for i := 0; i < 3; i++ {
+			// Leaf A records keep exactly one occurrence of term 1 (their
+			// own chunk part).
+			if !r.Records[i].Contains(1) || !r.Records[i].Contains(2) {
+				t.Fatalf("seed %d: leaf A record %d = %v lost its chunk part", seed, i, r.Records[i])
+			}
+		}
+	}
+}
+
+// A hand-built infeasible publication (more conflicting subrecords than
+// conflict-free slots) must fall back to merging rather than hang or panic.
+func TestAssignSharedInfeasibleFallsBack(t *testing.T) {
+	leaf := &core.Cluster{
+		Size: 3,
+		RecordChunks: []core.Chunk{{
+			Domain:     dataset.NewRecord(1),
+			Subrecords: []dataset.Record{dataset.NewRecord(1), dataset.NewRecord(1), dataset.NewRecord(1)},
+		}},
+		TermChunk: dataset.NewRecord(9),
+	}
+	leafB := &core.Cluster{Size: 1, TermChunk: dataset.NewRecord(8)}
+	joint := &core.ClusterNode{
+		Children: []*core.ClusterNode{{Simple: leaf}, {Simple: leafB}},
+		SharedChunks: []core.Chunk{{
+			Domain: dataset.NewRecord(1),
+			// Two {1}-subrecords but only one conflict-free slot.
+			Subrecords: []dataset.Record{dataset.NewRecord(1), dataset.NewRecord(1)},
+		}},
+	}
+	a := &core.Anonymized{K: 2, M: 2, Clusters: []*core.ClusterNode{joint}}
+	forcedMerges = 0
+	r := Sample(a, rand.New(rand.NewPCG(4, 4)))
+	if forcedMerges == 0 {
+		t.Error("expected a forced merge on an infeasible publication")
+	}
+	if r.Len() != 4 {
+		t.Errorf("reconstruction has %d records", r.Len())
+	}
+	if err := r.Validate(); err != nil {
+		t.Errorf("fallback produced an invalid dataset: %v", err)
+	}
+}

@@ -1,0 +1,126 @@
+package reconstruct
+
+import (
+	"math/rand/v2"
+	"testing"
+
+	"disasso/internal/core"
+	"disasso/internal/dataset"
+)
+
+// seededAnonymized builds anonymizer output for the invariant tests below.
+func seededAnonymized(t *testing.T, seed uint64) (*dataset.Dataset, *core.Anonymized) {
+	t.Helper()
+	rng := rand.New(rand.NewPCG(seed, 33))
+	var records []dataset.Record
+	for i := 0; i < 400; i++ {
+		terms := make([]dataset.Term, 1+rng.IntN(5))
+		for j := range terms {
+			terms[j] = dataset.Term(rng.IntN(30))
+		}
+		records = append(records, dataset.NewRecord(terms...))
+	}
+	d := dataset.FromRecords(records)
+	a, err := core.Anonymize(d, core.Options{K: 3, M: 2, Seed: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d, a
+}
+
+// The anonymizer's own output always offers a conflict-free slot for every
+// shared subrecord; the sampler's last-resort merge path must never fire.
+func TestNoForcedMerges(t *testing.T) {
+	for seed := uint64(1); seed <= 5; seed++ {
+		_, a := seededAnonymized(t, seed)
+		rng := rand.New(rand.NewPCG(seed, 1))
+		forcedMerges = 0
+		SampleMany(a, 5, rng)
+		if forcedMerges != 0 {
+			t.Errorf("seed %d: %d forced merges", seed, forcedMerges)
+		}
+	}
+}
+
+// A term in a leaf's term chunk never appears in the shared-chunk domains of
+// that leaf's ancestors — the invariant that lets term-chunk padding skip
+// conflict checks (REFINE removes placed terms from every term chunk).
+func TestTermChunkDisjointFromAncestorShared(t *testing.T) {
+	for seed := uint64(1); seed <= 5; seed++ {
+		_, a := seededAnonymized(t, seed)
+		for ci, node := range a.Clusters {
+			var walk func(n *core.ClusterNode, anc dataset.Record)
+			walk = func(n *core.ClusterNode, anc dataset.Record) {
+				if n.IsLeaf() {
+					if inter := n.Simple.TermChunk.Intersect(anc); len(inter) > 0 {
+						t.Errorf("seed %d cluster %d: TC terms %v in ancestor shared domains", seed, ci, inter)
+					}
+					return
+				}
+				for _, c := range n.SharedChunks {
+					anc = anc.Union(c.Domain)
+				}
+				for _, child := range n.Children {
+					walk(child, anc)
+				}
+			}
+			walk(node, nil)
+		}
+	}
+}
+
+// Regression for the ancestor/descendant shared-chunk merge: every published
+// occurrence of a term within a cluster must survive into each
+// reconstruction (per-cluster support ≥ chunk occurrences + term-chunk
+// presences). A term may sit in shared chunks at two levels of the same
+// chain; their subrecords must land on distinct records.
+func TestPerClusterSupportsAtLeastPublished(t *testing.T) {
+	for seed := uint64(1); seed <= 5; seed++ {
+		_, a := seededAnonymized(t, seed)
+		rng := rand.New(rand.NewPCG(seed, 2))
+		domain := a.Domain()
+		for trial := 0; trial < 3; trial++ {
+			r := Sample(a, rng)
+			off := 0
+			for ci, node := range a.Clusters {
+				size := node.Size()
+				published := make(map[dataset.Term]int)
+				node.Walk(func(cn *core.ClusterNode) {
+					if cn.IsLeaf() {
+						for _, c := range cn.Simple.RecordChunks {
+							for _, sr := range c.Subrecords {
+								for _, tm := range sr {
+									published[tm]++
+								}
+							}
+						}
+						for _, tm := range cn.Simple.TermChunk {
+							published[tm]++
+						}
+					} else {
+						for _, c := range cn.SharedChunks {
+							for _, sr := range c.Subrecords {
+								for _, tm := range sr {
+									published[tm]++
+								}
+							}
+						}
+					}
+				})
+				got := make(map[dataset.Term]int)
+				for i := off; i < off+size; i++ {
+					for _, tm := range r.Records[i] {
+						got[tm]++
+					}
+				}
+				for _, tm := range domain {
+					if got[tm] < published[tm] {
+						t.Errorf("seed %d trial %d cluster %d term %d: reconstructed %d < published %d",
+							seed, trial, ci, tm, got[tm], published[tm])
+					}
+				}
+				off += size
+			}
+		}
+	}
+}

@@ -169,6 +169,20 @@ func BenchmarkHorPart(b *testing.B) {
 	}
 }
 
+// BenchmarkHorPartParallel sweeps the worker count of the parallel
+// recursive splits; the emitted cluster list is identical at every setting.
+func BenchmarkHorPartParallel(b *testing.B) {
+	d := benchDataset(b)
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(benchName("workers", workers), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				core.HorPartN(d, 30, nil, workers)
+			}
+		})
+	}
+}
+
 func BenchmarkVerPart(b *testing.B) {
 	d := benchDataset(b)
 	clusters := core.HorPart(d, 30, nil)

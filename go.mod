@@ -1,0 +1,3 @@
+module disasso
+
+go 1.24

@@ -11,9 +11,11 @@ package anonymity
 
 import (
 	"fmt"
+	"runtime"
 
 	"disasso/internal/core"
 	"disasso/internal/dataset"
+	"disasso/internal/par"
 )
 
 // Violation describes one failed check.
@@ -48,8 +50,10 @@ func (r *Report) addf(where, format string, args ...any) {
 }
 
 // Verify checks the whole anonymized dataset and returns the full report.
+// Clusters verify independently, so the checks fan out across GOMAXPROCS
+// workers; per-cluster sub-reports merge in cluster order, keeping the
+// violation list deterministic.
 func Verify(a *core.Anonymized) *Report {
-	rep := &Report{}
 	// Minimum cluster size: a term disclosed only in a term chunk offers at
 	// most |P| candidate records, so |P| < k breaks the guarantee (unless
 	// the whole dataset is smaller than k — nothing can fix that).
@@ -57,15 +61,23 @@ func Verify(a *core.Anonymized) *Report {
 	if total := a.NumRecords(); total < minSize {
 		minSize = total
 	}
-	for i, n := range a.Clusters {
+	subs := make([]*Report, len(a.Clusters))
+	par.Do(runtime.GOMAXPROCS(0), len(a.Clusters), func(i int) {
+		sub := &Report{}
+		n := a.Clusters[i]
 		where := fmt.Sprintf("cluster %d", i)
 		for li, leaf := range n.Leaves(nil) {
 			if leaf.Size < minSize {
-				rep.addf(fmt.Sprintf("%s, leaf %d", where, li),
+				sub.addf(fmt.Sprintf("%s, leaf %d", where, li),
 					"cluster size %d below k=%d: term-chunk terms have too few candidates", leaf.Size, a.K)
 			}
 		}
-		verifyNode(rep, where, n, a.K, a.M)
+		verifyNode(sub, where, n, a.K, a.M)
+		subs[i] = sub
+	})
+	rep := &Report{}
+	for _, sub := range subs {
+		rep.Violations = append(rep.Violations, sub.Violations...)
 	}
 	return rep
 }

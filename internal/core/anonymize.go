@@ -4,9 +4,9 @@ import (
 	"fmt"
 	"math/rand/v2"
 	"runtime"
-	"sync"
 
 	"disasso/internal/dataset"
+	"disasso/internal/par"
 )
 
 // DefaultMaxClusterSize is the horizontal-partitioning threshold used when
@@ -82,28 +82,20 @@ func Anonymize(d *dataset.Dataset, opts Options) (*Anonymized, error) {
 	}
 	opts = opts.withDefaults()
 
-	clusters := HorPart(d, opts.MaxClusterSize, opts.Sensitive)
+	clusters := HorPartN(d, opts.MaxClusterSize, opts.Sensitive, opts.Parallel)
 	// Every cluster needs at least K records, or a term confined to its term
 	// chunk would leave an adversary fewer than K candidates (Section 5's
 	// reconstruction argument pads up to |P| records only).
 	clusters = MergeUndersized(clusters, opts.K)
 
 	leaves := make([]*leafState, len(clusters))
-	var wg sync.WaitGroup
-	sem := make(chan struct{}, opts.Parallel)
-	for i, records := range clusters {
-		wg.Add(1)
-		go func(i int, records []dataset.Record) {
-			defer wg.Done()
-			sem <- struct{}{}
-			defer func() { <-sem }()
-			// Per-cluster PRNG: deterministic regardless of scheduling.
-			rng := rand.New(rand.NewPCG(opts.Seed, uint64(i)+1))
-			cl := VerPart(records, opts.K, opts.M, opts.Sensitive, rng)
-			leaves[i] = &leafState{records: records, cluster: cl}
-		}(i, records)
-	}
-	wg.Wait()
+	par.Do(opts.Parallel, len(clusters), func(i int) {
+		// Per-cluster PRNG: deterministic regardless of scheduling.
+		rng := rand.New(rand.NewPCG(opts.Seed, uint64(i)+1))
+		records := clusters[i]
+		cl := VerPart(records, opts.K, opts.M, opts.Sensitive, rng)
+		leaves[i] = &leafState{records: records, cluster: cl}
+	})
 
 	nodes := make([]*refNode, len(leaves))
 	for i, l := range leaves {
@@ -111,7 +103,7 @@ func Anonymize(d *dataset.Dataset, opts Options) (*Anonymized, error) {
 	}
 	if !opts.DisableRefine {
 		rng := rand.New(rand.NewPCG(opts.Seed, 0xEF11E))
-		nodes = refine(nodes, opts.K, opts.M, opts.Sensitive, rng)
+		nodes = refine(nodes, opts.K, opts.M, opts.Sensitive, rng, opts.Parallel)
 	}
 
 	out := &Anonymized{K: opts.K, M: opts.M, Clusters: make([]*ClusterNode, len(nodes))}

@@ -1,6 +1,11 @@
 package core
 
 import (
+	"runtime"
+	"slices"
+	"sync"
+	"sync/atomic"
+
 	"disasso/internal/dataset"
 )
 
@@ -13,65 +18,244 @@ import (
 //
 // Terms in exclude (the sensitive terms of the l-diversity mode, Section 5)
 // are never used for splitting. The returned clusters reference the input's
-// record slices without copying. maxClusterSize values below 2 are treated
-// as 2.
+// records without copying. maxClusterSize values below 2 are treated as 2.
 func HorPart(d *dataset.Dataset, maxClusterSize int, exclude map[dataset.Term]bool) [][]dataset.Record {
+	return HorPartN(d, maxClusterSize, exclude, 1)
+}
+
+// HorPartN is HorPart with parallel recursive splits: the two sides of a
+// split recurse concurrently on up to parallel workers (0 means GOMAXPROCS,
+// 1 is sequential). The cluster list is identical for every worker count —
+// it is the preorder of the split tree, records-containing-the-term branch
+// first — so parallelism never changes the anonymizer's output.
+func HorPartN(d *dataset.Dataset, maxClusterSize int, exclude map[dataset.Term]bool, parallel int) [][]dataset.Record {
 	if maxClusterSize < 2 {
 		maxClusterSize = 2
 	}
-	var clusters [][]dataset.Record
-	if d.Len() == 0 {
-		return clusters
+	if parallel < 1 {
+		parallel = runtime.GOMAXPROCS(0)
+	}
+	n := d.Len()
+	if n == 0 {
+		return nil
 	}
 
-	// Explicit work stack: recursion depth can reach the domain size on
-	// pathological inputs, so avoid the call stack. The ignore set grows only
-	// along "records containing a" branches; sharing one map per branch via
-	// copy keeps semantics exact while splits stay shallow in practice.
-	type task struct {
-		records []dataset.Record
-		ignore  map[dataset.Term]bool
+	// Remap the dataset onto dense local term ids (ascending with global
+	// terms, see collectTerms) so per-split support counting is a flat array
+	// walk instead of map upkeep.
+	total := 0
+	for _, r := range d.Records {
+		total += len(r)
 	}
-	rootIgnore := make(map[dataset.Term]bool, len(exclude))
+	terms := collectTerms(d.Records)
+	id := make(map[dataset.Term]uint32, len(terms))
+	for i, t := range terms {
+		id[t] = uint32(i)
+	}
+	flat := make([]int32, total)
+	recs := make([][]int32, n)
+	used := 0
+	for i, r := range d.Records {
+		lr := flat[used : used : used+len(r)]
+		for _, t := range r {
+			lr = append(lr, int32(id[t]))
+		}
+		recs[i] = lr
+		used += len(r)
+	}
+
+	hp := &horPartition{
+		records: d.Records,
+		recs:    recs,
+		nTerms:  len(terms),
+		max:     maxClusterSize,
+	}
+	hp.spare.Store(int32(parallel - 1))
+	hp.pool.New = func() any {
+		buf := make([]int32, len(terms))
+		return &buf
+	}
+
+	rootIgnore := make([]bool, len(terms))
 	for t := range exclude {
-		rootIgnore[t] = true
+		if lt, ok := id[t]; ok {
+			rootIgnore[lt] = true
+		}
 	}
-	stack := []task{{records: d.Records, ignore: rootIgnore}}
+	idx := make([]int32, n)
+	for i := range idx {
+		idx[i] = int32(i)
+	}
+	return hp.split(idx, rootIgnore, 0)
+}
 
+// horPartition carries the shared, read-only remapping plus the parallelism
+// budget of one HorPartN run.
+type horPartition struct {
+	records []dataset.Record
+	recs    [][]int32 // records as sorted local term ids
+	nTerms  int
+	max     int
+	spare   atomic.Int32 // extra goroutines still allowed
+	pool    sync.Pool    // *[]int32 zeroed support-count buffers
+}
+
+// parallelSplitMin is the smallest branch worth a goroutine: below this the
+// spawn overhead dwarfs the counting work.
+const parallelSplitMin = 128
+
+// maxSpawnDepth bounds the recursive region of split: spawning only pays
+// near the root, and capping the recursion keeps the call stack shallow even
+// on pathological inputs (a chain of singleton splits would otherwise nest
+// one frame per domain term). Below this depth splitIter takes over with an
+// explicit work stack.
+const maxSpawnDepth = 48
+
+// split partitions the records identified by idx, emitting clusters in the
+// preorder of the split tree (with-branch first). ignore is mutated and
+// restored in place (mutate-and-undo) on sequential branches; only a branch
+// handed to another goroutine gets its own copy.
+func (hp *horPartition) split(idx []int32, ignore []bool, depth int) [][]dataset.Record {
+	if depth >= maxSpawnDepth {
+		return hp.splitIter(idx, ignore)
+	}
+	if len(idx) == 0 {
+		return nil
+	}
+	if len(idx) < hp.max {
+		return [][]dataset.Record{hp.cluster(idx)}
+	}
+	a, ok := hp.mostFrequent(idx, ignore)
+	if !ok {
+		// Every term is ignored: the records cannot be distinguished by any
+		// unused term, so they form one (possibly oversized) cluster.
+		return [][]dataset.Record{hp.cluster(idx)}
+	}
+	with, without := hp.partition(idx, a)
+
+	if min(len(with), len(without)) >= parallelSplitMin && hp.tryAcquire() {
+		withIgnore := make([]bool, hp.nTerms)
+		copy(withIgnore, ignore)
+		withIgnore[a] = true
+		var withClusters [][]dataset.Record
+		var wg sync.WaitGroup
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			withClusters = hp.split(with, withIgnore, depth+1)
+			hp.spare.Add(1)
+		}()
+		withoutClusters := hp.split(without, ignore, depth+1)
+		wg.Wait()
+		return append(withClusters, withoutClusters...)
+	}
+	ignore[a] = true
+	withClusters := hp.split(with, ignore, depth+1)
+	ignore[a] = false
+	return append(withClusters, hp.split(without, ignore, depth+1)...)
+}
+
+// splitIter is the sequential, constant-stack form of split: an explicit
+// work stack whose set/unset markers implement the same mutate-and-undo
+// ignore discipline, emitting clusters in the same preorder.
+func (hp *horPartition) splitIter(idx []int32, ignore []bool) [][]dataset.Record {
+	type task struct {
+		records []int32
+		unset   int32 // when ≥ 0: undo marker, clear ignore[unset] (records nil)
+	}
+	var clusters [][]dataset.Record
+	stack := []task{{records: idx, unset: -1}}
 	for len(stack) > 0 {
 		cur := stack[len(stack)-1]
 		stack = stack[:len(stack)-1]
+		if cur.unset >= 0 {
+			ignore[cur.unset] = false
+			continue
+		}
 		if len(cur.records) == 0 {
 			continue
 		}
-		if len(cur.records) < maxClusterSize {
-			clusters = append(clusters, cur.records)
+		if len(cur.records) < hp.max {
+			clusters = append(clusters, hp.cluster(cur.records))
 			continue
 		}
-		a, ok := mostFrequentTerm(cur.records, cur.ignore)
+		a, ok := hp.mostFrequent(cur.records, ignore)
 		if !ok {
-			// Every term is ignored: the records cannot be distinguished by
-			// any unused term, so they form one (possibly oversized) cluster.
-			clusters = append(clusters, cur.records)
+			clusters = append(clusters, hp.cluster(cur.records))
 			continue
 		}
-		var with, without []dataset.Record
-		for _, r := range cur.records {
-			if r.Contains(a) {
-				with = append(with, r)
-			} else {
-				without = append(without, r)
-			}
-		}
-		withIgnore := make(map[dataset.Term]bool, len(cur.ignore)+1)
-		for t := range cur.ignore {
-			withIgnore[t] = true
-		}
-		withIgnore[a] = true
-		stack = append(stack, task{records: without, ignore: cur.ignore})
-		stack = append(stack, task{records: with, ignore: withIgnore})
+		with, without := hp.partition(cur.records, a)
+		// Execution order (LIFO): with-subtree under ignore[a], then the
+		// undo marker, then the without-subtree.
+		ignore[a] = true
+		stack = append(stack, task{records: without, unset: -1})
+		stack = append(stack, task{unset: a})
+		stack = append(stack, task{records: with, unset: -1})
 	}
 	return clusters
+}
+
+// partition splits the record indices by containment of local term a.
+func (hp *horPartition) partition(idx []int32, a int32) (with, without []int32) {
+	for _, ri := range idx {
+		if _, found := slices.BinarySearch(hp.recs[ri], a); found {
+			with = append(with, ri)
+		} else {
+			without = append(without, ri)
+		}
+	}
+	return with, without
+}
+
+func (hp *horPartition) tryAcquire() bool {
+	for {
+		v := hp.spare.Load()
+		if v <= 0 {
+			return false
+		}
+		if hp.spare.CompareAndSwap(v, v-1) {
+			return true
+		}
+	}
+}
+
+// cluster materializes one emitted cluster as original records.
+func (hp *horPartition) cluster(idx []int32) []dataset.Record {
+	out := make([]dataset.Record, len(idx))
+	for i, ri := range idx {
+		out[i] = hp.records[ri]
+	}
+	return out
+}
+
+// mostFrequent returns the local id of the term with the highest support
+// among the records, skipping ignored terms; ties break toward the smaller
+// id so the partitioning is deterministic. The count buffer comes from the
+// pool zeroed and is re-zeroed via the records just counted before going
+// back.
+func (hp *horPartition) mostFrequent(idx []int32, ignore []bool) (int32, bool) {
+	bufp := hp.pool.Get().(*[]int32)
+	counts := *bufp
+	best, bestSup := int32(-1), int32(0)
+	for _, ri := range idx {
+		for _, lt := range hp.recs[ri] {
+			if ignore[lt] {
+				continue
+			}
+			c := counts[lt] + 1
+			counts[lt] = c
+			if c > bestSup || (c == bestSup && lt < best) {
+				best, bestSup = lt, c
+			}
+		}
+	}
+	for _, ri := range idx {
+		for _, lt := range hp.recs[ri] {
+			counts[lt] = 0
+		}
+	}
+	hp.pool.Put(bufp)
+	return best, bestSup > 0
 }
 
 // MergeUndersized repairs the partitioning for the k^m guarantee: a cluster
@@ -113,26 +297,4 @@ func MergeUndersized(clusters [][]dataset.Record, min int) [][]dataset.Record {
 		}
 	}
 	return out
-}
-
-// mostFrequentTerm returns the term with the highest support among the
-// records, skipping ignored terms; ties break toward the smaller term ID so
-// the partitioning is deterministic.
-func mostFrequentTerm(records []dataset.Record, ignore map[dataset.Term]bool) (dataset.Term, bool) {
-	supports := make(map[dataset.Term]int)
-	for _, r := range records {
-		for _, t := range r {
-			if !ignore[t] {
-				supports[t]++
-			}
-		}
-	}
-	best := dataset.Term(-1)
-	bestSup := 0
-	for t, s := range supports {
-		if s > bestSup || (s == bestSup && t < best) {
-			best, bestSup = t, s
-		}
-	}
-	return best, bestSup > 0
 }

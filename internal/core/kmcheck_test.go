@@ -10,21 +10,36 @@ import (
 
 func TestComboKeyDistinctness(t *testing.T) {
 	buf := make([]byte, 0, 64)
-	a := comboKey(buf, dataset.NewRecord(1, 3), 2)
-	b := comboKey(buf, dataset.NewRecord(1, 2), 3)
+	a, buf := comboKey(buf, dataset.NewRecord(1, 3), 2)
+	b, buf := comboKey(buf, dataset.NewRecord(1, 2), 3)
 	if a != b {
 		t.Error("comboKey must be order-independent: {1,3}+2 vs {1,2}+3")
 	}
-	c := comboKey(buf, dataset.NewRecord(1), 2)
-	d := comboKey(buf, dataset.NewRecord(12), 0)
+	c, buf := comboKey(buf, dataset.NewRecord(1), 2)
+	d, buf := comboKey(buf, dataset.NewRecord(12), 0)
 	if c == d {
 		t.Error("distinct combos share a key")
 	}
 	// extra greater than all combo terms
-	e := comboKey(buf, dataset.NewRecord(1, 2), 9)
-	f := comboKey(buf, dataset.NewRecord(2, 9), 1)
+	e, buf := comboKey(buf, dataset.NewRecord(1, 2), 9)
+	f, _ := comboKey(buf, dataset.NewRecord(2, 9), 1)
 	if e != f {
 		t.Error("comboKey must sort the extra term into place")
+	}
+}
+
+// TestComboKeyThreadsBuffer pins the regression where comboKey's grown
+// buffer was discarded, reallocating on every oversized call.
+func TestComboKeyThreadsBuffer(t *testing.T) {
+	var buf []byte
+	_, buf = comboKey(buf, dataset.NewRecord(1, 2, 3, 4, 5, 6, 7), 8)
+	if cap(buf) < 8*4 {
+		t.Fatalf("comboKey did not return the grown buffer, cap = %d", cap(buf))
+	}
+	before := cap(buf)
+	_, buf = comboKey(buf, dataset.NewRecord(1, 2, 3), 4)
+	if cap(buf) != before {
+		t.Errorf("comboKey reallocated a buffer that was large enough: cap %d -> %d", before, cap(buf))
 	}
 }
 

@@ -2,9 +2,11 @@ package core
 
 import (
 	"math/rand/v2"
+	"slices"
 	"sort"
 
 	"disasso/internal/dataset"
+	"disasso/internal/par"
 )
 
 // leafState is a simple cluster's mutable state during refinement: the
@@ -14,6 +16,38 @@ import (
 type leafState struct {
 	records []dataset.Record
 	cluster *Cluster
+
+	// In-cluster term supports, cached because the records never change
+	// while planJoin evaluates the same leaves across many passes and pairs.
+	supTerms  []dataset.Term
+	supCounts []int32
+}
+
+// ensureSupports builds the support cache. It must be called before the leaf
+// is shared across concurrent planJoin calls.
+func (l *leafState) ensureSupports() {
+	if l.supTerms != nil {
+		return
+	}
+	l.supTerms = collectTerms(l.records)
+	l.supCounts = make([]int32, len(l.supTerms))
+	for _, r := range l.records {
+		for _, t := range r {
+			j, _ := slices.BinarySearch(l.supTerms, t)
+			l.supCounts[j]++
+		}
+	}
+}
+
+// support returns the number of the leaf's records containing t.
+func (l *leafState) support(t dataset.Term) int {
+	if l.supTerms == nil {
+		l.ensureSupports()
+	}
+	if i, ok := slices.BinarySearch(l.supTerms, t); ok {
+		return int(l.supCounts[i])
+	}
+	return 0
 }
 
 // refNode is a work node of the cluster forest during refinement.
@@ -77,20 +111,49 @@ func (n *refNode) refreshVirtualTC() {
 // (or, where Property 1 demands, k-anonymous) shared chunks, until a fixpoint.
 // Sensitive terms never become refining terms: they must stay in term chunks
 // (the l-diversity mode of Section 5).
-func refine(nodes []*refNode, k, m int, sensitive map[dataset.Term]bool, rng *rand.Rand) []*refNode {
+//
+// With workers > 1 each pass speculatively evaluates every adjacent pair
+// concurrently: planJoin is pure, so the plans can be computed in any order,
+// and the subsequent left-to-right commit scan consumes exactly the pairs the
+// sequential greedy scan would have (a failed sequential attempt mutates
+// nothing and a successful one only touches the two nodes it consumes, which
+// the scan then skips). The shuffle RNG is only consumed during the ordered
+// commits, so the output is byte-identical for every worker count.
+func refine(nodes []*refNode, k, m int, sensitive map[dataset.Term]bool, rng *rand.Rand, workers int) []*refNode {
+	// The support caches must exist before leaves are shared across
+	// concurrent planJoin calls (adjacent pairs overlap in one node).
+	for _, n := range nodes {
+		for _, l := range n.leaves(nil) {
+			l.ensureSupports()
+		}
+	}
 	for {
 		for _, n := range nodes {
 			n.refreshVirtualTC()
 		}
 		orderByTermChunks(nodes)
 
+		var plans []*joinPlan
+		if workers > 1 && len(nodes) > 2 {
+			plans = make([]*joinPlan, len(nodes)-1)
+			par.Do(workers, len(plans), func(i int) {
+				plans[i] = planJoin(nodes[i], nodes[i+1], k, m, sensitive)
+			})
+		}
+
 		modified := false
 		out := make([]*refNode, 0, len(nodes))
 		i := 0
 		for i < len(nodes) {
 			if i+1 < len(nodes) {
-				if j := tryJoin(nodes[i], nodes[i+1], k, m, sensitive, rng); j != nil {
-					out = append(out, j)
+				var p *joinPlan
+				if plans != nil {
+					p = plans[i]
+				} else {
+					p = planJoin(nodes[i], nodes[i+1], k, m, sensitive)
+				}
+				if p != nil {
+					out = append(out, p.commit(rng))
 					i += 2
 					modified = true
 					continue
@@ -166,10 +229,23 @@ func orderByTermChunks(nodes []*refNode) {
 	copy(nodes, reordered)
 }
 
-// tryJoin evaluates the Equation 1 criterion for joining nodes a and b and,
-// if it holds, returns the joint node with freshly built shared chunks;
-// otherwise it returns nil and leaves both nodes untouched.
-func tryJoin(a, b *refNode, k, m int, sensitive map[dataset.Term]bool, rng *rand.Rand) *refNode {
+// joinPlan is the outcome of a successful planJoin: everything needed to
+// materialize the joint cluster, with the two mutation steps (shuffling the
+// shared-chunk subrecords, stripping placed terms from the leaves' term
+// chunks) deferred to commit so planning stays pure and parallelizable.
+type joinPlan struct {
+	a, b    *refNode
+	leaves  []*leafState
+	contrib []dataset.Record // per leaf, its refining terms (post-exclusion)
+	placed  map[dataset.Term]bool
+	masked  []dataset.Record
+	domains []dataset.Record
+}
+
+// planJoin evaluates the Equation 1 criterion for joining nodes a and b and,
+// if it holds, returns the join plan; otherwise it returns nil. It reads
+// only the two nodes' subtrees and mutates nothing.
+func planJoin(a, b *refNode, k, m int, sensitive map[dataset.Term]bool) *joinPlan {
 	// Refining terms: common to the virtual term chunks of both sides,
 	// excluding sensitive terms (which must remain disassociated from all
 	// subrecords).
@@ -190,16 +266,12 @@ func tryJoin(a, b *refNode, k, m int, sensitive map[dataset.Term]bool, rng *rand
 	}
 
 	// Eligibility: total support across contributing leaves must reach k,
-	// otherwise no k^m- or k-anonymous shared chunk can host the term.
+	// otherwise no k^m- or k-anonymous shared chunk can host the term. The
+	// per-leaf supports come from the leafState cache.
 	totalSup := make(map[dataset.Term]int)
-	leafSup := make([]map[dataset.Term]int, len(leaves))
 	for i, l := range leaves {
-		leafSup[i] = make(map[dataset.Term]int)
-		for _, r := range l.records {
-			for _, t := range contrib[i].Intersect(r) {
-				leafSup[i][t]++
-				totalSup[t]++
-			}
+		for _, t := range contrib[i] {
+			totalSup[t] += l.support(t)
 		}
 	}
 	var ts dataset.Record
@@ -240,7 +312,7 @@ func tryJoin(a, b *refNode, k, m int, sensitive map[dataset.Term]bool, rng *rand
 			(len(l.cluster.RecordChunks) == 0 || !lemma2Holds(l.cluster, k, m)) {
 			keep := eff[0]
 			for _, t := range eff {
-				if leafSup[i][t] < leafSup[i][keep] {
+				if l.support(t) < l.support(keep) {
 					keep = t
 				}
 			}
@@ -253,9 +325,9 @@ func tryJoin(a, b *refNode, k, m int, sensitive map[dataset.Term]bool, rng *rand
 		}
 		ts = withoutExcluded(ts, excluded)
 		totalSup = make(map[dataset.Term]int)
-		for i := range leaves {
+		for i, l := range leaves {
 			for _, t := range contrib[i] {
-				totalSup[t] += leafSup[i][t]
+				totalSup[t] += l.support(t)
 			}
 		}
 	}
@@ -312,32 +384,52 @@ func tryJoin(a, b *refNode, k, m int, sensitive map[dataset.Term]bool, rng *rand
 		}
 	}
 
+	// One dense index over the masked records backs every greedy pass of
+	// both checker kinds (the passes run strictly one after another). The
+	// index is plan-local, so concurrent planJoin calls never share scratch.
+	ix := buildClusterIndex(masked)
 	placed := make(map[dataset.Term]bool)
 	var domains []dataset.Record
 	domains = append(domains, greedyDomains(free, totalSup, func() domainChecker {
-		return newKMChecker(k, m, masked)
+		return newKMCheckerOnIndex(k, m, ix)
 	}, placed)...)
 	domains = append(domains, greedyDomains(conflict, totalSup, func() domainChecker {
-		return newKAnonChecker(k, masked)
+		return newKAnonCheckerOnIndex(k, ix)
 	}, placed)...)
 	if len(domains) == 0 {
 		return nil
 	}
 
-	sharedChunks := buildChunks(masked, domains, rng)
+	return &joinPlan{a: a, b: b, leaves: leaves, contrib: contrib,
+		placed: placed, masked: masked, domains: domains}
+}
 
-	// Remove the placed terms from the leaves' term chunks.
-	for i, l := range leaves {
+// tryJoin is the sequential form of planJoin + commit: it evaluates the join
+// criterion and, on success, immediately materializes the joint node.
+func tryJoin(a, b *refNode, k, m int, sensitive map[dataset.Term]bool, rng *rand.Rand) *refNode {
+	p := planJoin(a, b, k, m, sensitive)
+	if p == nil {
+		return nil
+	}
+	return p.commit(rng)
+}
+
+// commit materializes the planned joint node: it builds (and shuffles) the
+// shared chunks and removes the placed terms from the leaves' term chunks.
+// Commits run sequentially in scan order, so rng consumption is
+// deterministic.
+func (p *joinPlan) commit(rng *rand.Rand) *refNode {
+	sharedChunks := buildChunks(p.masked, p.domains, rng)
+	for i, l := range p.leaves {
 		var remove dataset.Record
-		for _, t := range contrib[i] {
-			if placed[t] {
+		for _, t := range p.contrib[i] {
+			if p.placed[t] {
 				remove = append(remove, t)
 			}
 		}
 		l.cluster.TermChunk = l.cluster.TermChunk.Subtract(remove)
 	}
-
-	return &refNode{children: []*refNode{a, b}, shared: sharedChunks}
+	return &refNode{children: []*refNode{p.a, p.b}, shared: sharedChunks}
 }
 
 // withoutExcluded filters a sorted term set, dropping excluded terms.

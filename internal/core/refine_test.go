@@ -106,7 +106,7 @@ func TestTryJoinInsufficientSupport(t *testing.T) {
 func TestRefineFigure2EndToEnd(t *testing.T) {
 	leaves := figure2Leaves(t)
 	nodes := []*refNode{{leaf: leaves[0]}, {leaf: leaves[1]}}
-	out := refine(nodes, 3, 2, nil, testRNG())
+	out := refine(nodes, 3, 2, nil, testRNG(), 1)
 	if len(out) != 1 {
 		t.Fatalf("refine left %d nodes, want 1 joint", len(out))
 	}
@@ -132,7 +132,7 @@ func TestRefineFixpointWithoutJoinableClusters(t *testing.T) {
 		cl := VerPart(records, 3, 2, nil, testRNG())
 		nodes = append(nodes, &refNode{leaf: &leafState{records: records, cluster: cl}})
 	}
-	out := refine(nodes, 3, 2, nil, testRNG())
+	out := refine(nodes, 3, 2, nil, testRNG(), 1)
 	if len(out) != 4 {
 		t.Errorf("refine changed the forest: %d nodes", len(out))
 	}
@@ -279,7 +279,7 @@ func TestRefineDeterministic(t *testing.T) {
 	run := func() []*refNode {
 		leaves := figure2Leaves(t)
 		nodes := []*refNode{{leaf: leaves[0]}, {leaf: leaves[1]}}
-		return refine(nodes, 3, 2, nil, rand.New(rand.NewPCG(5, 5)))
+		return refine(nodes, 3, 2, nil, rand.New(rand.NewPCG(5, 5)), 1)
 	}
 	a, b := run(), run()
 	if len(a) != len(b) {

@@ -2,7 +2,7 @@ package core
 
 import (
 	"math/rand/v2"
-	"sort"
+	"slices"
 
 	"disasso/internal/dataset"
 )
@@ -28,37 +28,46 @@ import (
 func VerPart(records []dataset.Record, k, m int, sensitive map[dataset.Term]bool, rng *rand.Rand) *Cluster {
 	cl := &Cluster{Size: len(records)}
 
-	supports := make(map[dataset.Term]int)
-	for _, r := range records {
-		for _, t := range r {
-			supports[t]++
+	// One dense index over the cluster's records backs the support counts
+	// and every greedy checker pass: in-cluster support is simply the
+	// posting-list length.
+	ix := buildClusterIndex(records)
+	support := func(t dataset.Term) int {
+		if lt, ok := ix.localID(t); ok {
+			return len(ix.postings[lt])
 		}
+		return 0
 	}
 
 	// Split the cluster domain into the candidate list (support ≥ k, not
 	// sensitive) ordered by descending support, and the term chunk seed.
-	var remain []dataset.Term
+	// Candidates sort as local ids: ids ascend with global terms, so the
+	// (support desc, term asc) order carries over.
+	var remainL []uint32
 	var termChunk []dataset.Term
-	for t, s := range supports {
-		if s < k || sensitive[t] {
+	for lt, t := range ix.terms {
+		if len(ix.postings[lt]) < k || sensitive[t] {
 			termChunk = append(termChunk, t)
 		} else {
-			remain = append(remain, t)
+			remainL = append(remainL, uint32(lt))
 		}
 	}
-	sort.Slice(remain, func(i, j int) bool {
-		si, sj := supports[remain[i]], supports[remain[j]]
-		if si != sj {
-			return si > sj
+	slices.SortFunc(remainL, func(a, b uint32) int {
+		if d := len(ix.postings[b]) - len(ix.postings[a]); d != 0 {
+			return d
 		}
-		return remain[i] < remain[j]
+		return int(a) - int(b)
 	})
+	remain := make([]dataset.Term, len(remainL))
+	for i, lt := range remainL {
+		remain[i] = ix.terms[lt]
+	}
 
 	// Greedy domain construction: one pass per chunk over the remaining
 	// terms, keeping every term whose addition preserves k^m-anonymity.
 	var domains []dataset.Record
 	for len(remain) > 0 {
-		checker := newKMChecker(k, m, records)
+		checker := newKMCheckerOnIndex(k, m, ix)
 		var leftover []dataset.Term
 		for _, t := range remain {
 			if !checker.TryAdd(t) {
@@ -79,7 +88,7 @@ func VerPart(records []dataset.Record, k, m int, sensitive map[dataset.Term]bool
 	// Materialize chunks by projection and enforce Lemma 2.
 	cl.RecordChunks = buildChunks(records, domains, rng)
 	cl.TermChunk = dataset.NewRecord(termChunk...)
-	enforceLemma2(cl, records, supports, k, m, rng)
+	enforceLemma2(cl, records, support, k, m, rng)
 	return cl
 }
 
@@ -106,7 +115,7 @@ func buildChunks(records []dataset.Record, domains []dataset.Record, rng *rand.R
 // fails, demotes the least frequent record-chunk term into the term chunk
 // (re-projecting the affected chunk). A non-empty term chunk always
 // satisfies the lemma, so at most one demotion is needed.
-func enforceLemma2(cl *Cluster, records []dataset.Record, supports map[dataset.Term]int, k, m int, rng *rand.Rand) {
+func enforceLemma2(cl *Cluster, records []dataset.Record, support func(dataset.Term) int, k, m int, rng *rand.Rand) {
 	if len(cl.TermChunk) > 0 || len(cl.RecordChunks) == 0 {
 		return
 	}
@@ -119,8 +128,8 @@ func enforceLemma2(cl *Cluster, records []dataset.Record, supports map[dataset.T
 	victimChunk := -1
 	for ci, c := range cl.RecordChunks {
 		for _, t := range c.Domain {
-			if victimSup == -1 || supports[t] < victimSup || (supports[t] == victimSup && t > victim) {
-				victim, victimSup, victimChunk = t, supports[t], ci
+			if s := support(t); victimSup == -1 || s < victimSup || (s == victimSup && t > victim) {
+				victim, victimSup, victimChunk = t, s, ci
 			}
 		}
 	}

@@ -1,0 +1,40 @@
+// Package par provides the one concurrency primitive the pipeline needs:
+// a deterministic index-fanout worker pool.
+package par
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// Do executes fn(0..n-1) on up to workers goroutines, pulling indices from a
+// shared atomic counter. Results must be written to index-addressed slots so
+// scheduling never affects the outcome; with workers ≤ 1 it degenerates to a
+// plain loop.
+func Do(workers, n int, fn func(int)) {
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+}

@@ -205,6 +205,24 @@ func BenchmarkAnonymizeEndToEnd(b *testing.B) {
 	}
 }
 
+// BenchmarkAnonymizeEndToEndParallel sweeps the worker count with REFINE
+// enabled: since the incremental engine, a pass's not-yet-memoized join plans
+// are evaluated concurrently, so the full pipeline — not just VERPART —
+// scales with workers while staying byte-identical.
+func BenchmarkAnonymizeEndToEndParallel(b *testing.B) {
+	d := benchDataset(b)
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(benchName("workers", workers), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := core.Anonymize(d, core.Options{K: 5, M: 2, Parallel: workers, Seed: 1}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
 func BenchmarkReconstruct(b *testing.B) {
 	d := benchDataset(b)
 	a, err := core.Anonymize(d, core.Options{K: 5, M: 2, Seed: 1})

@@ -1,0 +1,40 @@
+package main
+
+import "testing"
+
+func TestParseLine(t *testing.T) {
+	b, ok := parseLine("BenchmarkVerPart-8   \t     100\t     12345 ns/op\t     678 B/op\t       9 allocs/op")
+	if !ok {
+		t.Fatal("line not parsed")
+	}
+	if b.Name != "VerPart" || b.Procs != 8 || b.Iterations != 100 {
+		t.Errorf("header = %q/%d/%d", b.Name, b.Procs, b.Iterations)
+	}
+	want := map[string]float64{"ns/op": 12345, "B/op": 678, "allocs/op": 9}
+	for unit, v := range want {
+		if b.Metrics[unit] != v {
+			t.Errorf("metric %s = %v, want %v", unit, b.Metrics[unit], v)
+		}
+	}
+}
+
+func TestParseLineCustomMetricAndSubBench(t *testing.T) {
+	b, ok := parseLine("BenchmarkAblationRefine/on-4 \t 2\t 552836641 ns/op\t 0.03608 tlost\t 162754764 B/op\t 1209338 allocs/op")
+	if !ok {
+		t.Fatal("line not parsed")
+	}
+	if b.Name != "AblationRefine/on" || b.Procs != 4 {
+		t.Errorf("header = %q/%d", b.Name, b.Procs)
+	}
+	if b.Metrics["tlost"] != 0.03608 {
+		t.Errorf("tlost = %v", b.Metrics["tlost"])
+	}
+}
+
+func TestParseLineRejectsNonBench(t *testing.T) {
+	for _, line := range []string{"PASS", "ok  \tdisasso\t1.2s", "goos: linux", ""} {
+		if _, ok := parseLine(line); ok {
+			t.Errorf("parsed non-benchmark line %q", line)
+		}
+	}
+}

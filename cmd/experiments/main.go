@@ -7,12 +7,23 @@
 //	experiments                 # every figure at scale 1/10
 //	experiments -fig fig7a      # one figure
 //	experiments -scale 1        # the paper's full dataset sizes
+//
+// Profiling (for hunting pipeline hot spots without editing code):
+//
+//	experiments -fig fig8ab -cpuprofile cpu.out
+//	experiments -fig fig8ab -memprofile mem.out
+//	experiments -fig fig8ab -trace trace.out
+//
+// The outputs load into `go tool pprof` and `go tool trace` respectively.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
+	"runtime/trace"
 	"strings"
 	"time"
 
@@ -29,6 +40,10 @@ func main() {
 		maxSize  = flag.Int("maxsize", 3, "maximum itemset size mined for tKd")
 		seed     = flag.Uint64("seed", 1, "PRNG seed")
 		parallel = flag.Int("parallel", 0, "anonymizer workers (0 = all cores)")
+
+		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memProfile = flag.String("memprofile", "", "write a heap profile to this file on exit")
+		traceFile  = flag.String("trace", "", "write a runtime execution trace to this file")
 	)
 	flag.Parse()
 
@@ -36,21 +51,65 @@ func main() {
 		K: *k, M: *m, TopK: *topK, MaxItemsetSize: *maxSize,
 		Scale: *scale, Seed: *seed, Parallel: *parallel,
 	}
+	// run's defers stop the profile writers before main exits, so a failing
+	// figure still leaves loadable cpu/trace output — the very runs the
+	// profiling flags exist to debug.
+	if err := run(cfg, *fig, *cpuProfile, *memProfile, *traceFile); err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
+}
+
+func run(cfg experiments.Config, fig, cpuProfile, memProfile, traceFile string) error {
+	if cpuProfile != "" {
+		f, err := os.Create(cpuProfile)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return err
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if traceFile != "" {
+		f, err := os.Create(traceFile)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := trace.Start(f); err != nil {
+			return err
+		}
+		defer trace.Stop()
+	}
 
 	ids := experiments.RegistryOrder
-	if *fig != "all" {
-		ids = strings.Split(*fig, ",")
+	if fig != "all" {
+		ids = strings.Split(fig, ",")
 	}
 	for _, id := range ids {
 		start := time.Now()
 		tables, err := experiments.Run(strings.TrimSpace(id), cfg)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "experiments:", err)
-			os.Exit(1)
+			return err
 		}
 		for _, t := range tables {
 			t.Fprint(os.Stdout)
 		}
 		fmt.Printf("(%s completed in %.1fs)\n\n", id, time.Since(start).Seconds())
 	}
+
+	if memProfile != "" {
+		f, err := os.Create(memProfile)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		runtime.GC() // materialize the live heap before snapshotting
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			return err
+		}
+	}
+	return nil
 }

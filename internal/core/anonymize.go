@@ -73,6 +73,13 @@ func (o Options) Validate() error {
 // Anonymize runs the full disassociation pipeline — HORPART, VERPART per
 // cluster, then REFINE — and returns the published dataset. The input is not
 // modified. Records must be non-empty and normalized (dataset.Validate).
+//
+// Internally the pipeline runs over a dense term domain computed once from
+// the input: every global term becomes its rank 0..|T|-1, so per-term tables
+// in every stage are flat slices instead of maps. The remapping is monotone,
+// which preserves every ordering the stages rely on, so after the published
+// output is mapped back the result is byte-identical to a run over the
+// original terms.
 func Anonymize(d *dataset.Dataset, opts Options) (*Anonymized, error) {
 	if err := opts.Validate(); err != nil {
 		return nil, err
@@ -82,19 +89,44 @@ func Anonymize(d *dataset.Dataset, opts Options) (*Anonymized, error) {
 	}
 	opts = opts.withDefaults()
 
-	clusters := HorPartN(d, opts.MaxClusterSize, opts.Sensitive, opts.Parallel)
+	dom := dataset.NewDenseDomain(d.Records)
+	dense := dom.RemapAll(d.Records)
+	// HORPART excludes every Sensitive *key* from splitting (matching the
+	// exported HorPartN, which ranges over the map's keys), while VERPART
+	// and REFINE treat a term as sensitive only when its value is true.
+	excludeBits := make([]bool, dom.Len())
+	sensitiveBits := make([]bool, dom.Len())
+	for t, v := range opts.Sensitive {
+		if id, ok := dom.ID(t); ok {
+			excludeBits[id] = true
+			if v {
+				sensitiveBits[id] = true
+			}
+		}
+	}
+	isSensitive := func(t dataset.Term) bool { return sensitiveBits[t] }
+
+	clusters := horPartN(dense, dense, dom.Len(), excludeBits, opts.MaxClusterSize, opts.Parallel)
 	// Every cluster needs at least K records, or a term confined to its term
 	// chunk would leave an adversary fewer than K candidates (Section 5's
 	// reconstruction argument pads up to |P| records only).
 	clusters = MergeUndersized(clusters, opts.K)
 
 	leaves := make([]*leafState, len(clusters))
-	par.Do(opts.Parallel, len(clusters), func(i int) {
+	workers := opts.Parallel
+	if workers < 1 {
+		workers = 1
+	}
+	scratches := make([]*indexScratch, workers)
+	par.DoWorker(opts.Parallel, len(clusters), func(w, i int) {
 		// Per-cluster PRNG: deterministic regardless of scheduling.
 		rng := rand.New(rand.NewPCG(opts.Seed, uint64(i)+1))
+		if scratches[w] == nil {
+			scratches[w] = newIndexScratch(dom.Len())
+		}
 		records := clusters[i]
-		cl := VerPart(records, opts.K, opts.M, opts.Sensitive, rng)
-		leaves[i] = &leafState{records: records, cluster: cl}
+		cl, ix := verPartIndexed(records, opts.K, opts.M, isSensitive, rng, scratches[w])
+		leaves[i] = newLeafState(records, cl, ix)
 	})
 
 	nodes := make([]*refNode, len(leaves))
@@ -103,12 +135,13 @@ func Anonymize(d *dataset.Dataset, opts Options) (*Anonymized, error) {
 	}
 	if !opts.DisableRefine {
 		rng := rand.New(rand.NewPCG(opts.Seed, 0xEF11E))
-		nodes = refine(nodes, opts.K, opts.M, opts.Sensitive, rng, opts.Parallel)
+		nodes = refineN(nodes, opts.K, opts.M, sensitiveBits, rng, opts.Parallel, dom.Len())
 	}
 
 	out := &Anonymized{K: opts.K, M: opts.M, Clusters: make([]*ClusterNode, len(nodes))}
 	for i, n := range nodes {
 		out.Clusters[i] = exportNode(n)
+		restoreNode(out.Clusters[i], dom)
 	}
 	return out, nil
 }
@@ -124,4 +157,28 @@ func exportNode(n *refNode) *ClusterNode {
 		out.Children = append(out.Children, exportNode(c))
 	}
 	return out
+}
+
+// restoreNode rewrites a published subtree from dense term ids back to the
+// original global terms, in place. Every record in the tree is a fresh
+// pipeline-owned allocation visited exactly once, and the id→term map is
+// monotone, so records stay normalized.
+func restoreNode(n *ClusterNode, dom *dataset.DenseDomain) {
+	restoreChunks := func(chunks []Chunk) {
+		for i := range chunks {
+			dom.RestoreRecord(chunks[i].Domain)
+			for _, sr := range chunks[i].Subrecords {
+				dom.RestoreRecord(sr)
+			}
+		}
+	}
+	if n.IsLeaf() {
+		dom.RestoreRecord(n.Simple.TermChunk)
+		restoreChunks(n.Simple.RecordChunks)
+		return
+	}
+	restoreChunks(n.SharedChunks)
+	for _, c := range n.Children {
+		restoreNode(c, dom)
+	}
 }

@@ -29,59 +29,48 @@ func HorPart(d *dataset.Dataset, maxClusterSize int, exclude map[dataset.Term]bo
 // it is the preorder of the split tree, records-containing-the-term branch
 // first — so parallelism never changes the anonymizer's output.
 func HorPartN(d *dataset.Dataset, maxClusterSize int, exclude map[dataset.Term]bool, parallel int) [][]dataset.Record {
+	// Remap the dataset onto dense term ids (ascending with global terms) so
+	// per-split support counting is a flat array walk instead of map upkeep.
+	dom := dataset.NewDenseDomain(d.Records)
+	dense := dom.RemapAll(d.Records)
+	excludeBits := make([]bool, dom.Len())
+	for t := range exclude {
+		if id, ok := dom.ID(t); ok {
+			excludeBits[id] = true
+		}
+	}
+	return horPartN(d.Records, dense, dom.Len(), excludeBits, maxClusterSize, parallel)
+}
+
+// horPartN is the dense-domain core of HorPartN: dense holds the records
+// remapped onto term ids below nTerms, emit holds the records the clusters
+// are materialized from (the pipeline passes the dense records themselves;
+// the exported wrapper passes the originals so callers see their own terms).
+func horPartN(emit, dense []dataset.Record, nTerms int, excludeBits []bool, maxClusterSize, parallel int) [][]dataset.Record {
 	if maxClusterSize < 2 {
 		maxClusterSize = 2
 	}
 	if parallel < 1 {
 		parallel = runtime.GOMAXPROCS(0)
 	}
-	n := d.Len()
+	n := len(dense)
 	if n == 0 {
 		return nil
 	}
 
-	// Remap the dataset onto dense local term ids (ascending with global
-	// terms, see collectTerms) so per-split support counting is a flat array
-	// walk instead of map upkeep.
-	total := 0
-	for _, r := range d.Records {
-		total += len(r)
-	}
-	terms := collectTerms(d.Records)
-	id := make(map[dataset.Term]uint32, len(terms))
-	for i, t := range terms {
-		id[t] = uint32(i)
-	}
-	flat := make([]int32, total)
-	recs := make([][]int32, n)
-	used := 0
-	for i, r := range d.Records {
-		lr := flat[used : used : used+len(r)]
-		for _, t := range r {
-			lr = append(lr, int32(id[t]))
-		}
-		recs[i] = lr
-		used += len(r)
-	}
-
 	hp := &horPartition{
-		records: d.Records,
-		recs:    recs,
-		nTerms:  len(terms),
+		records: emit,
+		recs:    dense,
+		nTerms:  nTerms,
 		max:     maxClusterSize,
 	}
 	hp.spare.Store(int32(parallel - 1))
 	hp.pool.New = func() any {
-		buf := make([]int32, len(terms))
-		return &buf
+		return &mfBuf{counts: make([]int32, nTerms), stamp: make([]uint64, nTerms)}
 	}
 
-	rootIgnore := make([]bool, len(terms))
-	for t := range exclude {
-		if lt, ok := id[t]; ok {
-			rootIgnore[lt] = true
-		}
-	}
+	rootIgnore := make([]bool, nTerms)
+	copy(rootIgnore, excludeBits)
 	idx := make([]int32, n)
 	for i := range idx {
 		idx[i] = int32(i)
@@ -93,11 +82,20 @@ func HorPartN(d *dataset.Dataset, maxClusterSize int, exclude map[dataset.Term]b
 // budget of one HorPartN run.
 type horPartition struct {
 	records []dataset.Record
-	recs    [][]int32 // records as sorted local term ids
+	recs    []dataset.Record // records as sorted dense term ids
 	nTerms  int
 	max     int
 	spare   atomic.Int32 // extra goroutines still allowed
-	pool    sync.Pool    // *[]int32 zeroed support-count buffers
+	pool    sync.Pool    // *mfBuf epoch-stamped support counters
+}
+
+// mfBuf is a reusable support counter: a count is valid only when its stamp
+// matches the current epoch, so resetting between splits is one increment
+// instead of a second walk over the records.
+type mfBuf struct {
+	counts []int32
+	stamp  []uint64
+	epoch  uint64
 }
 
 // parallelSplitMin is the smallest branch worth a goroutine: below this the
@@ -125,13 +123,13 @@ func (hp *horPartition) split(idx []int32, ignore []bool, depth int) [][]dataset
 	if len(idx) < hp.max {
 		return [][]dataset.Record{hp.cluster(idx)}
 	}
-	a, ok := hp.mostFrequent(idx, ignore)
+	a, sup, ok := hp.mostFrequent(idx, ignore)
 	if !ok {
 		// Every term is ignored: the records cannot be distinguished by any
 		// unused term, so they form one (possibly oversized) cluster.
 		return [][]dataset.Record{hp.cluster(idx)}
 	}
-	with, without := hp.partition(idx, a)
+	with, without := hp.partition(idx, a, sup)
 
 	if min(len(with), len(without)) >= parallelSplitMin && hp.tryAcquire() {
 		withIgnore := make([]bool, hp.nTerms)
@@ -179,12 +177,12 @@ func (hp *horPartition) splitIter(idx []int32, ignore []bool) [][]dataset.Record
 			clusters = append(clusters, hp.cluster(cur.records))
 			continue
 		}
-		a, ok := hp.mostFrequent(cur.records, ignore)
+		a, sup, ok := hp.mostFrequent(cur.records, ignore)
 		if !ok {
 			clusters = append(clusters, hp.cluster(cur.records))
 			continue
 		}
-		with, without := hp.partition(cur.records, a)
+		with, without := hp.partition(cur.records, a, sup)
 		// Execution order (LIFO): with-subtree under ignore[a], then the
 		// undo marker, then the without-subtree.
 		ignore[a] = true
@@ -195,10 +193,14 @@ func (hp *horPartition) splitIter(idx []int32, ignore []bool) [][]dataset.Record
 	return clusters
 }
 
-// partition splits the record indices by containment of local term a.
-func (hp *horPartition) partition(idx []int32, a int32) (with, without []int32) {
+// partition splits the record indices by containment of dense term a, whose
+// support sup among the records is already known from mostFrequent — both
+// sides allocate exactly once.
+func (hp *horPartition) partition(idx []int32, a int32, sup int32) (with, without []int32) {
+	with = make([]int32, 0, sup)
+	without = make([]int32, 0, len(idx)-int(sup))
 	for _, ri := range idx {
-		if _, found := slices.BinarySearch(hp.recs[ri], a); found {
+		if _, found := slices.BinarySearch(hp.recs[ri], dataset.Term(a)); found {
 			with = append(with, ri)
 		} else {
 			without = append(without, ri)
@@ -228,34 +230,35 @@ func (hp *horPartition) cluster(idx []int32) []dataset.Record {
 	return out
 }
 
-// mostFrequent returns the local id of the term with the highest support
-// among the records, skipping ignored terms; ties break toward the smaller
-// id so the partitioning is deterministic. The count buffer comes from the
-// pool zeroed and is re-zeroed via the records just counted before going
-// back.
-func (hp *horPartition) mostFrequent(idx []int32, ignore []bool) (int32, bool) {
-	bufp := hp.pool.Get().(*[]int32)
-	counts := *bufp
+// mostFrequent returns the local id and support of the term with the highest
+// support among the records, skipping ignored terms; ties break toward the
+// smaller id so the partitioning is deterministic.
+func (hp *horPartition) mostFrequent(idx []int32, ignore []bool) (int32, int32, bool) {
+	buf := hp.pool.Get().(*mfBuf)
+	buf.epoch++
+	ep := buf.epoch
+	counts, stamp := buf.counts, buf.stamp
 	best, bestSup := int32(-1), int32(0)
 	for _, ri := range idx {
-		for _, lt := range hp.recs[ri] {
+		for _, t := range hp.recs[ri] {
+			lt := int32(t)
 			if ignore[lt] {
 				continue
 			}
-			c := counts[lt] + 1
+			c := int32(1)
+			if stamp[lt] == ep {
+				c = counts[lt] + 1
+			} else {
+				stamp[lt] = ep
+			}
 			counts[lt] = c
 			if c > bestSup || (c == bestSup && lt < best) {
 				best, bestSup = lt, c
 			}
 		}
 	}
-	for _, ri := range idx {
-		for _, lt := range hp.recs[ri] {
-			counts[lt] = 0
-		}
-	}
-	hp.pool.Put(bufp)
-	return best, bestSup > 0
+	hp.pool.Put(buf)
+	return best, bestSup, bestSup > 0
 }
 
 // MergeUndersized repairs the partitioning for the k^m guarantee: a cluster

@@ -51,6 +51,42 @@ func TestAnonymizeParallelDeterminism(t *testing.T) {
 	}
 }
 
+// TestAnonymizeReplanReferenceAcrossWorkers pins the strongest cross-path
+// guarantee: the reference always-re-plan engine on one worker and the
+// incremental memoizing engine on many workers publish the same bytes.
+func TestAnonymizeReplanReferenceAcrossWorkers(t *testing.T) {
+	if refineAlwaysReplan {
+		t.Skip("refine_replan build: the reference path is already the default")
+	}
+	defer func() { refineAlwaysReplan = false }()
+	configs := []Options{
+		{K: 3, M: 2, MaxClusterSize: 12, Seed: 7},
+		{K: 4, M: 2, MaxClusterSize: 16, Seed: 99, Sensitive: map[dataset.Term]bool{3: true, 11: true}},
+	}
+	for ci, base := range configs {
+		d := genDataset(uint64(ci)+31, 13, 180)
+		refineAlwaysReplan = true
+		base.Parallel = 1
+		ref, err := Anonymize(d, base)
+		refineAlwaysReplan = false
+		if err != nil {
+			t.Fatalf("config %d: %v", ci, err)
+		}
+		want := encodeAnonymized(t, ref)
+		for _, workers := range []int{1, 4} {
+			opts := base
+			opts.Parallel = workers
+			got, err := Anonymize(d, opts)
+			if err != nil {
+				t.Fatalf("config %d workers=%d: %v", ci, workers, err)
+			}
+			if !bytes.Equal(encodeAnonymized(t, got), want) {
+				t.Errorf("config %d: incremental engine (workers=%d) differs from always-replan reference", ci, workers)
+			}
+		}
+	}
+}
+
 // TestAnonymizeParallelDeterminismRepeated re-runs one parallel
 // configuration several times: scheduling may vary between runs, the bytes
 // must not.

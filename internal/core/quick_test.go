@@ -1,6 +1,7 @@
 package core
 
 import (
+	"bytes"
 	"math/rand/v2"
 	"testing"
 	"testing/quick"
@@ -131,6 +132,45 @@ func TestQuickAnonymizeConservation(t *testing.T) {
 			return false
 		}
 		return dataset.Record(a.Domain()).Equal(dataset.NewRecord(d.Domain()...))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property (quick): the incremental REFINE engine (generation-stamped plan
+// memoization, commit-time aggregates) publishes byte-identical datasets to
+// the reference always-re-plan path, across seeds, cluster sizes and worker
+// counts.
+func TestQuickRefinePlanCacheEquivalence(t *testing.T) {
+	if refineAlwaysReplan {
+		t.Skip("refine_replan build: the reference path is already the default")
+	}
+	defer func() { refineAlwaysReplan = false }()
+	f := func(s1, s2 uint64, n uint8, sizeRaw, workersRaw uint8) bool {
+		d := genDataset(s1, s2, int(n))
+		opts := Options{
+			K: 3, M: 2,
+			MaxClusterSize: int(sizeRaw%20) + 8,
+			Parallel:       int(workersRaw%4) + 1,
+			Seed:           s1 ^ s2,
+		}
+		refineAlwaysReplan = false
+		incremental, err := Anonymize(d, opts)
+		if err != nil {
+			return false
+		}
+		refineAlwaysReplan = true
+		reference, err := Anonymize(d, opts)
+		refineAlwaysReplan = false
+		if err != nil {
+			return false
+		}
+		var bufI, bufR bytes.Buffer
+		if WriteBinary(&bufI, incremental) != nil || WriteBinary(&bufR, reference) != nil {
+			return false
+		}
+		return bytes.Equal(bufI.Bytes(), bufR.Bytes())
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
 		t.Error(err)

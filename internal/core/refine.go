@@ -9,6 +9,13 @@ import (
 	"disasso/internal/par"
 )
 
+// refineAlwaysReplan disables the join-plan memoization: every pass re-plans
+// every adjacent pair from scratch, exactly as the reference (pre-incremental)
+// engine did. The output must be byte-identical either way — the property
+// tests compare the two paths. The default comes from the refine_replan build
+// tag (see refine_hook_*.go); tests can also flip the variable directly.
+var refineAlwaysReplan = refineAlwaysReplanDefault
+
 // leafState is a simple cluster's mutable state during refinement: the
 // published cluster (whose term chunk shrinks as refining terms move to
 // shared chunks) plus the original records needed to build shared-chunk
@@ -19,8 +26,27 @@ type leafState struct {
 
 	// In-cluster term supports, cached because the records never change
 	// while planJoin evaluates the same leaves across many passes and pairs.
+	// The cache is built exactly once, before the leaf is shared across
+	// concurrent planJoin calls; support is strict about that invariant.
 	supTerms  []dataset.Term
 	supCounts []int32
+	termTotal int // Σ len(r) over records, bounds projection arenas
+}
+
+// newLeafState builds a leaf with its support cache lifted straight out of
+// the cluster index VERPART already built: the posting-list lengths are the
+// in-cluster supports. The index's slices are copied because the caller's
+// scratch will reuse them.
+func newLeafState(records []dataset.Record, cl *Cluster, ix *clusterIndex) *leafState {
+	l := &leafState{records: records, cluster: cl}
+	l.supTerms = make([]dataset.Term, len(ix.terms))
+	copy(l.supTerms, ix.terms)
+	l.supCounts = make([]int32, len(ix.postings))
+	for i, p := range ix.postings {
+		l.supCounts[i] = int32(len(p))
+		l.termTotal += len(p)
+	}
+	return l
 }
 
 // ensureSupports builds the support cache. It must be called before the leaf
@@ -32,6 +58,7 @@ func (l *leafState) ensureSupports() {
 	l.supTerms = collectTerms(l.records)
 	l.supCounts = make([]int32, len(l.supTerms))
 	for _, r := range l.records {
+		l.termTotal += len(r)
 		for _, t := range r {
 			j, _ := slices.BinarySearch(l.supTerms, t)
 			l.supCounts[j]++
@@ -39,10 +66,13 @@ func (l *leafState) ensureSupports() {
 	}
 }
 
-// support returns the number of the leaf's records containing t.
+// support returns the number of the leaf's records containing t. The cache
+// must have been built (ensureSupports / newLeafState): lazily building it
+// here would race when concurrent planJoin calls share the leaf, so a missing
+// cache is a bug, not a condition to repair.
 func (l *leafState) support(t dataset.Term) int {
 	if l.supTerms == nil {
-		l.ensureSupports()
+		panic("core: leafState.support called before ensureSupports; the cache must be built before planJoin shares the leaf across goroutines")
 	}
 	if i, ok := slices.BinarySearch(l.supTerms, t); ok {
 		return int(l.supCounts[i])
@@ -50,12 +80,24 @@ func (l *leafState) support(t dataset.Term) int {
 	return 0
 }
 
-// refNode is a work node of the cluster forest during refinement.
+// refNode is a work node of the cluster forest during refinement. Nodes are
+// immutable while they sit in the top-level forest: a successful join
+// consumes two nodes into a freshly allocated joint (whose leaves' term
+// chunks are stripped at that moment) and nothing else ever mutates a node.
+// Each node therefore carries a generation stamp and its aggregates —
+// descendant leaves, total size, virtual term chunk, record-and-shared term
+// domain — computed once at creation instead of being rederived every pass.
 type refNode struct {
 	leaf     *leafState     // non-nil for leaves
 	children []*refNode     // non-nil for joints
 	shared   []Chunk        // shared chunks of a joint
 	virtTC   dataset.Record // cached virtual term chunk (union over leaves)
+
+	gen       uint32         // generation stamp, unique per node state
+	sz        int            // cached total record count over descendant leaves
+	leafList  []*leafState   // cached descendant leaves, left to right
+	trDomains dataset.Record // cached T^r: record- and shared-chunk domains of the subtree
+	supTC     []int32        // per virtTC term: total support over the leaves whose term chunk holds it
 }
 
 func (n *refNode) leaves(dst []*leafState) []*leafState {
@@ -66,14 +108,6 @@ func (n *refNode) leaves(dst []*leafState) []*leafState {
 		dst = c.leaves(dst)
 	}
 	return dst
-}
-
-func (n *refNode) size() int {
-	total := 0
-	for _, l := range n.leaves(nil) {
-		total += l.cluster.Size
-	}
-	return total
 }
 
 // recordAndSharedDomains collects T^r: every term appearing in a record
@@ -105,6 +139,81 @@ func (n *refNode) refreshVirtualTC() {
 	n.virtTC = union
 }
 
+// initDerived computes the cached aggregates from the subtree. It runs once
+// per root handed to refine (and in tryJoin); joints created by commit get
+// their aggregates incrementally instead.
+func (n *refNode) initDerived() {
+	n.leafList = n.leaves(nil)
+	n.sz = 0
+	for _, l := range n.leafList {
+		l.ensureSupports()
+		n.sz += l.cluster.Size
+	}
+	n.refreshVirtualTC()
+	n.refreshSupTC()
+	tr := make(map[dataset.Term]bool)
+	n.recordAndSharedDomains(tr)
+	terms := make(dataset.Record, 0, len(tr))
+	for t := range tr {
+		terms = append(terms, t)
+	}
+	slices.Sort(terms)
+	n.trDomains = terms
+}
+
+// refreshSupTC rebuilds the per-term support aggregate from the leaves: for
+// each virtTC term, the total in-cluster support across the leaves whose term
+// chunk still holds it (exactly the totals planJoin's eligibility check
+// needs). virtTC must be fresh.
+func (n *refNode) refreshSupTC() {
+	n.supTC = make([]int32, len(n.virtTC))
+	for _, l := range n.leafList {
+		j, k := 0, 0
+		for _, t := range l.cluster.TermChunk {
+			for j < len(n.virtTC) && n.virtTC[j] < t {
+				j++
+			}
+			if j == len(n.virtTC) || n.virtTC[j] != t {
+				continue // unreachable: virtTC is the union of the term chunks
+			}
+			for k < len(l.supTerms) && l.supTerms[k] < t {
+				k++
+			}
+			if k < len(l.supTerms) && l.supTerms[k] == t {
+				n.supTC[j] += l.supCounts[k]
+			}
+		}
+	}
+}
+
+// maxNodeTerm returns the largest term id appearing in the node's term
+// chunks, record-chunk domains or shared-chunk domains (every term the
+// refinement of this subtree can touch), or -1.
+func (n *refNode) maxNodeTerm() int {
+	maxT := -1
+	upd := func(r dataset.Record) {
+		if len(r) > 0 && int(r[len(r)-1]) > maxT {
+			maxT = int(r[len(r)-1])
+		}
+	}
+	if n.leaf != nil {
+		upd(n.leaf.cluster.TermChunk)
+		for _, c := range n.leaf.cluster.RecordChunks {
+			upd(c.Domain)
+		}
+		return maxT
+	}
+	for _, c := range n.shared {
+		upd(c.Domain)
+	}
+	for _, child := range n.children {
+		if m := child.maxNodeTerm(); m > maxT {
+			maxT = m
+		}
+	}
+	return maxT
+}
+
 // Refine implements Algorithm REFINE (Section 4): it repeatedly orders the
 // cluster forest by term-chunk contents and joins adjacent pairs whose
 // refining terms satisfy the Equation 1 criterion, building k^m-anonymous
@@ -112,37 +221,81 @@ func (n *refNode) refreshVirtualTC() {
 // Sensitive terms never become refining terms: they must stay in term chunks
 // (the l-diversity mode of Section 5).
 //
-// With workers > 1 each pass speculatively evaluates every adjacent pair
-// concurrently: planJoin is pure, so the plans can be computed in any order,
-// and the subsequent left-to-right commit scan consumes exactly the pairs the
-// sequential greedy scan would have (a failed sequential attempt mutates
-// nothing and a successful one only touches the two nodes it consumes, which
-// the scan then skips). The shuffle RNG is only consumed during the ordered
-// commits, so the output is byte-identical for every worker count.
+// refine is the map-keyed convenience wrapper used by tests and standalone
+// callers: it derives a dense term domain bound from the forest and defers to
+// refineN. The pipeline calls refineN directly with the dataset's domain.
 func refine(nodes []*refNode, k, m int, sensitive map[dataset.Term]bool, rng *rand.Rand, workers int) []*refNode {
-	// The support caches must exist before leaves are shared across
-	// concurrent planJoin calls (adjacent pairs overlap in one node).
+	bits, nTerms := sensitiveBitsFor(nodes, sensitive)
+	return refineN(nodes, k, m, bits, rng, workers, nTerms)
+}
+
+// sensitiveBitsFor derives the dense term-domain bound of a forest (every
+// term the refinement can touch, plus the sensitive terms) and the sensitive
+// map as a flat table over it.
+func sensitiveBitsFor(nodes []*refNode, sensitive map[dataset.Term]bool) ([]bool, int) {
+	maxT := -1
 	for _, n := range nodes {
-		for _, l := range n.leaves(nil) {
-			l.ensureSupports()
+		if mt := n.maxNodeTerm(); mt > maxT {
+			maxT = mt
 		}
 	}
-	for {
-		for _, n := range nodes {
-			n.refreshVirtualTC()
+	for t := range sensitive {
+		if int(t) > maxT {
+			maxT = int(t)
 		}
-		orderByTermChunks(nodes)
+	}
+	bits := make([]bool, maxT+1)
+	for t, v := range sensitive {
+		if v {
+			bits[t] = true
+		}
+	}
+	return bits, maxT + 1
+}
+
+// refineN is the incremental REFINE engine over a dense term domain: every
+// term id is below nTerms and sensitive is indexed by term id.
+//
+// Each pass orders the forest and evaluates adjacent pairs, but planJoin is a
+// pure function of its two subtrees and surviving nodes are never mutated —
+// so verdicts are memoized by the nodes' generation stamps and a pass only
+// re-plans pairs where at least one side is new since the verdict was
+// recorded. With workers > 1 the not-yet-known pairs of a pass are planned
+// concurrently; the subsequent left-to-right commit scan consumes exactly the
+// pairs the sequential greedy scan would have, and the shuffle RNG is only
+// consumed during the ordered commits, so the output is byte-identical for
+// every worker count (and to the always-replan reference path).
+func refineN(nodes []*refNode, k, m int, sensitive []bool, rng *rand.Rand, workers, nTerms int) []*refNode {
+	e := &refineEngine{
+		k: k, m: m, nTerms: nTerms, sensitive: sensitive, workers: workers,
+		memo:     !refineAlwaysReplan,
+		nilPlans: make(map[uint64]struct{}),
+		order:    newOrderScratch(nTerms),
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	e.scratch = make([]*planScratch, workers)
+	for _, n := range nodes {
+		n.initDerived()
+		n.gen = e.nextGen
+		e.nextGen++
+	}
+
+	// The caller's slice is reordered (as the pre-incremental engine also
+	// did) but never recycled as a pass buffer: only slices the engine
+	// itself produced ping-pong with outBuf.
+	ownNodes := false
+	for {
+		e.order.order(nodes)
 
 		var plans []*joinPlan
-		if workers > 1 && len(nodes) > 2 {
-			plans = make([]*joinPlan, len(nodes)-1)
-			par.Do(workers, len(plans), func(i int) {
-				plans[i] = planJoin(nodes[i], nodes[i+1], k, m, sensitive)
-			})
+		if e.workers > 1 && len(nodes) > 2 {
+			plans = e.planPass(nodes)
 		}
 
 		modified := false
-		out := make([]*refNode, 0, len(nodes))
+		out := e.outBuf[:0]
 		i := 0
 		for i < len(nodes) {
 			if i+1 < len(nodes) {
@@ -150,10 +303,13 @@ func refine(nodes []*refNode, k, m int, sensitive map[dataset.Term]bool, rng *ra
 				if plans != nil {
 					p = plans[i]
 				} else {
-					p = planJoin(nodes[i], nodes[i+1], k, m, sensitive)
+					p = e.planPair(nodes[i], nodes[i+1], 0)
 				}
 				if p != nil {
-					out = append(out, p.commit(rng))
+					j := p.commit(rng)
+					j.gen = e.nextGen
+					e.nextGen++
+					out = append(out, j)
 					i += 2
 					modified = true
 					continue
@@ -162,51 +318,205 @@ func refine(nodes []*refNode, k, m int, sensitive map[dataset.Term]bool, rng *ra
 			out = append(out, nodes[i])
 			i++
 		}
+		// Release this pass's plan pointers: committed plans and the stale
+		// tail of the reused buffer would otherwise pin their cloned record
+		// sets until the fixpoint ends.
+		clear(e.plansBuf)
+		if ownNodes {
+			e.outBuf = nodes[:0]
+		}
 		nodes = out
+		ownNodes = true
 		if !modified {
 			return nodes
 		}
 	}
 }
 
-// orderByTermChunks sorts nodes so that clusters sharing frequently-recurring
-// term-chunk terms become adjacent: each term gets a term-chunk support
-// tcs(t) (the number of virtual term chunks it appears in), terms are ranked
-// by descending tcs, and clusters compare lexicographically by their ranked
+// refineEngine carries the per-call state of one refineN run: the memoized
+// join verdicts and the per-worker dense scratch pools.
+type refineEngine struct {
+	k, m      int
+	nTerms    int
+	sensitive []bool
+	workers   int
+
+	memo    bool
+	nextGen uint32
+	// nilPlans memoizes the known non-joinable pairs by (genA<<32 | genB).
+	// Successful plans are never memoized: a non-nil verdict is always
+	// consumed in the pass that computed it (the pair commits, or a
+	// neighboring commit consumes one of its nodes), so its key retires
+	// immediately and caching the plan would only pin its copied record
+	// sets for the rest of the run.
+	nilPlans map[uint64]struct{}
+
+	order    *orderScratch
+	scratch  []*planScratch
+	plansBuf []*joinPlan
+	needBuf  []int32
+	outBuf   []*refNode
+}
+
+func pairKey(a, b *refNode) uint64 {
+	return uint64(a.gen)<<32 | uint64(b.gen)
+}
+
+func (e *refineEngine) scratchFor(w int) *planScratch {
+	if e.scratch[w] == nil {
+		e.scratch[w] = newPlanScratch(e.nTerms)
+	}
+	return e.scratch[w]
+}
+
+// planPair returns the join verdict for one adjacent pair, consulting and
+// feeding the memo.
+func (e *refineEngine) planPair(a, b *refNode, worker int) *joinPlan {
+	if !e.memo {
+		return e.planJoin(a, b, e.scratchFor(worker))
+	}
+	key := pairKey(a, b)
+	if _, ok := e.nilPlans[key]; ok {
+		return nil
+	}
+	p := e.planJoin(a, b, e.scratchFor(worker))
+	if p == nil {
+		e.nilPlans[key] = struct{}{}
+	}
+	return p
+}
+
+// planPass speculatively evaluates every adjacent pair of the ordered forest
+// concurrently, re-planning only the pairs without a memoized verdict.
+func (e *refineEngine) planPass(nodes []*refNode) []*joinPlan {
+	if cap(e.plansBuf) < len(nodes)-1 {
+		e.plansBuf = make([]*joinPlan, len(nodes)-1)
+	}
+	plans := e.plansBuf[:len(nodes)-1]
+	need := e.needBuf[:0]
+	for i := 0; i+1 < len(nodes); i++ {
+		plans[i] = nil
+		if e.memo {
+			if _, ok := e.nilPlans[pairKey(nodes[i], nodes[i+1])]; ok {
+				continue
+			}
+		}
+		need = append(need, int32(i))
+	}
+	e.needBuf = need
+	par.DoWorker(e.workers, len(need), func(w, j int) {
+		i := need[j]
+		plans[i] = e.planJoin(nodes[i], nodes[i+1], e.scratchFor(w))
+	})
+	if e.memo {
+		for _, i := range need {
+			if plans[i] == nil {
+				e.nilPlans[pairKey(nodes[i], nodes[i+1])] = struct{}{}
+			}
+		}
+	}
+	return plans
+}
+
+// orderScratch holds the dense state behind orderByTermChunks: the term-chunk
+// supports and ranks live in flat arrays indexed by term id and every buffer
+// is reused across passes.
+type orderScratch struct {
+	tcs     []int32        // term-chunk support per term id
+	touched []dataset.Term // terms with tcs > 0, for sparse reset
+	rank    []int32        // global rank per term id
+	keys    [][]int32
+	keyFlat []int32
+	bucket  []int32 // per-rank node buckets (counting sort of key entries)
+	cursor  []int32
+	idx     []int
+	tmp     []*refNode
+}
+
+func newOrderScratch(nTerms int) *orderScratch {
+	return &orderScratch{
+		tcs:  make([]int32, nTerms),
+		rank: make([]int32, nTerms),
+	}
+}
+
+// order sorts nodes so that clusters sharing frequently-recurring term-chunk
+// terms become adjacent: each term gets a term-chunk support tcs(t) (the
+// number of virtual term chunks it appears in), terms are ranked by
+// descending tcs, and clusters compare lexicographically by their ranked
 // term-chunk contents. Empty term chunks sort last.
-func orderByTermChunks(nodes []*refNode) {
-	tcs := make(map[dataset.Term]int)
+func (o *orderScratch) order(nodes []*refNode) {
+	touched := o.touched[:0]
+	totalKey := 0
 	for _, n := range nodes {
+		totalKey += len(n.virtTC)
 		for _, t := range n.virtTC {
-			tcs[t]++
+			if o.tcs[t] == 0 {
+				touched = append(touched, t)
+			}
+			o.tcs[t]++
 		}
 	}
 	// Global rank: higher tcs first, then smaller term ID.
-	terms := make([]dataset.Term, 0, len(tcs))
-	for t := range tcs {
-		terms = append(terms, t)
-	}
-	sort.Slice(terms, func(i, j int) bool {
-		if tcs[terms[i]] != tcs[terms[j]] {
-			return tcs[terms[i]] > tcs[terms[j]]
+	slices.SortFunc(touched, func(a, b dataset.Term) int {
+		if o.tcs[a] != o.tcs[b] {
+			return int(o.tcs[b]) - int(o.tcs[a])
 		}
-		return terms[i] < terms[j]
+		return int(a) - int(b)
 	})
-	rank := make(map[dataset.Term]int, len(terms))
-	for i, t := range terms {
-		rank[t] = i
+	o.touched = touched
+	for i, t := range touched {
+		o.rank[t] = int32(i)
 	}
 
-	keys := make([][]int, len(nodes))
-	for i, n := range nodes {
-		key := make([]int, 0, len(n.virtTC))
-		for _, t := range n.virtTC {
-			key = append(key, rank[t])
-		}
-		sort.Ints(key)
-		keys[i] = key
+	// Node keys: each node's virtTC as ascending ranks. Instead of sorting
+	// per node, scatter the nodes into per-rank buckets and emit bucket by
+	// bucket — two linear passes produce every key already sorted.
+	if cap(o.keyFlat) < totalKey {
+		o.keyFlat = make([]int32, totalKey+totalKey/2)
+		o.bucket = make([]int32, totalKey+totalKey/2)
 	}
-	idx := make([]int, len(nodes))
+	flat := o.keyFlat[:totalKey]
+	bucket := o.bucket[:totalKey]
+	if cap(o.keys) < len(nodes) {
+		o.keys = make([][]int32, len(nodes)+len(nodes)/2)
+	}
+	keys := o.keys[:len(nodes)]
+	if cap(o.cursor) < len(touched)+1 {
+		o.cursor = make([]int32, len(touched)+len(touched)/2+1)
+	}
+	cursor := o.cursor[:len(touched)+1]
+	pos := int32(0)
+	for r, t := range touched {
+		cursor[r] = pos
+		pos += o.tcs[t]
+	}
+	cursor[len(touched)] = pos
+	for i, n := range nodes {
+		for _, t := range n.virtTC {
+			r := o.rank[t]
+			bucket[cursor[r]] = int32(i)
+			cursor[r]++
+		}
+	}
+	// Carve per-node key slices out of flat, then walk the buckets in rank
+	// order appending each rank to its nodes' keys.
+	used := 0
+	for i, n := range nodes {
+		keys[i] = flat[used : used : used+len(n.virtTC)]
+		used += len(n.virtTC)
+	}
+	for r := range touched {
+		start := cursor[r] - o.tcs[touched[r]]
+		for _, i := range bucket[start:cursor[r]] {
+			keys[i] = append(keys[i], int32(r))
+		}
+	}
+
+	if cap(o.idx) < len(nodes) {
+		o.idx = make([]int, len(nodes))
+	}
+	idx := o.idx[:len(nodes)]
 	for i := range idx {
 		idx[i] = i
 	}
@@ -222,11 +532,69 @@ func orderByTermChunks(nodes []*refNode) {
 		}
 		return len(ka) < len(kb)
 	})
-	reordered := make([]*refNode, len(nodes))
-	for i, j := range idx {
-		reordered[i] = nodes[j]
+	if cap(o.tmp) < len(nodes) {
+		o.tmp = make([]*refNode, len(nodes))
 	}
-	copy(nodes, reordered)
+	tmp := o.tmp[:len(nodes)]
+	for i, j := range idx {
+		tmp[i] = nodes[j]
+	}
+	copy(nodes, tmp)
+
+	for _, t := range touched {
+		o.tcs[t] = 0
+	}
+}
+
+// orderByTermChunks is the standalone form used by tests: it sizes a scratch
+// from the forest and orders through it.
+func orderByTermChunks(nodes []*refNode) {
+	maxT := -1
+	for _, n := range nodes {
+		for _, t := range n.virtTC {
+			if int(t) > maxT {
+				maxT = int(t)
+			}
+		}
+	}
+	newOrderScratch(maxT + 1).order(nodes)
+}
+
+// planScratch is one worker's dense scratch for planJoin: per-term tables
+// indexed by term id (reset sparsely after each call) and reusable buffers
+// for the intermediate term sets. Everything that escapes into a returned
+// joinPlan is copied out, so the scratch can be reused immediately.
+type planScratch struct {
+	totalSup []int32 // total support per term id, zeroed via ts/exList after each plan
+	excluded []bool  // Lemma 2 exclusions, cleaned via exList
+	exList   []dataset.Term
+
+	ts       dataset.Record
+	eff      dataset.Record
+	free     dataset.Record
+	conflict dataset.Record
+	placed   dataset.Record
+	remain   dataset.Record
+	leftover dataset.Record
+	leaves   []*leafState
+	contrib  []dataset.Record
+
+	// Arenas for the per-plan term sets: contributions and masked
+	// projections are built here and only copied out into the rare plans
+	// that succeed, so the (dominant) rejected plans allocate nothing.
+	contribArena dataset.Record
+	maskedArena  dataset.Record
+	masked       []dataset.Record
+
+	ixs *indexScratch
+}
+
+func newPlanScratch(nTerms int) *planScratch {
+	return &planScratch{
+		totalSup: make([]int32, nTerms),
+		excluded: make([]bool, nTerms),
+		ixs:      newIndexScratch(nTerms),
+	}
 }
 
 // joinPlan is the outcome of a successful planJoin: everything needed to
@@ -237,55 +605,84 @@ type joinPlan struct {
 	a, b    *refNode
 	leaves  []*leafState
 	contrib []dataset.Record // per leaf, its refining terms (post-exclusion)
-	placed  map[dataset.Term]bool
+	placed  dataset.Record   // terms placed into shared chunks, sorted
 	masked  []dataset.Record
 	domains []dataset.Record
 }
 
 // planJoin evaluates the Equation 1 criterion for joining nodes a and b and,
 // if it holds, returns the join plan; otherwise it returns nil. It reads
-// only the two nodes' subtrees and mutates nothing.
-func planJoin(a, b *refNode, k, m int, sensitive map[dataset.Term]bool) *joinPlan {
+// only the two nodes' subtrees and mutates nothing but its own scratch.
+func (e *refineEngine) planJoin(a, b *refNode, scr *planScratch) *joinPlan {
 	// Refining terms: common to the virtual term chunks of both sides,
 	// excluding sensitive terms (which must remain disassociated from all
-	// subrecords).
-	ts0 := withoutExcluded(a.virtTC.Intersect(b.virtTC), sensitive)
-	if len(ts0) == 0 {
+	// subrecords), and eligible: the total support across the two subtrees'
+	// term chunks — read off the supTC aggregates, no leaf is touched — must
+	// reach k, otherwise no k^m- or k-anonymous shared chunk can host the
+	// term. Most rejected pairs die right here, in one merge of the two
+	// virtual term chunks.
+	ts := scr.ts[:0]
+	{
+		ra, rb := a.virtTC, b.virtTC
+		i, j := 0, 0
+		for i < len(ra) && j < len(rb) {
+			switch {
+			case ra[i] < rb[j]:
+				i++
+			case ra[i] > rb[j]:
+				j++
+			default:
+				t := ra[i]
+				if !e.sensitive[t] {
+					if s := a.supTC[i] + b.supTC[j]; int(s) >= e.k {
+						ts = append(ts, t)
+						scr.totalSup[t] = s
+					}
+				}
+				i, j = i+1, j+1
+			}
+		}
+	}
+	scr.ts = ts
+	if len(ts) == 0 {
 		return nil
 	}
-	leaves := append(a.leaves(nil), b.leaves(nil)...)
+	defer func() {
+		for _, t := range scr.ts {
+			scr.totalSup[t] = 0
+		}
+		for _, t := range scr.exList {
+			scr.totalSup[t] = 0
+			scr.excluded[t] = false
+		}
+		scr.exList = scr.exList[:0]
+	}()
+
+	leaves := append(scr.leaves[:0], a.leafList...)
+	leaves = append(leaves, b.leafList...)
+	scr.leaves = leaves
 
 	// Per-leaf contributions: the refining terms present in that leaf's term
 	// chunk. A leaf that would end up with an empty term chunk while failing
 	// the Lemma 2 subrecord-count condition retains its least frequent
 	// refining term, preserving per-cluster validity (Lemma 3 relies on
 	// Lemma 2 holding for each cluster independently).
-	contrib := make([]dataset.Record, len(leaves))
-	for i, l := range leaves {
-		contrib[i] = l.cluster.TermChunk.Intersect(ts0)
+	chunkTotal := 0
+	for _, l := range leaves {
+		chunkTotal += len(l.cluster.TermChunk)
 	}
-
-	// Eligibility: total support across contributing leaves must reach k,
-	// otherwise no k^m- or k-anonymous shared chunk can host the term. The
-	// per-leaf supports come from the leafState cache.
-	totalSup := make(map[dataset.Term]int)
-	for i, l := range leaves {
-		for _, t := range contrib[i] {
-			totalSup[t] += l.support(t)
-		}
+	if cap(scr.contribArena) < chunkTotal {
+		scr.contribArena = make(dataset.Record, 0, chunkTotal+chunkTotal/2)
 	}
-	var ts dataset.Record
-	for _, t := range ts0 {
-		if totalSup[t] >= k {
-			ts = append(ts, t)
-		}
+	arena := scr.contribArena[:0]
+	contrib := scr.contrib[:0]
+	for _, l := range leaves {
+		start := len(arena)
+		arena = intersectAppend(arena, l.cluster.TermChunk, ts)
+		contrib = append(contrib, dataset.Record(arena[start:len(arena):len(arena)]))
 	}
-	if len(ts) == 0 {
-		return nil
-	}
-	for i := range contrib {
-		contrib[i] = contrib[i].Intersect(ts)
-	}
+	scr.contribArena = arena
+	scr.contrib = contrib
 
 	// Lemma 2 safety: a refining term moves out of *every* term chunk it
 	// appears in (the paper's construction removes all T^s terms from the
@@ -295,41 +692,46 @@ func planJoin(a, b *refNode, k, m int, sensitive map[dataset.Term]bool) *joinPla
 	// subrecord-count condition, exclude that leaf's least frequent refining
 	// term globally: it stays in term chunks everywhere. Exclusions only
 	// enlarge later leaves' remaining term chunks, so one pass suffices.
-	excluded := make(map[dataset.Term]bool)
 	for i, l := range leaves {
 		if len(contrib[i]) == 0 {
 			continue
 		}
-		eff := withoutExcluded(contrib[i], excluded)
+		eff := scr.eff[:0]
+		for _, t := range contrib[i] {
+			if !scr.excluded[t] {
+				eff = append(eff, t)
+			}
+		}
+		scr.eff = eff
 		if len(eff) == 0 {
 			continue
 		}
-		remaining := l.cluster.TermChunk.Subtract(eff)
-		// A leaf may give up its whole term chunk only if its record chunks
-		// alone satisfy Lemma 2; a chunk-less cluster must always keep at
-		// least one term or its records become unreconstructable.
-		if len(remaining) == 0 &&
-			(len(l.cluster.RecordChunks) == 0 || !lemma2Holds(l.cluster, k, m)) {
+		// eff ⊆ contrib[i] ⊆ the leaf's term chunk, so stripping eff empties
+		// the chunk iff |eff| = |term chunk|. A leaf may give up its whole
+		// term chunk only if its record chunks alone satisfy Lemma 2; a
+		// chunk-less cluster must always keep at least one term or its
+		// records become unreconstructable.
+		if len(eff) == len(l.cluster.TermChunk) &&
+			(len(l.cluster.RecordChunks) == 0 || !lemma2Holds(l.cluster, e.k, e.m)) {
 			keep := eff[0]
 			for _, t := range eff {
 				if l.support(t) < l.support(keep) {
 					keep = t
 				}
 			}
-			excluded[keep] = true
+			scr.excluded[keep] = true
+			scr.exList = append(scr.exList, keep)
 		}
 	}
-	if len(excluded) > 0 {
+	if len(scr.exList) > 0 {
+		// Dropping an excluded term from every contribution leaves the other
+		// terms' occurrence sets — and so their total supports — unchanged,
+		// so totalSup needs no recount.
 		for i := range contrib {
-			contrib[i] = withoutExcluded(contrib[i], excluded)
+			contrib[i] = dropExcluded(contrib[i], scr.excluded)
 		}
-		ts = withoutExcluded(ts, excluded)
-		totalSup = make(map[dataset.Term]int)
-		for i, l := range leaves {
-			for _, t := range contrib[i] {
-				totalSup[t] += l.support(t)
-			}
-		}
+		ts = dropExcluded(ts, scr.excluded)
+		scr.ts = ts
 	}
 	if len(ts) == 0 {
 		return nil
@@ -340,9 +742,9 @@ func planJoin(a, b *refNode, k, m int, sensitive map[dataset.Term]bool) *joinPla
 	// the separate term chunks did.
 	left := 0.0
 	for _, t := range ts {
-		left += float64(totalSup[t])
+		left += float64(scr.totalSup[t])
 	}
-	left /= float64(a.size() + b.size())
+	left /= float64(a.sz + b.sz)
 	uSum, pSum := 0, 0
 	for i, l := range leaves {
 		if len(contrib[i]) > 0 {
@@ -359,55 +761,156 @@ func planJoin(a, b *refNode, k, m int, sensitive map[dataset.Term]bool) *joinPla
 	}
 
 	// Masked records: each record projected onto its own leaf's contribution
-	// (CT_j ∩ T^s), so no record contributes the same projection twice.
-	var masked []dataset.Record
+	// (CT_j ∩ T^s), so no record contributes the same projection twice. The
+	// projections live in the scratch arena until the plan is known to
+	// succeed.
+	maskedBound := 0
+	for i, l := range leaves {
+		if len(contrib[i]) > 0 {
+			maskedBound += l.termTotal
+		}
+	}
+	if cap(scr.maskedArena) < maskedBound {
+		scr.maskedArena = make(dataset.Record, 0, maskedBound+maskedBound/2)
+	}
+	mArena := scr.maskedArena[:0]
+	masked := scr.masked[:0]
 	for i, l := range leaves {
 		if len(contrib[i]) == 0 {
 			continue
 		}
 		for _, r := range l.records {
-			masked = append(masked, r.Intersect(contrib[i]))
+			start := len(mArena)
+			mArena = intersectAppend(mArena, r, contrib[i])
+			masked = append(masked, dataset.Record(mArena[start:len(mArena):len(mArena)]))
 		}
 	}
+	scr.maskedArena = mArena
+	scr.masked = masked
 
 	// Property 1: refining terms also present in record/shared chunks of the
-	// descendants need plain k-anonymous chunks; the rest need k^m.
-	tr := make(map[dataset.Term]bool)
-	a.recordAndSharedDomains(tr)
-	b.recordAndSharedDomains(tr)
-	var free, conflict dataset.Record
+	// descendants need plain k-anonymous chunks; the rest need k^m. The
+	// subtree domains T^r are cached on the nodes.
+	free, conflict := scr.free[:0], scr.conflict[:0]
 	for _, t := range ts {
-		if tr[t] {
+		if a.trDomains.Contains(t) || b.trDomains.Contains(t) {
 			conflict = append(conflict, t)
 		} else {
 			free = append(free, t)
 		}
 	}
+	scr.free, scr.conflict = free, conflict
 
 	// One dense index over the masked records backs every greedy pass of
 	// both checker kinds (the passes run strictly one after another). The
-	// index is plan-local, so concurrent planJoin calls never share scratch.
-	ix := buildClusterIndex(masked)
-	placed := make(map[dataset.Term]bool)
+	// index comes from the worker-owned scratch, so concurrent planJoin
+	// calls never share it.
+	ix := scr.ixs.build(masked)
+	placed := scr.placed[:0]
 	var domains []dataset.Record
-	domains = append(domains, greedyDomains(free, totalSup, func() domainChecker {
-		return newKMCheckerOnIndex(k, m, ix)
-	}, placed)...)
-	domains = append(domains, greedyDomains(conflict, totalSup, func() domainChecker {
-		return newKAnonCheckerOnIndex(k, ix)
-	}, placed)...)
+	domains = append(domains, greedyDomains(free, scr, func() domainChecker {
+		return newKMCheckerOnIndex(e.k, e.m, ix)
+	}, &placed)...)
+	domains = append(domains, greedyDomains(conflict, scr, func() domainChecker {
+		return newKAnonCheckerOnIndex(e.k, ix)
+	}, &placed)...)
+	scr.placed = placed
 	if len(domains) == 0 {
 		return nil
 	}
 
-	return &joinPlan{a: a, b: b, leaves: leaves, contrib: contrib,
-		placed: placed, masked: masked, domains: domains}
+	// The plan escapes the scratch: copy the arena-backed sets out.
+	return &joinPlan{a: a, b: b,
+		leaves:  slices.Clone(leaves),
+		contrib: cloneRecords(contrib),
+		placed:  dataset.NewRecord(placed...),
+		masked:  cloneRecords(masked),
+		domains: domains}
+}
+
+// unionSupSubtract merges the parents' (virtTC, supTC) aggregates into the
+// joint's: the union of the virtual term chunks minus the placed terms, with
+// supports of common terms summed.
+func unionSupSubtract(a, b *refNode, placed dataset.Record) (dataset.Record, []int32) {
+	ra, rb := a.virtTC, b.virtTC
+	tc := make(dataset.Record, 0, len(ra)+len(rb))
+	sup := make([]int32, 0, len(ra)+len(rb))
+	p := 0
+	emit := func(t dataset.Term, s int32) {
+		for p < len(placed) && placed[p] < t {
+			p++
+		}
+		if p < len(placed) && placed[p] == t {
+			return
+		}
+		tc = append(tc, t)
+		sup = append(sup, s)
+	}
+	i, j := 0, 0
+	for i < len(ra) && j < len(rb) {
+		switch {
+		case ra[i] < rb[j]:
+			emit(ra[i], a.supTC[i])
+			i++
+		case ra[i] > rb[j]:
+			emit(rb[j], b.supTC[j])
+			j++
+		default:
+			emit(ra[i], a.supTC[i]+b.supTC[j])
+			i, j = i+1, j+1
+		}
+	}
+	for ; i < len(ra); i++ {
+		emit(ra[i], a.supTC[i])
+	}
+	for ; j < len(rb); j++ {
+		emit(rb[j], b.supTC[j])
+	}
+	return tc, sup
+}
+
+// intersectAppend appends a ∩ b (both sorted) to dst.
+func intersectAppend(dst dataset.Record, a, b dataset.Record) dataset.Record {
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] < b[j]:
+			i++
+		case a[i] > b[j]:
+			j++
+		default:
+			dst = append(dst, a[i])
+			i, j = i+1, j+1
+		}
+	}
+	return dst
+}
+
+// cloneRecords deep-copies a record list into one flat backing allocation.
+func cloneRecords(rs []dataset.Record) []dataset.Record {
+	total := 0
+	for _, r := range rs {
+		total += len(r)
+	}
+	flat := make(dataset.Record, 0, total)
+	out := make([]dataset.Record, len(rs))
+	for i, r := range rs {
+		start := len(flat)
+		flat = append(flat, r...)
+		out[i] = flat[start:len(flat):len(flat)]
+	}
+	return out
 }
 
 // tryJoin is the sequential form of planJoin + commit: it evaluates the join
 // criterion and, on success, immediately materializes the joint node.
 func tryJoin(a, b *refNode, k, m int, sensitive map[dataset.Term]bool, rng *rand.Rand) *refNode {
-	p := planJoin(a, b, k, m, sensitive)
+	a.initDerived()
+	b.initDerived()
+	bits, nTerms := sensitiveBitsFor([]*refNode{a, b}, sensitive)
+	e := &refineEngine{k: k, m: m, nTerms: nTerms, sensitive: bits,
+		scratch: make([]*planScratch, 1)}
+	p := e.planJoin(a, b, e.scratchFor(0))
 	if p == nil {
 		return nil
 	}
@@ -415,26 +918,39 @@ func tryJoin(a, b *refNode, k, m int, sensitive map[dataset.Term]bool, rng *rand
 }
 
 // commit materializes the planned joint node: it builds (and shuffles) the
-// shared chunks and removes the placed terms from the leaves' term chunks.
-// Commits run sequentially in scan order, so rng consumption is
-// deterministic.
+// shared chunks, removes the placed terms from the leaves' term chunks and
+// derives the joint's aggregates from its parents (the only state change the
+// join introduces — every other node keeps its cached aggregates). Commits
+// run sequentially in scan order, so rng consumption is deterministic.
 func (p *joinPlan) commit(rng *rand.Rand) *refNode {
 	sharedChunks := buildChunks(p.masked, p.domains, rng)
 	for i, l := range p.leaves {
-		var remove dataset.Record
-		for _, t := range p.contrib[i] {
-			if p.placed[t] {
-				remove = append(remove, t)
-			}
+		if len(p.contrib[i]) == 0 || intersectCount(p.contrib[i], p.placed) == 0 {
+			continue // nothing placed from this leaf: its term chunk is untouched
 		}
+		remove := p.contrib[i].Intersect(p.placed)
 		l.cluster.TermChunk = l.cluster.TermChunk.Subtract(remove)
 	}
-	return &refNode{children: []*refNode{p.a, p.b}, shared: sharedChunks}
+	n := &refNode{children: []*refNode{p.a, p.b}, shared: sharedChunks}
+	n.sz = p.a.sz + p.b.sz
+	n.leafList = make([]*leafState, 0, len(p.a.leafList)+len(p.b.leafList))
+	n.leafList = append(append(n.leafList, p.a.leafList...), p.b.leafList...)
+	// The placed terms left every term chunk they appeared in, so the joint's
+	// virtual term chunk is the parents' union minus them — and for a
+	// surviving term the set of leaves holding it is unchanged, so its
+	// support aggregate is simply the parents' sum.
+	n.virtTC, n.supTC = unionSupSubtract(p.a, p.b, p.placed)
+	tr := p.a.trDomains.Union(p.b.trDomains)
+	for _, d := range p.domains {
+		tr = tr.Union(d)
+	}
+	n.trDomains = tr
+	return n
 }
 
-// withoutExcluded filters a sorted term set, dropping excluded terms.
-func withoutExcluded(r dataset.Record, excluded map[dataset.Term]bool) dataset.Record {
-	out := make(dataset.Record, 0, len(r))
+// dropExcluded filters the sorted record in place, dropping excluded terms.
+func dropExcluded(r dataset.Record, excluded []bool) dataset.Record {
+	out := r[:0]
 	for _, t := range r {
 		if !excluded[t] {
 			out = append(out, t)
@@ -451,33 +967,36 @@ type domainChecker interface {
 }
 
 // greedyDomains runs VERPART-style passes over the terms (descending total
-// support), starting a fresh checker per chunk, and records every placed
-// term. Terms that fit nowhere are simply not placed.
-func greedyDomains(terms dataset.Record, totalSup map[dataset.Term]int, newChecker func() domainChecker, placed map[dataset.Term]bool) []dataset.Record {
-	remain := terms.Clone()
-	sort.Slice(remain, func(i, j int) bool {
-		if totalSup[remain[i]] != totalSup[remain[j]] {
-			return totalSup[remain[i]] > totalSup[remain[j]]
+// support, from the scratch's dense table), starting a fresh checker per
+// chunk, and appends every placed term to placed. Terms that fit nowhere are
+// simply not placed.
+func greedyDomains(terms dataset.Record, scr *planScratch, newChecker func() domainChecker, placed *dataset.Record) []dataset.Record {
+	remain := append(scr.remain[:0], terms...)
+	slices.SortFunc(remain, func(x, y dataset.Term) int {
+		if scr.totalSup[x] != scr.totalSup[y] {
+			return int(scr.totalSup[y]) - int(scr.totalSup[x])
 		}
-		return remain[i] < remain[j]
+		return int(x) - int(y)
 	})
 	var domains []dataset.Record
 	for len(remain) > 0 {
 		checker := newChecker()
-		var leftover dataset.Record
+		leftover := scr.leftover[:0]
 		for _, t := range remain {
 			if checker.TryAdd(t) {
-				placed[t] = true
+				*placed = append(*placed, t)
 			} else {
 				leftover = append(leftover, t)
 			}
 		}
+		scr.leftover = leftover
 		domain := checker.Domain()
 		if len(domain) == 0 {
 			break // nothing placeable: leave the rest in term chunks
 		}
 		domains = append(domains, domain)
-		remain = leftover
+		remain = append(remain[:0], leftover...)
 	}
+	scr.remain = remain
 	return domains
 }

@@ -1,0 +1,9 @@
+//go:build !refine_replan
+
+package core
+
+// refineAlwaysReplanDefault selects the incremental engine: join verdicts are
+// memoized by node generation and only pairs with a new side are re-planned.
+// Build with -tags refine_replan to default to the reference always-re-plan
+// path instead (used to cross-check byte-identical output).
+const refineAlwaysReplanDefault = false

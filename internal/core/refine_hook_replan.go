@@ -1,0 +1,8 @@
+//go:build refine_replan
+
+package core
+
+// refineAlwaysReplanDefault under the refine_replan build tag forces the
+// reference path: every pass re-plans every adjacent pair, with no verdict
+// memoization. Output must be byte-identical to the incremental engine.
+const refineAlwaysReplanDefault = true

@@ -258,11 +258,12 @@ func TestGreedyDomainsPlacesAllEligible(t *testing.T) {
 		dataset.NewRecord(1, 2), dataset.NewRecord(1, 2), dataset.NewRecord(1, 2),
 		dataset.NewRecord(3), dataset.NewRecord(3), dataset.NewRecord(3),
 	}
-	placed := make(map[dataset.Term]bool)
-	sup := map[dataset.Term]int{1: 3, 2: 3, 3: 3}
-	domains := greedyDomains(dataset.NewRecord(1, 2, 3), sup, func() domainChecker {
+	scr := newPlanScratch(4)
+	scr.totalSup[1], scr.totalSup[2], scr.totalSup[3] = 3, 3, 3
+	var placed dataset.Record
+	domains := greedyDomains(dataset.NewRecord(1, 2, 3), scr, func() domainChecker {
 		return newKMChecker(3, 2, records)
-	}, placed)
+	}, &placed)
 	if len(placed) != 3 {
 		t.Errorf("placed %d terms, want 3", len(placed))
 	}
@@ -272,6 +273,35 @@ func TestGreedyDomainsPlacesAllEligible(t *testing.T) {
 	}
 	if !all.Equal(dataset.NewRecord(1, 2, 3)) {
 		t.Errorf("domains cover %v", all)
+	}
+}
+
+// TestLeafStateSupportStrict pins the support-cache invariant: reading a
+// support before the cache is built must panic instead of lazily (and
+// racily) building it, since planJoin shares leaves across goroutines.
+func TestLeafStateSupportStrict(t *testing.T) {
+	l := &leafState{records: []dataset.Record{dataset.NewRecord(1, 2)}}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("support on an unbuilt cache did not panic")
+		}
+	}()
+	l.support(1)
+}
+
+func TestLeafStateSupportAfterEnsure(t *testing.T) {
+	l := &leafState{records: []dataset.Record{
+		dataset.NewRecord(1, 2), dataset.NewRecord(2),
+	}}
+	l.ensureSupports()
+	if got := l.support(2); got != 2 {
+		t.Errorf("support(2) = %d, want 2", got)
+	}
+	if got := l.support(9); got != 0 {
+		t.Errorf("support(9) = %d, want 0", got)
+	}
+	if l.termTotal != 3 {
+		t.Errorf("termTotal = %d, want 3", l.termTotal)
 	}
 }
 

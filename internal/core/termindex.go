@@ -79,7 +79,7 @@ func buildClusterIndex(records []dataset.Record) *clusterIndex {
 	ix.postings = make([][]int32, len(terms))
 	used = 0
 	for lt, s := range supports {
-		ix.postings[lt] = post[used:used : used+int(s)]
+		ix.postings[lt] = post[used : used : used+int(s)]
 		used += int(s)
 	}
 	for ri, lr := range ix.recs {
@@ -89,6 +89,113 @@ func buildClusterIndex(records []dataset.Record) *clusterIndex {
 	}
 
 	ix.domBits = make([]bool, len(terms))
+	return ix
+}
+
+// indexScratch rebuilds clusterIndexes over record bags drawn from one dense
+// term domain (terms must be ids below nTerms) without allocating in the
+// steady state: distinct-term collection and the local-id remap go through
+// epoch-stamped flat arrays instead of per-term binary searches, and the
+// index's backing storage is reused between builds. Each worker owns one
+// scratch; an index (and every checker built on it) is valid only until the
+// owning scratch's next build call.
+type indexScratch struct {
+	localOf []int32  // dense term id -> local id, valid when stamp matches
+	stamp   []uint32 // epoch marks for localOf
+	epoch   uint32
+
+	ix      clusterIndex
+	termBuf []dataset.Term
+	flat    []uint32
+	recsBuf [][]uint32
+	postBuf []int32
+	posts   [][]int32
+	supBuf  []int32
+	domBuf  []bool
+}
+
+func newIndexScratch(nTerms int) *indexScratch {
+	return &indexScratch{
+		localOf: make([]int32, nTerms),
+		stamp:   make([]uint32, nTerms),
+	}
+}
+
+// build rebuilds the scratch-owned index over the records. It is the dense
+// counterpart of buildClusterIndex with identical observable behavior.
+func (s *indexScratch) build(records []dataset.Record) *clusterIndex {
+	s.epoch++
+	total := 0
+	terms := s.termBuf[:0]
+	for _, r := range records {
+		total += len(r)
+		for _, t := range r {
+			if s.stamp[t] != s.epoch {
+				s.stamp[t] = s.epoch
+				terms = append(terms, t)
+			}
+		}
+	}
+	slices.Sort(terms)
+	s.termBuf = terms
+	for i, t := range terms {
+		s.localOf[t] = int32(i)
+	}
+
+	if cap(s.flat) < total {
+		s.flat = make([]uint32, 0, total+total/2)
+	}
+	flat := s.flat[:0]
+	if cap(s.recsBuf) < len(records) {
+		s.recsBuf = make([][]uint32, len(records)+len(records)/2)
+	}
+	recs := s.recsBuf[:len(records)]
+	if cap(s.supBuf) < len(terms) {
+		s.supBuf = make([]int32, len(terms)+len(terms)/2)
+	}
+	supports := s.supBuf[:len(terms)]
+	clear(supports)
+	for i, r := range records {
+		start := len(flat)
+		for _, t := range r {
+			lt := uint32(s.localOf[t])
+			flat = append(flat, lt)
+			supports[lt]++
+		}
+		recs[i] = flat[start:len(flat):len(flat)]
+	}
+
+	if cap(s.postBuf) < total {
+		s.postBuf = make([]int32, total+total/2)
+	}
+	post := s.postBuf[:total]
+	if cap(s.posts) < len(terms) {
+		s.posts = make([][]int32, len(terms)+len(terms)/2)
+	}
+	postings := s.posts[:len(terms)]
+	used := 0
+	for lt, sup := range supports {
+		postings[lt] = post[used : used : used+int(sup)]
+		used += int(sup)
+	}
+	for ri, lr := range recs {
+		for _, lt := range lr {
+			postings[lt] = append(postings[lt], int32(ri))
+		}
+	}
+
+	if cap(s.domBuf) < len(terms) {
+		s.domBuf = make([]bool, len(terms)+len(terms)/2)
+	}
+	domBits := s.domBuf[:len(terms)]
+	clear(domBits)
+
+	ix := &s.ix
+	ix.records = records
+	ix.terms = terms
+	ix.recs = recs
+	ix.postings = postings
+	ix.domBits = domBits
 	return ix
 }
 

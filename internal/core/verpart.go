@@ -26,12 +26,27 @@ import (
 // rng drives the subrecord shuffling that hides cross-chunk associations; it
 // must be non-nil.
 func VerPart(records []dataset.Record, k, m int, sensitive map[dataset.Term]bool, rng *rand.Rand) *Cluster {
+	cl, _ := verPartIndexed(records, k, m, func(t dataset.Term) bool { return sensitive[t] }, rng, nil)
+	return cl
+}
+
+// verPartIndexed is VerPart's core. scr, when non-nil, provides the reusable
+// dense-domain index build (the pipeline hands each worker its own scratch);
+// nil falls back to a fresh index. The cluster index is returned so the
+// caller can lift the in-cluster supports out of it — it is only valid until
+// the scratch's next build.
+func verPartIndexed(records []dataset.Record, k, m int, isSensitive func(dataset.Term) bool, rng *rand.Rand, scr *indexScratch) (*Cluster, *clusterIndex) {
 	cl := &Cluster{Size: len(records)}
 
 	// One dense index over the cluster's records backs the support counts
 	// and every greedy checker pass: in-cluster support is simply the
 	// posting-list length.
-	ix := buildClusterIndex(records)
+	var ix *clusterIndex
+	if scr != nil {
+		ix = scr.build(records)
+	} else {
+		ix = buildClusterIndex(records)
+	}
 	support := func(t dataset.Term) int {
 		if lt, ok := ix.localID(t); ok {
 			return len(ix.postings[lt])
@@ -46,7 +61,7 @@ func VerPart(records []dataset.Record, k, m int, sensitive map[dataset.Term]bool
 	var remainL []uint32
 	var termChunk []dataset.Term
 	for lt, t := range ix.terms {
-		if len(ix.postings[lt]) < k || sensitive[t] {
+		if len(ix.postings[lt]) < k || isSensitive(t) {
 			termChunk = append(termChunk, t)
 		} else {
 			remainL = append(remainL, uint32(lt))
@@ -89,18 +104,31 @@ func VerPart(records []dataset.Record, k, m int, sensitive map[dataset.Term]bool
 	cl.RecordChunks = buildChunks(records, domains, rng)
 	cl.TermChunk = dataset.NewRecord(termChunk...)
 	enforceLemma2(cl, records, support, k, m, rng)
-	return cl
+	return cl, ix
 }
 
 // buildChunks projects the records onto each domain, keeping non-empty
-// projections in randomized order.
+// projections in randomized order. Each chunk's subrecords share one flat
+// backing allocation, sized by a counting pass, so projecting |P| records
+// costs two allocations instead of |P|.
 func buildChunks(records []dataset.Record, domains []dataset.Record, rng *rand.Rand) []Chunk {
 	chunks := make([]Chunk, 0, len(domains))
 	for _, dom := range domains {
 		c := Chunk{Domain: dom}
+		total, count := 0, 0
 		for _, r := range records {
-			if proj := r.Intersect(dom); len(proj) > 0 {
-				c.Subrecords = append(c.Subrecords, proj)
+			if n := intersectCount(r, dom); n > 0 {
+				total += n
+				count++
+			}
+		}
+		flat := make(dataset.Record, 0, total)
+		c.Subrecords = make([]dataset.Record, 0, count)
+		for _, r := range records {
+			start := len(flat)
+			flat = intersectAppend(flat, r, dom)
+			if len(flat) > start {
+				c.Subrecords = append(c.Subrecords, dataset.Record(flat[start:len(flat):len(flat)]))
 			}
 		}
 		rng.Shuffle(len(c.Subrecords), func(i, j int) {
@@ -109,6 +137,23 @@ func buildChunks(records []dataset.Record, domains []dataset.Record, rng *rand.R
 		chunks = append(chunks, c)
 	}
 	return chunks
+}
+
+// intersectCount returns |a ∩ b| for sorted records without allocating.
+func intersectCount(a, b dataset.Record) int {
+	n, i, j := 0, 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] < b[j]:
+			i++
+		case a[i] > b[j]:
+			j++
+		default:
+			n++
+			i, j = i+1, j+1
+		}
+	}
+	return n
 }
 
 // enforceLemma2 checks the subrecord-count condition of Lemma 2 and, when it

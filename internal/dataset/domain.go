@@ -1,0 +1,74 @@
+package dataset
+
+import "slices"
+
+// DenseDomain is a monotone bijection between a dataset's global terms and
+// the dense ids 0..Len()-1, assigned in ascending term order. Remapping a
+// dataset through it preserves every ordering the anonymization pipeline
+// relies on (term-ascending ties, support comparisons, lexicographic record
+// comparisons), so a pipeline run over the dense ids followed by RestoreRecord
+// on the published output is byte-identical to a run over the original terms —
+// while every per-term table inside the pipeline becomes a flat slice indexed
+// by the id instead of a map keyed by the term.
+type DenseDomain struct {
+	terms []Term // dense id -> global term, ascending
+}
+
+// NewDenseDomain collects the distinct terms of the records into a domain.
+func NewDenseDomain(records []Record) *DenseDomain {
+	total := 0
+	for _, r := range records {
+		total += len(r)
+	}
+	all := make([]Term, 0, total)
+	for _, r := range records {
+		all = append(all, r...)
+	}
+	slices.Sort(all)
+	return &DenseDomain{terms: slices.Compact(all)}
+}
+
+// Len returns the domain size |T|.
+func (dd *DenseDomain) Len() int { return len(dd.terms) }
+
+// ID returns the dense id of a global term and whether the term is in the
+// domain.
+func (dd *DenseDomain) ID(t Term) (int32, bool) {
+	i, ok := slices.BinarySearch(dd.terms, t)
+	return int32(i), ok
+}
+
+// TermOf returns the global term behind a dense id.
+func (dd *DenseDomain) TermOf(id Term) Term { return dd.terms[id] }
+
+// RemapAll returns the records with every term replaced by its dense id,
+// backed by one flat allocation. Every input term must be in the domain.
+// Because ids ascend with terms, the outputs are normalized records.
+func (dd *DenseDomain) RemapAll(records []Record) []Record {
+	total := 0
+	for _, r := range records {
+		total += len(r)
+	}
+	flat := make([]Term, 0, total)
+	out := make([]Record, len(records))
+	for i, r := range records {
+		start := len(flat)
+		for _, t := range r {
+			id, ok := slices.BinarySearch(dd.terms, t)
+			if !ok {
+				panic("dataset: RemapAll term outside domain")
+			}
+			flat = append(flat, Term(id))
+		}
+		out[i] = Record(flat[start:len(flat):len(flat)])
+	}
+	return out
+}
+
+// RestoreRecord rewrites a dense-id record back to global terms in place.
+// Monotonicity keeps the record normalized.
+func (dd *DenseDomain) RestoreRecord(r Record) {
+	for i, id := range r {
+		r[i] = dd.terms[id]
+	}
+}

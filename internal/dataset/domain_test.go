@@ -1,0 +1,59 @@
+package dataset
+
+import (
+	"math/rand/v2"
+	"testing"
+)
+
+func TestDenseDomainRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewPCG(1, 2))
+	records := make([]Record, 50)
+	for i := range records {
+		terms := make([]Term, 1+rng.IntN(6))
+		for j := range terms {
+			terms[j] = Term(rng.IntN(1000) * 7) // sparse global ids
+		}
+		records[i] = NewRecord(terms...)
+	}
+	dd := NewDenseDomain(records)
+	dense := dd.RemapAll(records)
+	if len(dense) != len(records) {
+		t.Fatalf("remap changed record count: %d != %d", len(dense), len(records))
+	}
+	for i, r := range dense {
+		if !r.IsNormalized() {
+			t.Fatalf("record %d not normalized after remap: %v", i, r)
+		}
+		if len(r) != len(records[i]) {
+			t.Fatalf("record %d changed length", i)
+		}
+		restored := r.Clone()
+		dd.RestoreRecord(restored)
+		if !restored.Equal(records[i]) {
+			t.Fatalf("record %d round trip: got %v want %v", i, restored, records[i])
+		}
+	}
+}
+
+func TestDenseDomainIDsAscend(t *testing.T) {
+	records := []Record{NewRecord(100, 7, 42), NewRecord(7, 9)}
+	dd := NewDenseDomain(records)
+	if dd.Len() != 4 {
+		t.Fatalf("domain size = %d, want 4", dd.Len())
+	}
+	prev := Term(-1)
+	for id := 0; id < dd.Len(); id++ {
+		g := dd.TermOf(Term(id))
+		if g <= prev {
+			t.Fatalf("TermOf not ascending at id %d", id)
+		}
+		prev = g
+		back, ok := dd.ID(g)
+		if !ok || back != int32(id) {
+			t.Fatalf("ID(TermOf(%d)) = %d, %v", id, back, ok)
+		}
+	}
+	if _, ok := dd.ID(8); ok {
+		t.Fatal("ID reported a term outside the domain")
+	}
+}

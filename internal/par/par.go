@@ -12,12 +12,20 @@ import (
 // scheduling never affects the outcome; with workers ≤ 1 it degenerates to a
 // plain loop.
 func Do(workers, n int, fn func(int)) {
+	DoWorker(workers, n, func(_, i int) { fn(i) })
+}
+
+// DoWorker is Do with the executing worker's index (0..workers-1) passed to
+// fn, so callers can hand each worker its own scratch state (buffers, pooled
+// indexes) without synchronization. A given worker index runs fn sequentially;
+// with workers ≤ 1 every call sees worker 0.
+func DoWorker(workers, n int, fn func(worker, i int)) {
 	if workers > n {
 		workers = n
 	}
 	if workers <= 1 {
 		for i := 0; i < n; i++ {
-			fn(i)
+			fn(0, i)
 		}
 		return
 	}
@@ -25,16 +33,16 @@ func Do(workers, n int, fn func(int)) {
 	var wg sync.WaitGroup
 	wg.Add(workers)
 	for w := 0; w < workers; w++ {
-		go func() {
+		go func(worker int) {
 			defer wg.Done()
 			for {
 				i := int(next.Add(1)) - 1
 				if i >= n {
 					return
 				}
-				fn(i)
+				fn(worker, i)
 			}
-		}()
+		}(w)
 	}
 	wg.Wait()
 }

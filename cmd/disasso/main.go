@@ -10,12 +10,19 @@
 //	disasso -in data.txt -k 5 -m 2 -out anonymized.json
 //	disasso -in data.txt -reconstruct 3 -out samples.txt
 //	disasso -verify anonymized.json -in data.txt
+//	disasso -in huge.txt -stream -mem-budget 512M -binary -out anonymized.bin
+//
+// With -stream the input is anonymized by the sharded streaming engine in
+// bounded memory (see -mem-budget), spilling shards to temp files; the
+// published bytes are identical to the in-memory path at equal options.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
+	"strings"
 
 	"disasso"
 )
@@ -36,27 +43,113 @@ func main() {
 		stats       = flag.Bool("stats", false, "print dataset statistics and exit")
 		audit       = flag.Int("audit", 0, "after anonymizing, audit the guarantee with N sampled adversaries")
 		binaryOut   = flag.Bool("binary", false, "write the compact binary format instead of JSON (and expect it with -verify)")
+		stream      = flag.Bool("stream", false, "anonymize with the sharded streaming engine in bounded memory")
+		memBudget   = flag.String("mem-budget", "", "streaming memory budget, bytes with optional K/M/G suffix (default 256M)")
+		shardRecs   = flag.Int("shard-records", 0, "shard cut in records — MergeUndersized/REFINE run per shard; applies to both streaming and in-memory runs (0 = one global shard, or derive from -mem-budget with -stream)")
+		tmpDir      = flag.String("tmpdir", "", "directory for streaming spill files (default system temp)")
 	)
 	flag.Parse()
-	if err := run(*in, *out, *names, *k, *m, *maxCluster, *noRefine, *parallel, *seed, *reconstruct, *verify, *stats, *audit, *binaryOut); err != nil {
+	cfg := runConfig{
+		in: *in, out: *out, names: *names, k: *k, m: *m, maxCluster: *maxCluster,
+		noRefine: *noRefine, parallel: *parallel, seed: *seed, reconstruct: *reconstruct,
+		verify: *verify, stats: *stats, audit: *audit, binaryOut: *binaryOut,
+		stream: *stream, memBudget: *memBudget, shardRecs: *shardRecs, tmpDir: *tmpDir,
+	}
+	if err := run(cfg); err != nil {
 		fmt.Fprintln(os.Stderr, "disasso:", err)
 		os.Exit(1)
 	}
 }
 
-func run(in, out string, names bool, k, m, maxCluster int, noRefine bool, parallel int, seed uint64, nReconstruct int, verifyPath string, stats bool, audit int, binaryOut bool) error {
-	if in == "" {
+// runConfig carries the parsed flag set.
+type runConfig struct {
+	in, out     string
+	names       bool
+	k, m        int
+	maxCluster  int
+	noRefine    bool
+	parallel    int
+	seed        uint64
+	reconstruct int
+	verify      string
+	stats       bool
+	audit       int
+	binaryOut   bool
+	stream      bool
+	memBudget   string
+	shardRecs   int
+	tmpDir      string
+}
+
+// parseBytes parses a byte count with an optional K/M/G (or KiB-style) suffix.
+func parseBytes(s string) (int64, error) {
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return 0, nil
+	}
+	mult := int64(1)
+	upper := strings.ToUpper(strings.TrimSuffix(strings.TrimSuffix(strings.ToUpper(s), "IB"), "B"))
+	switch {
+	case strings.HasSuffix(upper, "K"):
+		mult, upper = 1<<10, strings.TrimSuffix(upper, "K")
+	case strings.HasSuffix(upper, "M"):
+		mult, upper = 1<<20, strings.TrimSuffix(upper, "M")
+	case strings.HasSuffix(upper, "G"):
+		mult, upper = 1<<30, strings.TrimSuffix(upper, "G")
+	}
+	v, err := strconv.ParseInt(strings.TrimSpace(upper), 10, 64)
+	if err != nil || v < 0 {
+		return 0, fmt.Errorf("bad byte count %q", s)
+	}
+	return v * mult, nil
+}
+
+func run(cfg runConfig) error {
+	if cfg.in == "" {
 		return fmt.Errorf("-in is required")
 	}
-	f, err := os.Open(in)
+	f, err := os.Open(cfg.in)
 	if err != nil {
 		return err
 	}
 	defer f.Close()
 
+	if cfg.stream {
+		if cfg.names || cfg.stats || cfg.verify != "" || cfg.reconstruct > 0 || cfg.audit > 0 {
+			return fmt.Errorf("-stream supports only anonymization of integer-ID inputs (no -names/-stats/-verify/-reconstruct/-audit)")
+		}
+		budget, err := parseBytes(cfg.memBudget)
+		if err != nil {
+			return err
+		}
+		w := os.Stdout
+		if cfg.out != "" {
+			w, err = os.Create(cfg.out)
+			if err != nil {
+				return err
+			}
+			defer w.Close()
+		}
+		st, err := disasso.AnonymizeStream(f, w, disasso.StreamOptions{
+			Core: disasso.Options{
+				K: cfg.k, M: cfg.m, MaxClusterSize: cfg.maxCluster, MaxShardRecords: cfg.shardRecs,
+				DisableRefine: cfg.noRefine, Parallel: cfg.parallel, Seed: cfg.seed,
+			},
+			MemoryBudget: budget,
+			TempDir:      cfg.tmpDir,
+			JSON:         !cfg.binaryOut,
+		})
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "stream: %d records, %d terms, %d shards (cut %d records), %d clusters, spilled=%v\n",
+			st.Records, st.Terms, st.Shards, st.ShardRecords, st.Clusters, st.Spilled)
+		return nil
+	}
+
 	var d *disasso.Dataset
 	dict := disasso.NewDictionary()
-	if names {
+	if cfg.names {
 		d, err = disasso.ReadNames(f, dict)
 	} else {
 		d, err = disasso.ReadIDs(f)
@@ -66,29 +159,29 @@ func run(in, out string, names bool, k, m, maxCluster int, noRefine bool, parall
 	}
 
 	w := os.Stdout
-	if out != "" {
-		w, err = os.Create(out)
+	if cfg.out != "" {
+		w, err = os.Create(cfg.out)
 		if err != nil {
 			return err
 		}
 		defer w.Close()
 	}
 
-	if stats {
+	if cfg.stats {
 		st := d.ComputeStats()
 		fmt.Fprintf(w, "records: %d\nterms: %d\nmax record: %d\navg record: %.2f\n",
 			st.NumRecords, st.DomainSize, st.MaxRecord, st.AvgRecord)
 		return nil
 	}
 
-	if verifyPath != "" {
-		vf, err := os.Open(verifyPath)
+	if cfg.verify != "" {
+		vf, err := os.Open(cfg.verify)
 		if err != nil {
 			return err
 		}
 		defer vf.Close()
 		var a *disasso.Anonymized
-		if binaryOut {
+		if cfg.binaryOut {
 			a, err = disasso.ReadBinary(vf)
 		} else {
 			a, err = disasso.ReadJSON(vf)
@@ -99,13 +192,13 @@ func run(in, out string, names bool, k, m, maxCluster int, noRefine bool, parall
 		if err := disasso.VerifyAgainstOriginal(a, d); err != nil {
 			return err
 		}
-		fmt.Fprintf(w, "OK: %s is %d^%d-anonymous and consistent with %s\n", verifyPath, a.K, a.M, in)
+		fmt.Fprintf(w, "OK: %s is %d^%d-anonymous and consistent with %s\n", cfg.verify, a.K, a.M, cfg.in)
 		return nil
 	}
 
 	a, err := disasso.Anonymize(d, disasso.Options{
-		K: k, M: m, MaxClusterSize: maxCluster,
-		DisableRefine: noRefine, Parallel: parallel, Seed: seed,
+		K: cfg.k, M: cfg.m, MaxClusterSize: cfg.maxCluster, MaxShardRecords: cfg.shardRecs,
+		DisableRefine: cfg.noRefine, Parallel: cfg.parallel, Seed: cfg.seed,
 	})
 	if err != nil {
 		return err
@@ -113,19 +206,19 @@ func run(in, out string, names bool, k, m, maxCluster int, noRefine bool, parall
 	if err := disasso.Verify(a); err != nil {
 		return fmt.Errorf("internal error — output failed verification: %w", err)
 	}
-	if audit > 0 {
-		if err := disasso.AuditGuarantee(a, d, m, k, audit, seed); err != nil {
+	if cfg.audit > 0 {
+		if err := disasso.AuditGuarantee(a, d, cfg.m, cfg.k, cfg.audit, cfg.seed); err != nil {
 			return err
 		}
-		fmt.Fprintf(os.Stderr, "audit: %d sampled adversaries, guarantee holds\n", audit)
+		fmt.Fprintf(os.Stderr, "audit: %d sampled adversaries, guarantee holds\n", cfg.audit)
 	}
 
-	if nReconstruct > 0 {
-		for i, r := range disasso.ReconstructMany(a, nReconstruct, seed) {
+	if cfg.reconstruct > 0 {
+		for i, r := range disasso.ReconstructMany(a, cfg.reconstruct, cfg.seed) {
 			if i > 0 {
 				fmt.Fprintln(w, "%%") // dataset separator
 			}
-			if names {
+			if cfg.names {
 				if err := disasso.WriteNames(w, r, dict); err != nil {
 					return err
 				}
@@ -135,7 +228,7 @@ func run(in, out string, names bool, k, m, maxCluster int, noRefine bool, parall
 		}
 		return nil
 	}
-	if binaryOut {
+	if cfg.binaryOut {
 		return disasso.WriteBinary(w, a)
 	}
 	return disasso.WriteJSON(w, a)

@@ -34,7 +34,7 @@ func TestRunAnonymizeAndVerify(t *testing.T) {
 	in := writeInput(t, dir, toyData)
 	out := filepath.Join(dir, "anon.json")
 
-	if err := run(in, out, false, 3, 2, 0, false, 1, 1, 0, "", false, 0, false); err != nil {
+	if err := run(runConfig{in: in, out: out, k: 3, m: 2, parallel: 1, seed: 1}); err != nil {
 		t.Fatalf("anonymize: %v", err)
 	}
 	data, err := os.ReadFile(out)
@@ -46,7 +46,7 @@ func TestRunAnonymizeAndVerify(t *testing.T) {
 	}
 
 	verifyOut := filepath.Join(dir, "verify.txt")
-	if err := run(in, verifyOut, false, 3, 2, 0, false, 1, 1, 0, out, false, 0, false); err != nil {
+	if err := run(runConfig{in: in, out: verifyOut, k: 3, m: 2, parallel: 1, seed: 1, verify: out}); err != nil {
 		t.Fatalf("verify: %v", err)
 	}
 	msg, _ := os.ReadFile(verifyOut)
@@ -59,7 +59,7 @@ func TestRunReconstruct(t *testing.T) {
 	dir := t.TempDir()
 	in := writeInput(t, dir, toyData)
 	out := filepath.Join(dir, "recon.txt")
-	if err := run(in, out, false, 3, 2, 0, false, 1, 1, 2, "", false, 0, false); err != nil {
+	if err := run(runConfig{in: in, out: out, k: 3, m: 2, parallel: 1, seed: 1, reconstruct: 2}); err != nil {
 		t.Fatalf("reconstruct: %v", err)
 	}
 	data, err := os.ReadFile(out)
@@ -81,7 +81,7 @@ func TestRunStats(t *testing.T) {
 	dir := t.TempDir()
 	in := writeInput(t, dir, toyData)
 	out := filepath.Join(dir, "stats.txt")
-	if err := run(in, out, false, 3, 2, 0, false, 1, 1, 0, "", true, 0, false); err != nil {
+	if err := run(runConfig{in: in, out: out, k: 3, m: 2, parallel: 1, seed: 1, stats: true}); err != nil {
 		t.Fatalf("stats: %v", err)
 	}
 	data, _ := os.ReadFile(out)
@@ -94,7 +94,7 @@ func TestRunAudit(t *testing.T) {
 	dir := t.TempDir()
 	in := writeInput(t, dir, toyData)
 	out := filepath.Join(dir, "anon.json")
-	if err := run(in, out, false, 3, 2, 0, false, 1, 1, 0, "", false, 50, false); err != nil {
+	if err := run(runConfig{in: in, out: out, k: 3, m: 2, parallel: 1, seed: 1, audit: 50}); err != nil {
 		t.Fatalf("audit: %v", err)
 	}
 }
@@ -103,7 +103,7 @@ func TestRunBinaryFormat(t *testing.T) {
 	dir := t.TempDir()
 	in := writeInput(t, dir, toyData)
 	out := filepath.Join(dir, "anon.bin")
-	if err := run(in, out, false, 3, 2, 0, false, 1, 1, 0, "", false, 0, true); err != nil {
+	if err := run(runConfig{in: in, out: out, k: 3, m: 2, parallel: 1, seed: 1, binaryOut: true}); err != nil {
 		t.Fatalf("binary anonymize: %v", err)
 	}
 	data, err := os.ReadFile(out)
@@ -114,7 +114,7 @@ func TestRunBinaryFormat(t *testing.T) {
 		t.Errorf("binary output missing magic: %q", data[:4])
 	}
 	verifyOut := filepath.Join(dir, "verify.txt")
-	if err := run(in, verifyOut, false, 3, 2, 0, false, 1, 1, 0, out, false, 0, true); err != nil {
+	if err := run(runConfig{in: in, out: verifyOut, k: 3, m: 2, parallel: 1, seed: 1, verify: out, binaryOut: true}); err != nil {
 		t.Fatalf("binary verify: %v", err)
 	}
 	msg, _ := os.ReadFile(verifyOut)
@@ -127,7 +127,7 @@ func TestRunNames(t *testing.T) {
 	dir := t.TempDir()
 	in := writeInput(t, dir, "apple banana\napple banana\napple cherry\napple cherry\nbanana cherry\nbanana cherry\n")
 	out := filepath.Join(dir, "recon.txt")
-	if err := run(in, out, true, 2, 2, 0, false, 1, 1, 1, "", false, 0, false); err != nil {
+	if err := run(runConfig{in: in, out: out, names: true, k: 2, m: 2, parallel: 1, seed: 1, reconstruct: 1}); err != nil {
 		t.Fatalf("names reconstruct: %v", err)
 	}
 	data, _ := os.ReadFile(out)
@@ -138,17 +138,84 @@ func TestRunNames(t *testing.T) {
 
 func TestRunErrors(t *testing.T) {
 	dir := t.TempDir()
-	if err := run("", "", false, 3, 2, 0, false, 1, 1, 0, "", false, 0, false); err == nil {
+	if err := run(runConfig{k: 3, m: 2, parallel: 1, seed: 1}); err == nil {
 		t.Error("missing -in accepted")
 	}
-	if err := run(filepath.Join(dir, "missing.txt"), "", false, 3, 2, 0, false, 1, 1, 0, "", false, 0, false); err == nil {
+	if err := run(runConfig{in: filepath.Join(dir, "missing.txt"), k: 3, m: 2, parallel: 1, seed: 1}); err == nil {
 		t.Error("nonexistent input accepted")
 	}
 	in := writeInput(t, dir, toyData)
-	if err := run(in, "", false, 1, 2, 0, false, 1, 1, 0, "", false, 0, false); err == nil {
+	if err := run(runConfig{in: in, k: 1, m: 2, parallel: 1, seed: 1}); err == nil {
 		t.Error("k=1 accepted")
 	}
-	if err := run(in, "", false, 3, 2, 0, false, 1, 1, 0, filepath.Join(dir, "missing.json"), false, 0, false); err == nil {
+	if err := run(runConfig{in: in, k: 3, m: 2, parallel: 1, seed: 1, verify: filepath.Join(dir, "missing.json")}); err == nil {
 		t.Error("nonexistent verify file accepted")
+	}
+}
+
+func TestRunStream(t *testing.T) {
+	dir := t.TempDir()
+	in := writeInput(t, dir, toyData)
+
+	// Binary stream output must equal the in-memory binary output.
+	streamOut := filepath.Join(dir, "stream.bin")
+	if err := run(runConfig{in: in, out: streamOut, k: 3, m: 2, parallel: 1, seed: 1,
+		stream: true, binaryOut: true, memBudget: "1K", tmpDir: dir}); err != nil {
+		t.Fatalf("stream: %v", err)
+	}
+	memOut := filepath.Join(dir, "mem.bin")
+	if err := run(runConfig{in: in, out: memOut, k: 3, m: 2, parallel: 1, seed: 1, binaryOut: true}); err != nil {
+		t.Fatalf("in-memory: %v", err)
+	}
+	got, _ := os.ReadFile(streamOut)
+	want, _ := os.ReadFile(memOut)
+	if !strings.HasPrefix(string(got), "DSA1") {
+		t.Errorf("stream output missing magic: %q", got[:min(len(got), 4)])
+	}
+	if string(got) != string(want) {
+		t.Error("-stream binary output differs from in-memory output")
+	}
+
+	// JSON stream output re-verifies against the original.
+	jsonOut := filepath.Join(dir, "stream.json")
+	if err := run(runConfig{in: in, out: jsonOut, k: 3, m: 2, parallel: 1, seed: 1,
+		stream: true, memBudget: "64M"}); err != nil {
+		t.Fatalf("stream json: %v", err)
+	}
+	verifyOut := filepath.Join(dir, "verify.txt")
+	if err := run(runConfig{in: in, out: verifyOut, k: 3, m: 2, parallel: 1, seed: 1, verify: jsonOut}); err != nil {
+		t.Fatalf("verify streamed json: %v", err)
+	}
+	if msg, _ := os.ReadFile(verifyOut); !strings.Contains(string(msg), "OK") {
+		t.Errorf("streamed publication failed verification: %s", msg)
+	}
+}
+
+func TestRunStreamFlagConflicts(t *testing.T) {
+	dir := t.TempDir()
+	in := writeInput(t, dir, toyData)
+	if err := run(runConfig{in: in, k: 3, m: 2, stream: true, stats: true}); err == nil {
+		t.Error("-stream -stats accepted")
+	}
+	if err := run(runConfig{in: in, k: 3, m: 2, stream: true, memBudget: "lots"}); err == nil {
+		t.Error("bad -mem-budget accepted")
+	}
+}
+
+func TestParseBytes(t *testing.T) {
+	cases := map[string]int64{
+		"": 0, "123": 123, "1K": 1 << 10, "2M": 2 << 20, "3G": 3 << 30,
+		"512MiB": 512 << 20, "64kb": 64 << 10, " 7 ": 7,
+	}
+	for s, want := range cases {
+		got, err := parseBytes(s)
+		if err != nil || got != want {
+			t.Errorf("parseBytes(%q) = %d, %v; want %d", s, got, err, want)
+		}
+	}
+	for _, bad := range []string{"x", "12Q", "--3", "-512M", "-1"} {
+		if _, err := parseBytes(bad); err == nil {
+			t.Errorf("parseBytes(%q) accepted", bad)
+		}
 	}
 }

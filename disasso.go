@@ -38,6 +38,7 @@ import (
 	"disasso/internal/query"
 	"disasso/internal/quest"
 	"disasso/internal/reconstruct"
+	"disasso/internal/shard"
 )
 
 // Core data model, re-exported from the internal packages so that library
@@ -100,6 +101,28 @@ func WriteNames(w io.Writer, d *Dataset, dict *Dictionary) error {
 // returns the published k^m-anonymous dataset. The input is unchanged.
 func Anonymize(d *Dataset, opts Options) (*Anonymized, error) {
 	return core.Anonymize(d, opts)
+}
+
+// StreamOptions configures AnonymizeStream: the core anonymization
+// parameters plus the memory budget, spill directory and output format of
+// the sharded streaming engine.
+type StreamOptions = shard.Options
+
+// StreamStats reports what a streaming run did: records and terms seen,
+// shards processed, clusters published, the shard cut used and how much data
+// spilled to temp files.
+type StreamStats = shard.Stats
+
+// AnonymizeStream anonymizes a dataset too large to hold in memory: records
+// stream in from r (the text format ReadIDs parses), are cut into shards
+// along HORPART's own split boundaries, anonymized shard by shard within the
+// configured memory budget (spilling to temp files as needed), and published
+// incrementally to w. The output is byte-identical to Anonymize +
+// WriteBinary (or WriteJSON) on the same records with the same effective
+// options, including the derived Options.MaxShardRecords reported in
+// StreamStats.ShardRecords.
+func AnonymizeStream(r io.Reader, w io.Writer, opts StreamOptions) (StreamStats, error) {
+	return shard.Anonymize(r, w, opts)
 }
 
 // Verify independently re-checks every privacy condition of the published

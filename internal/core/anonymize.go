@@ -26,6 +26,14 @@ type Options struct {
 	// DefaultMaxClusterSize. It must exceed K for the guarantee to be
 	// satisfiable with non-trivial record chunks.
 	MaxClusterSize int
+	// MaxShardRecords cuts the HORPART split tree into shards of at most
+	// this many records (best effort — lopsided or unsplittable nodes may
+	// exceed it) that are anonymized independently: MergeUndersized and
+	// REFINE run within each shard, never across. 0 means one global shard,
+	// the historical behavior. Values below MaxClusterSize are raised to it.
+	// The streaming engine uses the same cut, which is why its output is
+	// byte-identical to this path for equal options.
+	MaxShardRecords int
 	// DisableRefine skips the REFINE step (no joint clusters); used by the
 	// ablation benchmarks.
 	DisableRefine bool
@@ -50,6 +58,12 @@ func (o Options) withDefaults() Options {
 	if o.Parallel == 0 {
 		o.Parallel = runtime.GOMAXPROCS(0)
 	}
+	if o.MaxShardRecords > 0 && o.MaxShardRecords < o.MaxClusterSize {
+		// A cut below the cluster-size threshold could land inside a node
+		// HORPART would emit as a single cluster, splitting a cluster across
+		// shards; clamping keeps every cut on a cluster boundary.
+		o.MaxShardRecords = o.MaxClusterSize
+	}
 	return o
 }
 
@@ -66,6 +80,9 @@ func (o Options) Validate() error {
 	}
 	if o.Parallel < 0 {
 		return fmt.Errorf("core: Parallel = %d is negative", o.Parallel)
+	}
+	if o.MaxShardRecords < 0 {
+		return fmt.Errorf("core: MaxShardRecords = %d is negative", o.MaxShardRecords)
 	}
 	return nil
 }
@@ -94,19 +111,31 @@ func Anonymize(d *dataset.Dataset, opts Options) (*Anonymized, error) {
 	// HORPART excludes every Sensitive *key* from splitting (matching the
 	// exported HorPartN, which ranges over the map's keys), while VERPART
 	// and REFINE treat a term as sensitive only when its value is true.
-	excludeBits := make([]bool, dom.Len())
-	sensitiveBits := make([]bool, dom.Len())
-	for t, v := range opts.Sensitive {
-		if id, ok := dom.ID(t); ok {
-			excludeBits[id] = true
-			if v {
-				sensitiveBits[id] = true
-			}
-		}
+	excludeBits, sensitiveBits := SensitiveBits(opts, dom)
+	shards := planShards(dense, dom.Len(), excludeBits, opts.MaxShardRecords, opts.K)
+	out := &Anonymized{K: opts.K, M: opts.M}
+	for _, sh := range shards {
+		out.Clusters = append(out.Clusters, AnonymizeShard(sh, dom.Len(), sensitiveBits, opts)...)
 	}
-	isSensitive := func(t dataset.Term) bool { return sensitiveBits[t] }
+	for _, n := range out.Clusters {
+		restoreNode(n, dom)
+	}
+	return out, nil
+}
 
-	clusters := horPartN(dense, dense, dom.Len(), excludeBits, opts.MaxClusterSize, opts.Parallel)
+// AnonymizeShard runs the per-shard pipeline — HORPART (continuing past the
+// shard's split path), MergeUndersized, VERPART, REFINE — over one shard of
+// dense-id records and returns the published nodes, still in dense ids
+// (RestoreClusters maps them back). opts must be validated and defaulted;
+// sensitive is the dense sensitive-term table. Every PRNG stream is keyed by
+// (Seed, shard index, position), so shards can run in any order or
+// concurrently with identical output; shard 0 consumes exactly the streams
+// the historical unsharded pipeline did.
+func AnonymizeShard(sh Shard, nTerms int, sensitive []bool, opts Options) []*ClusterNode {
+	isSensitive := func(t dataset.Term) bool { return sensitive[t] }
+	shardIdx := uint64(sh.Index)
+
+	clusters := horPartN(sh.Records, sh.Records, nTerms, sh.Ignore, opts.MaxClusterSize, opts.Parallel)
 	// Every cluster needs at least K records, or a term confined to its term
 	// chunk would leave an adversary fewer than K candidates (Section 5's
 	// reconstruction argument pads up to |P| records only).
@@ -120,9 +149,9 @@ func Anonymize(d *dataset.Dataset, opts Options) (*Anonymized, error) {
 	scratches := make([]*indexScratch, workers)
 	par.DoWorker(opts.Parallel, len(clusters), func(w, i int) {
 		// Per-cluster PRNG: deterministic regardless of scheduling.
-		rng := rand.New(rand.NewPCG(opts.Seed, uint64(i)+1))
+		rng := rand.New(rand.NewPCG(opts.Seed, shardIdx<<32|uint64(i)+1))
 		if scratches[w] == nil {
-			scratches[w] = newIndexScratch(dom.Len())
+			scratches[w] = newIndexScratch(nTerms)
 		}
 		records := clusters[i]
 		cl, ix := verPartIndexed(records, opts.K, opts.M, isSensitive, rng, scratches[w])
@@ -134,16 +163,51 @@ func Anonymize(d *dataset.Dataset, opts Options) (*Anonymized, error) {
 		nodes[i] = &refNode{leaf: l}
 	}
 	if !opts.DisableRefine {
-		rng := rand.New(rand.NewPCG(opts.Seed, 0xEF11E))
-		nodes = refineN(nodes, opts.K, opts.M, sensitiveBits, rng, opts.Parallel, dom.Len())
+		rng := rand.New(rand.NewPCG(opts.Seed, 0xEF11E^(shardIdx<<32)))
+		nodes = refineN(nodes, opts.K, opts.M, sensitive, rng, opts.Parallel, nTerms)
 	}
 
-	out := &Anonymized{K: opts.K, M: opts.M, Clusters: make([]*ClusterNode, len(nodes))}
+	published := make([]*ClusterNode, len(nodes))
 	for i, n := range nodes {
-		out.Clusters[i] = exportNode(n)
-		restoreNode(out.Clusters[i], dom)
+		published[i] = exportNode(n)
 	}
-	return out, nil
+	return published
+}
+
+// ShardOptions prepares caller options for AnonymizeShard: validation plus
+// the same defaulting Anonymize applies. The streaming engine uses it so both
+// paths resolve identical effective options.
+func ShardOptions(opts Options) (Options, error) {
+	if err := opts.Validate(); err != nil {
+		return Options{}, err
+	}
+	return opts.withDefaults(), nil
+}
+
+// SensitiveBits maps Options.Sensitive onto a dense domain: exclude marks
+// every sensitive *key* (barred from splitting, as HorPartN's contract says),
+// sensitive only the true-valued terms (kept out of record and shared
+// chunks).
+func SensitiveBits(opts Options, dom *dataset.DenseDomain) (exclude, sensitive []bool) {
+	exclude = make([]bool, dom.Len())
+	sensitive = make([]bool, dom.Len())
+	for t, v := range opts.Sensitive {
+		if id, ok := dom.ID(t); ok {
+			exclude[id] = true
+			if v {
+				sensitive[id] = true
+			}
+		}
+	}
+	return exclude, sensitive
+}
+
+// RestoreClusters rewrites published nodes from dense ids back to the global
+// terms of dom, in place.
+func RestoreClusters(nodes []*ClusterNode, dom *dataset.DenseDomain) {
+	for _, n := range nodes {
+		restoreNode(n, dom)
+	}
 }
 
 // exportNode converts the working representation into the published form,

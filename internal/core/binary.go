@@ -25,31 +25,22 @@ import (
 //	          subsequent gaps ≥ 1) as uvarints
 const binaryMagic = "DSA1"
 
-// WriteBinary writes the publication in the compact binary format.
+// WriteBinary writes the publication in the compact binary format. It is the
+// monolithic composition of WriteBinaryHeader and BinaryClusterWriter, so a
+// publication assembled cluster by cluster is byte-identical to this path.
 func WriteBinary(w io.Writer, a *Anonymized) error {
 	bw := bufio.NewWriter(w)
-	if _, err := bw.WriteString(binaryMagic); err != nil {
+	if err := WriteBinaryHeader(bw, a.K, a.M, len(a.Clusters)); err != nil {
 		return err
 	}
-	var scratch [binary.MaxVarintLen64]byte
-	put := func(v uint64) error {
-		n := binary.PutUvarint(scratch[:], v)
-		_, err := bw.Write(scratch[:n])
-		return err
-	}
-	if err := put(uint64(a.K)); err != nil {
-		return err
-	}
-	if err := put(uint64(a.M)); err != nil {
-		return err
-	}
-	if err := put(uint64(len(a.Clusters))); err != nil {
-		return err
-	}
+	cw := NewBinaryClusterWriter(bw)
 	for _, n := range a.Clusters {
-		if err := writeNode(put, n); err != nil {
+		if err := cw.Append(n); err != nil {
 			return err
 		}
+	}
+	if err := cw.Flush(); err != nil {
+		return err
 	}
 	return bw.Flush()
 }
@@ -159,9 +150,12 @@ func ReadBinary(r io.Reader) (*Anonymized, error) {
 	if count > 1<<28 {
 		return nil, fmt.Errorf("core: implausible cluster count %d", count)
 	}
-	a := &Anonymized{K: int(k), M: int(m), Clusters: make([]*ClusterNode, 0, count)}
+	// Declared counts cap the pre-allocation only up to a grace size: a
+	// crafted header must not make the decoder allocate gigabytes before a
+	// single node has parsed.
+	a := &Anonymized{K: int(k), M: int(m), Clusters: make([]*ClusterNode, 0, preallocCap(count))}
 	for i := uint64(0); i < count; i++ {
-		n, err := readNode(get)
+		n, err := readNode(get, 0)
 		if err != nil {
 			return nil, fmt.Errorf("core: cluster %d: %w", i, err)
 		}
@@ -170,7 +164,23 @@ func ReadBinary(r io.Reader) (*Anonymized, error) {
 	return a, nil
 }
 
-func readNode(get func() (uint64, error)) (*ClusterNode, error) {
+// preallocCap bounds a declared element count to a pre-allocation the decoder
+// is willing to make on faith; larger lists grow as elements actually parse.
+func preallocCap(n uint64) uint64 {
+	const grace = 4096
+	return min(n, grace)
+}
+
+// maxNodeDepth bounds joint-cluster nesting while decoding. Published forests
+// are shallow (a joint of j leaves nests j-1 deep at worst, and REFINE joins
+// pairwise), so the bound is far above anything WriteBinary emits while
+// keeping adversarial inputs from exhausting the stack.
+const maxNodeDepth = 10000
+
+func readNode(get func() (uint64, error), depth int) (*ClusterNode, error) {
+	if depth > maxNodeDepth {
+		return nil, fmt.Errorf("implausible node nesting depth %d", depth)
+	}
 	tag, err := get()
 	if err != nil {
 		return nil, err
@@ -212,7 +222,7 @@ func readNode(get func() (uint64, error)) (*ClusterNode, error) {
 		}
 		node := &ClusterNode{}
 		for i := uint64(0); i < nChildren; i++ {
-			child, err := readNode(get)
+			child, err := readNode(get, depth+1)
 			if err != nil {
 				return nil, err
 			}
@@ -250,7 +260,7 @@ func readChunk(get func() (uint64, error)) (Chunk, error) {
 	if n > 1<<26 {
 		return Chunk{}, fmt.Errorf("implausible subrecord count %d", n)
 	}
-	c := Chunk{Domain: dom, Subrecords: make([]dataset.Record, 0, n)}
+	c := Chunk{Domain: dom, Subrecords: make([]dataset.Record, 0, preallocCap(n))}
 	for i := uint64(0); i < n; i++ {
 		sr, err := readRecord(get)
 		if err != nil {
@@ -272,7 +282,7 @@ func readRecord(get func() (uint64, error)) (dataset.Record, error) {
 	if n == 0 {
 		return dataset.Record{}, nil
 	}
-	r := make(dataset.Record, 0, n)
+	r := make(dataset.Record, 0, preallocCap(n))
 	var cur uint64
 	for i := uint64(0); i < n; i++ {
 		v, err := get()

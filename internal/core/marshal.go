@@ -10,11 +10,21 @@ import (
 // ClusterNode fields are the wire format, so a disassociated dataset written
 // by cmd/disasso can be archived, diffed and re-verified later.
 
-// WriteJSON writes the anonymized dataset as indented JSON.
+// WriteJSON writes the anonymized dataset as indented JSON. It is the
+// monolithic composition of the chunked JSONClusterWriter, so a publication
+// assembled cluster by cluster is byte-identical to this path; the marshal
+// tests pin both against the json.Encoder reference form.
 func WriteJSON(w io.Writer, a *Anonymized) error {
-	enc := json.NewEncoder(w)
-	enc.SetIndent("", "  ")
-	if err := enc.Encode(a); err != nil {
+	jw, err := NewJSONClusterWriter(w, a.K, a.M)
+	if err != nil {
+		return fmt.Errorf("core: encode: %w", err)
+	}
+	for _, n := range a.Clusters {
+		if err := jw.Append(n); err != nil {
+			return fmt.Errorf("core: encode: %w", err)
+		}
+	}
+	if err := jw.Close(); err != nil {
 		return fmt.Errorf("core: encode: %w", err)
 	}
 	return nil

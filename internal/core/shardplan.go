@@ -1,0 +1,133 @@
+package core
+
+import (
+	"disasso/internal/dataset"
+)
+
+// Shard planning cuts HORPART's split tree into processing units ("shards")
+// small enough to anonymize independently with bounded memory. The cut
+// follows the same most-frequent-term rule as HORPART's own splits, so shard
+// boundaries always coincide with cluster boundaries the unsharded pipeline
+// would produce: a shard is a node of the split tree, and every HORPART leaf
+// cluster lies entirely inside exactly one shard. Continuing HORPART inside
+// the shard (with the split-path terms ignored) therefore reproduces the
+// global clustering, in the same preorder.
+//
+// The cut is a declared semantic parameter (Options.MaxShardRecords), not an
+// implementation detail: MergeUndersized and REFINE run per shard, so the
+// published output depends on it. MaxShardRecords = 0 keeps the whole dataset
+// in one shard, which is the historical (fully global) behavior. The
+// streaming engine (internal/shard) computes the identical cut over spill
+// files, which is what makes its output byte-identical to the in-memory path.
+
+// ShardCut decides whether a shard-plan node should be split further. counts
+// holds the node's per-term supports over the dense domain, n its record
+// count and ignore the terms unavailable for splitting (sensitive terms plus
+// the split path). It returns the dense term HORPART's split of this node
+// would use — the most frequent non-ignored term, ties toward the smaller id
+// — and its support.
+//
+// The node is split only when it exceeds maxShard records, a usable split
+// term exists, and both sides keep at least k records: a shard below k
+// records could not repair its undersized clusters locally (MergeUndersized
+// runs per shard), so such lopsided cuts stay unsplit even if the shard then
+// exceeds the target size. maxShard must be at least the HORPART cluster-size
+// threshold, or a cut could land below a node HORPART would not split;
+// Options.withDefaults enforces that clamp.
+func ShardCut(n int, counts []int32, ignore []bool, maxShard, k int) (term int32, sup int32, split bool) {
+	if maxShard <= 0 || n <= maxShard {
+		return -1, 0, false
+	}
+	best, bestSup := int32(-1), int32(0)
+	for t, c := range counts {
+		if c == 0 || ignore[t] {
+			continue
+		}
+		if c > bestSup || (c == bestSup && int32(t) < best) {
+			best, bestSup = int32(t), c
+		}
+	}
+	if bestSup == 0 {
+		return -1, 0, false
+	}
+	if int(bestSup) < k || n-int(bestSup) < k {
+		return best, bestSup, false
+	}
+	return best, bestSup, true
+}
+
+// Shard is one independently anonymizable unit of a shard plan: a contiguous
+// split-tree node's records (as dense term ids) together with the terms its
+// split path consumed (plus the caller's excluded terms). Index is the
+// shard's position in the plan's preorder; it parameterizes the shard's PRNG
+// streams so shards can be processed in any order, or concurrently, without
+// changing the output.
+type Shard struct {
+	Records []dataset.Record
+	Ignore  []bool
+	Index   int
+}
+
+// planShards computes the in-memory shard plan: the preorder leaves
+// (with-branch first, exactly like horPartN) of the most-frequent-term split
+// tree, cut by ShardCut. The returned shards partition dense; their Ignore
+// snapshots extend exclude with the split-path terms.
+func planShards(dense []dataset.Record, nTerms int, exclude []bool, maxShard, k int) []Shard {
+	rootIgnore := make([]bool, nTerms)
+	copy(rootIgnore, exclude)
+	if maxShard <= 0 {
+		return []Shard{{Records: dense, Ignore: rootIgnore}}
+	}
+
+	// Explicit preorder stack with undo markers, mirroring splitIter: the
+	// shared ignore is mutated for a with-subtree and restored by its marker,
+	// so only emitted shards snapshot it.
+	type task struct {
+		records []dataset.Record
+		unset   int32 // when ≥ 0: undo marker, clear ignore[unset]
+	}
+	counts := make([]int32, nTerms)
+	var shards []Shard
+	stack := []task{{records: dense, unset: -1}}
+	for len(stack) > 0 {
+		cur := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if cur.unset >= 0 {
+			rootIgnore[cur.unset] = false
+			continue
+		}
+		for _, r := range cur.records {
+			for _, t := range r {
+				counts[t]++
+			}
+		}
+		a, sup, split := ShardCut(len(cur.records), counts, rootIgnore, maxShard, k)
+		for _, r := range cur.records {
+			for _, t := range r {
+				counts[t] = 0
+			}
+		}
+		if !split {
+			ignore := make([]bool, nTerms)
+			copy(ignore, rootIgnore)
+			shards = append(shards, Shard{Records: cur.records, Ignore: ignore, Index: len(shards)})
+			continue
+		}
+		with := make([]dataset.Record, 0, sup)
+		without := make([]dataset.Record, 0, len(cur.records)-int(sup))
+		for _, r := range cur.records {
+			if r.Contains(dataset.Term(a)) {
+				with = append(with, r)
+			} else {
+				without = append(without, r)
+			}
+		}
+		// LIFO: with-subtree under ignore[a], its undo marker, then the
+		// without-subtree — the same discipline as horPartN's splitIter.
+		rootIgnore[a] = true
+		stack = append(stack, task{records: without, unset: -1})
+		stack = append(stack, task{unset: a})
+		stack = append(stack, task{records: with, unset: -1})
+	}
+	return shards
+}

@@ -1,0 +1,124 @@
+package core
+
+import (
+	"bytes"
+	"testing"
+
+	"disasso/internal/dataset"
+)
+
+// TestShardPlanPreservesHorPart pins the property the whole sharded design
+// rests on: cutting the split tree with planShards and continuing HORPART
+// inside each shard (with the split-path terms ignored) yields exactly the
+// clusters, in exactly the order, that one global HORPART run produces.
+func TestShardPlanPreservesHorPart(t *testing.T) {
+	for _, S := range []int{12, 30, 64, 200} {
+		d := genDataset(11, 7, 260)
+		dom := dataset.NewDenseDomain(d.Records)
+		dense := dom.RemapAll(d.Records)
+		exclude := make([]bool, dom.Len())
+
+		global := horPartN(dense, dense, dom.Len(), exclude, 12, 1)
+		shards := planShards(dense, dom.Len(), exclude, S, 3)
+
+		total := 0
+		for _, sh := range shards {
+			total += len(sh.Records)
+		}
+		if total != len(dense) {
+			t.Fatalf("S=%d: shards cover %d of %d records", S, total, len(dense))
+		}
+
+		var sharded [][]dataset.Record
+		for _, sh := range shards {
+			sharded = append(sharded, horPartN(sh.Records, sh.Records, dom.Len(), sh.Ignore, 12, 1)...)
+		}
+		if len(sharded) != len(global) {
+			t.Fatalf("S=%d: %d sharded clusters vs %d global", S, len(sharded), len(global))
+		}
+		for i := range global {
+			if len(global[i]) != len(sharded[i]) {
+				t.Fatalf("S=%d: cluster %d sizes differ: %d vs %d", S, i, len(global[i]), len(sharded[i]))
+			}
+			for j := range global[i] {
+				if !global[i][j].Equal(sharded[i][j]) {
+					t.Fatalf("S=%d: cluster %d record %d differs", S, i, j)
+				}
+			}
+		}
+	}
+}
+
+// TestShardCut covers the decision kernel's edges: under-threshold nodes,
+// ignored terms, the tie-break, and the lopsided-side guard.
+func TestShardCut(t *testing.T) {
+	ignore := make([]bool, 4)
+	if _, _, split := ShardCut(10, []int32{5, 5, 0, 0}, ignore, 10, 2); split {
+		t.Error("node at maxShard split")
+	}
+	if _, _, split := ShardCut(10, []int32{5, 5, 0, 0}, ignore, 0, 2); split {
+		t.Error("maxShard=0 split")
+	}
+	term, sup, split := ShardCut(10, []int32{5, 5, 0, 3}, ignore, 9, 2)
+	if !split || term != 0 || sup != 5 {
+		t.Errorf("tie-break: got term=%d sup=%d split=%v, want 0/5/true", term, sup, split)
+	}
+	ignore[0] = true
+	term, _, split = ShardCut(10, []int32{5, 5, 0, 3}, ignore, 9, 2)
+	if !split || term != 1 {
+		t.Errorf("ignored term still chosen: term=%d split=%v", term, split)
+	}
+	ignore[0] = false
+	// With-side below k: support 1 < k=2.
+	if _, _, split := ShardCut(10, []int32{1, 0, 0, 0}, ignore, 9, 2); split {
+		t.Error("split with with-side below k")
+	}
+	// Without-side below k: 10-9 = 1 < 2.
+	if _, _, split := ShardCut(10, []int32{9, 0, 0, 0}, ignore, 9, 2); split {
+		t.Error("split with without-side below k")
+	}
+	// No usable term at all.
+	if _, _, split := ShardCut(10, []int32{0, 0, 0, 0}, ignore, 9, 2); split {
+		t.Error("split without any usable term")
+	}
+}
+
+// TestAnonymizeShardedValid checks that sharded runs still publish a valid,
+// record-complete dataset, that shard 0 output is stable against the
+// unsharded path's prefix semantics (MaxShardRecords=0 ≡ historical bytes),
+// and that sharded output is deterministic across worker counts.
+func TestAnonymizeShardedValid(t *testing.T) {
+	d := genDataset(5, 17, 300)
+	base := Options{K: 3, M: 2, MaxClusterSize: 12, Seed: 7}
+
+	unsharded, err := Anonymize(d, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	sharded := base
+	sharded.MaxShardRecords = 60
+	a, err := Anonymize(d, sharded)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.NumRecords() != d.Len() {
+		t.Fatalf("sharded run covers %d of %d records", a.NumRecords(), d.Len())
+	}
+	if got, want := a.NumRecords(), unsharded.NumRecords(); got != want {
+		t.Fatalf("record counts differ: %d vs %d", got, want)
+	}
+
+	want := encodeAnonymized(t, a)
+	for _, workers := range []int{2, 8} {
+		opts := sharded
+		opts.Parallel = workers
+		got, err := Anonymize(d, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(encodeAnonymized(t, got), want) {
+			t.Errorf("sharded output differs at Parallel=%d", workers)
+		}
+	}
+}

@@ -1,0 +1,100 @@
+package core
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+)
+
+// TestChunkedBinaryMatchesWriteBinary pins the contract the streaming engine
+// relies on: header + per-cluster appends must produce exactly the
+// WriteBinary bytes, including when the clusters are staged in separate
+// buffers and concatenated.
+func TestChunkedBinaryMatchesWriteBinary(t *testing.T) {
+	d := genDataset(3, 12, 140)
+	a, err := Anonymize(d, Options{K: 3, M: 2, MaxClusterSize: 12, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var want bytes.Buffer
+	if err := WriteBinary(&want, a); err != nil {
+		t.Fatal(err)
+	}
+
+	var got bytes.Buffer
+	if err := WriteBinaryHeader(&got, a.K, a.M, len(a.Clusters)); err != nil {
+		t.Fatal(err)
+	}
+	for _, n := range a.Clusters {
+		// Each cluster through its own writer: chunk boundaries must not
+		// leak into the bytes.
+		var body bytes.Buffer
+		cw := NewBinaryClusterWriter(&body)
+		if err := cw.Append(n); err != nil {
+			t.Fatal(err)
+		}
+		if err := cw.Flush(); err != nil {
+			t.Fatal(err)
+		}
+		got.Write(body.Bytes())
+	}
+	if !bytes.Equal(got.Bytes(), want.Bytes()) {
+		t.Fatalf("chunked binary emission differs from WriteBinary (%d vs %d bytes)", got.Len(), want.Len())
+	}
+}
+
+// encodeJSONReference renders the publication with a plain json.Encoder —
+// the specification WriteJSON's chunked implementation must reproduce byte
+// for byte.
+func encodeJSONReference(t *testing.T, a *Anonymized) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	enc := json.NewEncoder(&buf)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(a); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// TestWriteJSONMatchesEncoderReference pins WriteJSON (built from the
+// chunked JSONClusterWriter) against the json.Encoder reference form.
+func TestWriteJSONMatchesEncoderReference(t *testing.T) {
+	d := genDataset(8, 2, 120)
+	a, err := Anonymize(d, Options{K: 3, M: 2, MaxClusterSize: 10, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Clusters) == 0 {
+		t.Fatal("fixture produced no clusters")
+	}
+	want := encodeJSONReference(t, a)
+	var got bytes.Buffer
+	if err := WriteJSON(&got, a); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got.Bytes(), want) {
+		t.Fatalf("WriteJSON differs from the json.Encoder reference:\nchunked:\n%s\nreference:\n%s",
+			clip(got.String()), clip(string(want)))
+	}
+}
+
+// TestWriteJSONEmptyMatchesReference pins the no-cluster envelope.
+func TestWriteJSONEmptyMatchesReference(t *testing.T) {
+	a := &Anonymized{K: 3, M: 2}
+	want := encodeJSONReference(t, a)
+	var got bytes.Buffer
+	if err := WriteJSON(&got, a); err != nil {
+		t.Fatal(err)
+	}
+	if got.String() != string(want) {
+		t.Fatalf("empty WriteJSON %q != reference %q", got.String(), string(want))
+	}
+}
+
+func clip(s string) string {
+	if len(s) > 600 {
+		return s[:600] + "…"
+	}
+	return s
+}

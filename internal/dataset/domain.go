@@ -28,6 +28,16 @@ func NewDenseDomain(records []Record) *DenseDomain {
 	return &DenseDomain{terms: slices.Compact(all)}
 }
 
+// NewDenseDomainFromTerms wraps an already sorted, duplicate-free term list
+// (e.g. the keys of a streamed support count) into a domain, taking ownership
+// of the slice.
+func NewDenseDomainFromTerms(terms []Term) *DenseDomain {
+	if !Record(terms).IsNormalized() {
+		panic("dataset: NewDenseDomainFromTerms needs sorted, duplicate-free terms")
+	}
+	return &DenseDomain{terms: terms}
+}
+
 // Len returns the domain size |T|.
 func (dd *DenseDomain) Len() int { return len(dd.terms) }
 

@@ -13,16 +13,28 @@ import (
 // raw integer IDs; ReadNames/WriteNames use dictionary strings (whitespace-
 // separated tokens).
 
-// ReadIDs parses a dataset of integer term IDs, one record per line. Blank
-// lines are skipped. Records are normalized.
-func ReadIDs(r io.Reader) (*Dataset, error) {
+// StreamReader parses the text format one record at a time, without
+// materializing the dataset — the streaming anonymization engine's input
+// path. It applies exactly the ReadIDs conventions: blank lines skipped,
+// records normalized, errors reported with their line number.
+type StreamReader struct {
+	sc   *bufio.Scanner
+	line int
+}
+
+// NewStreamReader returns a streaming parser over r.
+func NewStreamReader(r io.Reader) *StreamReader {
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 1024*1024), 16*1024*1024)
-	d := New(0)
-	line := 0
-	for sc.Scan() {
-		line++
-		text := strings.TrimSpace(sc.Text())
+	return &StreamReader{sc: sc}
+}
+
+// Next returns the next record, or io.EOF after the last one. The returned
+// record is freshly allocated and owned by the caller.
+func (sr *StreamReader) Next() (Record, error) {
+	for sr.sc.Scan() {
+		sr.line++
+		text := strings.TrimSpace(sr.sc.Text())
 		if text == "" {
 			continue
 		}
@@ -31,37 +43,74 @@ func ReadIDs(r io.Reader) (*Dataset, error) {
 		for _, f := range fields {
 			v, err := strconv.ParseInt(f, 10, 32)
 			if err != nil {
-				return nil, fmt.Errorf("dataset: line %d: bad term %q: %w", line, f, err)
+				return nil, fmt.Errorf("dataset: line %d: bad term %q: %w", sr.line, f, err)
 			}
 			rec = append(rec, Term(v))
 		}
-		d.Records = append(d.Records, rec.Normalize())
+		return rec.Normalize(), nil
 	}
-	if err := sc.Err(); err != nil {
+	if err := sr.sc.Err(); err != nil {
 		return nil, fmt.Errorf("dataset: scan: %w", err)
 	}
-	return d, nil
+	return nil, io.EOF
 }
 
-// WriteIDs writes the dataset as integer term IDs, one record per line.
-func WriteIDs(w io.Writer, d *Dataset) error {
-	bw := bufio.NewWriter(w)
-	for _, rec := range d.Records {
-		for i, t := range rec {
-			if i > 0 {
-				if err := bw.WriteByte(' '); err != nil {
-					return err
-				}
-			}
-			if _, err := bw.WriteString(strconv.Itoa(int(t))); err != nil {
+// ReadIDs parses a dataset of integer term IDs, one record per line. Blank
+// lines are skipped. Records are normalized.
+func ReadIDs(r io.Reader) (*Dataset, error) {
+	sr := NewStreamReader(r)
+	d := New(0)
+	for {
+		rec, err := sr.Next()
+		if err == io.EOF {
+			return d, nil
+		}
+		if err != nil {
+			return nil, err
+		}
+		d.Records = append(d.Records, rec)
+	}
+}
+
+// StreamWriter writes records in the text format one at a time — the
+// record-streaming counterpart of WriteIDs. Flush must be called after the
+// last record.
+type StreamWriter struct {
+	bw *bufio.Writer
+}
+
+// NewStreamWriter returns a streaming writer over w.
+func NewStreamWriter(w io.Writer) *StreamWriter {
+	return &StreamWriter{bw: bufio.NewWriter(w)}
+}
+
+// Write emits one record as a line of space-separated integer IDs.
+func (sw *StreamWriter) Write(r Record) error {
+	for i, t := range r {
+		if i > 0 {
+			if err := sw.bw.WriteByte(' '); err != nil {
 				return err
 			}
 		}
-		if err := bw.WriteByte('\n'); err != nil {
+		if _, err := sw.bw.WriteString(strconv.Itoa(int(t))); err != nil {
 			return err
 		}
 	}
-	return bw.Flush()
+	return sw.bw.WriteByte('\n')
+}
+
+// Flush drains the writer's buffer.
+func (sw *StreamWriter) Flush() error { return sw.bw.Flush() }
+
+// WriteIDs writes the dataset as integer term IDs, one record per line.
+func WriteIDs(w io.Writer, d *Dataset) error {
+	sw := NewStreamWriter(w)
+	for _, rec := range d.Records {
+		if err := sw.Write(rec); err != nil {
+			return err
+		}
+	}
+	return sw.Flush()
 }
 
 // ReadNames parses a dataset of whitespace-separated term names, one record

@@ -1,0 +1,116 @@
+package dataset
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+)
+
+// Delta-varint record framing for the streaming engine's spill files: each
+// record is a uvarint length followed by its terms, the first absolute (as
+// its uint32 bit pattern, so negative input terms survive) and every
+// subsequent term as the gap to its predecessor — always ≥ 1 for a
+// normalized record. This is the same per-record layout the published binary
+// format uses, framed standalone so shard files can be written and re-read
+// record by record with bounded memory.
+
+// BinaryRecordWriter streams records into a spill file.
+type BinaryRecordWriter struct {
+	bw      *bufio.Writer
+	scratch [binary.MaxVarintLen64]byte
+}
+
+// NewBinaryRecordWriter returns a writer over w.
+func NewBinaryRecordWriter(w io.Writer) *BinaryRecordWriter {
+	return &BinaryRecordWriter{bw: bufio.NewWriter(w)}
+}
+
+func (rw *BinaryRecordWriter) put(v uint64) error {
+	n := binary.PutUvarint(rw.scratch[:], v)
+	_, err := rw.bw.Write(rw.scratch[:n])
+	return err
+}
+
+// Write emits one normalized record.
+func (rw *BinaryRecordWriter) Write(r Record) error {
+	if err := rw.put(uint64(len(r))); err != nil {
+		return err
+	}
+	prev := Term(0)
+	for i, t := range r {
+		if i == 0 {
+			if err := rw.put(uint64(uint32(t))); err != nil {
+				return err
+			}
+		} else if err := rw.put(uint64(int64(t) - int64(prev))); err != nil {
+			// Gaps are computed in 64 bits: between int32 terms they can
+			// exceed the int32 range (negative first terms).
+			return err
+		}
+		prev = t
+	}
+	return nil
+}
+
+// Flush drains the writer's buffer.
+func (rw *BinaryRecordWriter) Flush() error { return rw.bw.Flush() }
+
+// BinaryRecordReader streams records back out of a spill file.
+type BinaryRecordReader struct {
+	br *bufio.Reader
+}
+
+// NewBinaryRecordReader returns a reader over r.
+func NewBinaryRecordReader(r io.Reader) *BinaryRecordReader {
+	return &BinaryRecordReader{br: bufio.NewReader(r)}
+}
+
+// Next returns the next record, reusing buf's storage when it has capacity.
+// It returns io.EOF exactly at a clean end of stream; a record truncated
+// mid-way surfaces as io.ErrUnexpectedEOF.
+func (rr *BinaryRecordReader) Next(buf Record) (Record, error) {
+	n, err := binary.ReadUvarint(rr.br)
+	if err == io.EOF {
+		return nil, io.EOF
+	}
+	if err != nil {
+		return nil, fmt.Errorf("dataset: record length: %w", err)
+	}
+	if n > 1<<28 {
+		return nil, fmt.Errorf("dataset: implausible record length %d", n)
+	}
+	r := buf[:0]
+	var cur Term
+	for i := uint64(0); i < n; i++ {
+		v, err := binary.ReadUvarint(rr.br)
+		if err != nil {
+			if err == io.EOF {
+				err = io.ErrUnexpectedEOF
+			}
+			return nil, fmt.Errorf("dataset: record term %d: %w", i, err)
+		}
+		if i == 0 {
+			if v > 1<<32-1 {
+				return nil, fmt.Errorf("dataset: first term %d overflows", v)
+			}
+			cur = Term(int32(uint32(v)))
+		} else {
+			if v == 0 {
+				return nil, fmt.Errorf("dataset: zero gap: record not strictly increasing")
+			}
+			if v > 1<<32-1 {
+				return nil, fmt.Errorf("dataset: gap %d overflows", v)
+			}
+			// Gaps between int32 terms can span the full uint32 range
+			// (negative first terms), so the sum is checked in 64 bits.
+			next := int64(cur) + int64(v)
+			if next > 1<<31-1 {
+				return nil, fmt.Errorf("dataset: term %d overflows", next)
+			}
+			cur = Term(next)
+		}
+		r = append(r, cur)
+	}
+	return r, nil
+}

@@ -1,0 +1,121 @@
+package dataset
+
+import (
+	"bytes"
+	"io"
+	"strings"
+	"testing"
+)
+
+func TestStreamReaderMatchesReadIDs(t *testing.T) {
+	input := "3 1 2\n\n  7 7 5  \n-4 0 9\n"
+	d, err := ReadIDs(strings.NewReader(input))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sr := NewStreamReader(strings.NewReader(input))
+	var streamed []Record
+	for {
+		r, err := sr.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		streamed = append(streamed, r)
+	}
+	if len(streamed) != len(d.Records) {
+		t.Fatalf("stream got %d records, ReadIDs %d", len(streamed), len(d.Records))
+	}
+	for i := range streamed {
+		if !streamed[i].Equal(d.Records[i]) {
+			t.Errorf("record %d: %v vs %v", i, streamed[i], d.Records[i])
+		}
+	}
+}
+
+func TestStreamReaderBadTermLineNumber(t *testing.T) {
+	sr := NewStreamReader(strings.NewReader("1 2\n\nx\n"))
+	if _, err := sr.Next(); err != nil {
+		t.Fatal(err)
+	}
+	_, err := sr.Next()
+	if err == nil || !strings.Contains(err.Error(), "line 3") {
+		t.Fatalf("want line-3 error, got %v", err)
+	}
+}
+
+func TestStreamWriterMatchesWriteIDs(t *testing.T) {
+	d := FromRecords([]Record{NewRecord(3, 1, 2), NewRecord(-7, 9), NewRecord(0)})
+	var want bytes.Buffer
+	if err := WriteIDs(&want, d); err != nil {
+		t.Fatal(err)
+	}
+	var got bytes.Buffer
+	sw := NewStreamWriter(&got)
+	for _, r := range d.Records {
+		if err := sw.Write(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := sw.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if got.String() != want.String() {
+		t.Fatalf("streamed %q != WriteIDs %q", got.String(), want.String())
+	}
+}
+
+func TestBinaryRecordRoundTrip(t *testing.T) {
+	records := []Record{
+		NewRecord(0),
+		NewRecord(5, 9, 1000000),
+		NewRecord(-2147483648, 2147483647), // full int32 span: gap needs 32 bits
+		NewRecord(-5, -4, -3, 0, 7),
+		{},
+	}
+	var buf bytes.Buffer
+	w := NewBinaryRecordWriter(&buf)
+	for _, r := range records {
+		if err := w.Write(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	rr := NewBinaryRecordReader(bytes.NewReader(buf.Bytes()))
+	var scratch Record
+	for i, want := range records {
+		got, err := rr.Next(scratch)
+		if err != nil {
+			t.Fatalf("record %d: %v", i, err)
+		}
+		if !got.Equal(want) {
+			t.Fatalf("record %d: got %v want %v", i, got, want)
+		}
+		scratch = got
+	}
+	if _, err := rr.Next(scratch); err != io.EOF {
+		t.Fatalf("want io.EOF after last record, got %v", err)
+	}
+}
+
+func TestBinaryRecordTruncated(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewBinaryRecordWriter(&buf)
+	if err := w.Write(NewRecord(1, 2, 3)); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	full := buf.Bytes()
+	for cut := 1; cut < len(full); cut++ {
+		rr := NewBinaryRecordReader(bytes.NewReader(full[:cut]))
+		if _, err := rr.Next(nil); err == nil {
+			t.Fatalf("cut at %d: truncated record decoded without error", cut)
+		}
+	}
+}

@@ -19,6 +19,11 @@ func Do(workers, n int, fn func(int)) {
 // fn, so callers can hand each worker its own scratch state (buffers, pooled
 // indexes) without synchronization. A given worker index runs fn sequentially;
 // with workers ≤ 1 every call sees worker 0.
+//
+// A panic inside fn does not crash the process from a worker goroutine: the
+// first panic value is captured, the remaining workers finish their current
+// items and stop handing out new ones, and the panic is re-raised on the
+// calling goroutine — the same observable behavior as the sequential path.
 func DoWorker(workers, n int, fn func(worker, i int)) {
 	if workers > n {
 		workers = n
@@ -31,11 +36,20 @@ func DoWorker(workers, n int, fn func(worker, i int)) {
 	}
 	var next atomic.Int64
 	var wg sync.WaitGroup
+	var panicked atomic.Bool
+	var panicOnce sync.Once
+	var panicVal any
 	wg.Add(workers)
 	for w := 0; w < workers; w++ {
 		go func(worker int) {
 			defer wg.Done()
-			for {
+			defer func() {
+				if r := recover(); r != nil {
+					panicOnce.Do(func() { panicVal = r })
+					panicked.Store(true)
+				}
+			}()
+			for !panicked.Load() {
 				i := int(next.Add(1)) - 1
 				if i >= n {
 					return
@@ -45,4 +59,7 @@ func DoWorker(workers, n int, fn func(worker, i int)) {
 		}(w)
 	}
 	wg.Wait()
+	if panicked.Load() {
+		panic(panicVal)
+	}
 }

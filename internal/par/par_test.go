@@ -1,0 +1,148 @@
+package par
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// TestDoCoversEveryIndexOnce checks the fanout contract for worker counts
+// around every boundary: each index 0..n-1 runs exactly once.
+func TestDoCoversEveryIndexOnce(t *testing.T) {
+	for _, workers := range []int{0, 1, 2, 3, 7, 16, 100} {
+		for _, n := range []int{0, 1, 2, 5, 97, 1000} {
+			counts := make([]atomic.Int32, max(n, 1))
+			Do(workers, n, func(i int) {
+				counts[i].Add(1)
+			})
+			for i := 0; i < n; i++ {
+				if got := counts[i].Load(); got != 1 {
+					t.Fatalf("workers=%d n=%d: index %d ran %d times", workers, n, i, got)
+				}
+			}
+		}
+	}
+}
+
+// TestDoDeterministicResults pins the index-addressed-slots discipline the
+// pipeline relies on: for any worker count, writing fn(i) results to slot i
+// yields identical output.
+func TestDoDeterministicResults(t *testing.T) {
+	const n = 500
+	want := make([]int, n)
+	Do(1, n, func(i int) { want[i] = i * i })
+	for _, workers := range []int{2, 4, 32} {
+		got := make([]int, n)
+		Do(workers, n, func(i int) { got[i] = i * i })
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("workers=%d: slot %d = %d, want %d", workers, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+// TestDoWorkerIndexUnique checks DoWorker's core guarantee: no two
+// goroutines ever share a worker index concurrently, so per-worker scratch
+// needs no locks. Each worker slot tracks a busy flag that must never be
+// observed set on entry.
+func TestDoWorkerIndexUnique(t *testing.T) {
+	const workers, n = 8, 2000
+	busy := make([]atomic.Bool, workers)
+	seen := make([]atomic.Int32, workers)
+	DoWorker(workers, n, func(w, i int) {
+		if w < 0 || w >= workers {
+			t.Errorf("worker index %d out of range", w)
+			return
+		}
+		if !busy[w].CompareAndSwap(false, true) {
+			t.Errorf("worker index %d entered concurrently", w)
+			return
+		}
+		seen[w].Add(1)
+		busy[w].Store(false)
+	})
+	total := int32(0)
+	for w := range seen {
+		total += seen[w].Load()
+	}
+	if total != n {
+		t.Fatalf("workers processed %d of %d items", total, n)
+	}
+}
+
+// TestDoWorkerSequentialSeesWorkerZero pins the degenerate path.
+func TestDoWorkerSequentialSeesWorkerZero(t *testing.T) {
+	DoWorker(1, 10, func(w, i int) {
+		if w != 0 {
+			t.Fatalf("sequential run saw worker %d", w)
+		}
+	})
+	// workers > n degenerates to n workers; n = 1 must still be worker 0.
+	DoWorker(16, 1, func(w, i int) {
+		if w != 0 {
+			t.Fatalf("single-item run saw worker %d", w)
+		}
+	})
+}
+
+// TestDoWorkerPanicPropagates: a panic in any worker must surface on the
+// calling goroutine (not crash the process), for both the parallel and the
+// sequential path.
+func TestDoWorkerPanicPropagates(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		func() {
+			defer func() {
+				r := recover()
+				if r == nil {
+					t.Fatalf("workers=%d: panic did not propagate", workers)
+				}
+				if msg := fmt.Sprint(r); msg != "boom 13" {
+					t.Fatalf("workers=%d: unexpected panic value %q", workers, msg)
+				}
+			}()
+			DoWorker(workers, 100, func(w, i int) {
+				if i == 13 {
+					panic("boom 13")
+				}
+			})
+		}()
+	}
+}
+
+// TestDoWorkerPanicStopsDispatch: after a panic, remaining items are no
+// longer handed out (workers drain promptly rather than running the whole
+// range).
+func TestDoWorkerPanicStopsDispatch(t *testing.T) {
+	const n = 1 << 20
+	var ran atomic.Int64
+	func() {
+		defer func() { recover() }()
+		DoWorker(4, n, func(w, i int) {
+			ran.Add(1)
+			panic("first item")
+		})
+	}()
+	if got := ran.Load(); got > 64 {
+		t.Errorf("%d items ran after the first panic; dispatch did not stop", got)
+	}
+}
+
+// TestDoWorkerConcurrentCalls: independent fanouts may run concurrently
+// without sharing state.
+func TestDoWorkerConcurrentCalls(t *testing.T) {
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var sum atomic.Int64
+			DoWorker(3, 100, func(w, i int) { sum.Add(int64(i)) })
+			if got := sum.Load(); got != 4950 {
+				t.Errorf("concurrent fanout summed %d, want 4950", got)
+			}
+		}()
+	}
+	wg.Wait()
+}

@@ -1,0 +1,140 @@
+package shard
+
+import (
+	"math/rand/v2"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"disasso/internal/core"
+	"disasso/internal/dataset"
+)
+
+// writeBigDataset streams a generated dataset to a text file until its
+// estimated in-memory footprint reaches atLeast bytes, returning the path
+// and the footprint. The records never exist in memory together.
+func writeBigDataset(t testing.TB, dir string, atLeast int64) (string, int64, int) {
+	t.Helper()
+	path := filepath.Join(dir, "big.txt")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	sw := dataset.NewStreamWriter(f)
+	rng := rand.New(rand.NewPCG(0xB16, 0xDA7A))
+	var footprint int64
+	n := 0
+	terms := make([]dataset.Term, 0, 12)
+	for footprint < atLeast {
+		terms = terms[:0]
+		for j := 0; j < 2+rng.IntN(9); j++ {
+			terms = append(terms, dataset.Term(rng.IntN(2000)))
+		}
+		rec := dataset.NewRecord(terms...)
+		if err := sw.Write(rec); err != nil {
+			t.Fatal(err)
+		}
+		footprint += recordFootprint(len(rec))
+		n++
+	}
+	if err := sw.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	return path, footprint, n
+}
+
+// TestStreamBoundedMemory is the acceptance guard for the streaming engine:
+// anonymizing a dataset at least 4× the configured memory budget must keep
+// the peak heap under ~1.5× the budget. The heap is sampled concurrently
+// while the engine runs; GC is tightened so the sampled peak tracks live
+// bytes instead of collector lag.
+func TestStreamBoundedMemory(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-hundred-thousand-record run")
+	}
+	if raceEnabled {
+		t.Skip("race instrumentation multiplies the heap; the bound is meaningless")
+	}
+	const budget = int64(4 << 20)
+	dir := t.TempDir()
+	path, footprint, n := writeBigDataset(t, dir, 4*budget)
+	t.Logf("dataset: %d records, est. footprint %.1f MiB (budget %.1f MiB)",
+		n, float64(footprint)/(1<<20), float64(budget)/(1<<20))
+
+	runtime.GC()
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	base := ms.HeapAlloc
+
+	// The sampler measures *live* heap: each sample forces a collection, so
+	// HeapAlloc reflects the engine's resident working set rather than
+	// GC-pacing lag (Go's pacer happily lets small heaps grow several MiB of
+	// garbage between cycles, which is noise, not footprint).
+	var peak atomic.Uint64
+	done := make(chan struct{})
+	var samplerWG sync.WaitGroup
+	samplerWG.Add(1)
+	go func() {
+		defer samplerWG.Done()
+		ticker := time.NewTicker(100 * time.Millisecond)
+		defer ticker.Stop()
+		for {
+			select {
+			case <-done:
+				return
+			case <-ticker.C:
+				runtime.GC()
+				var s runtime.MemStats
+				runtime.ReadMemStats(&s)
+				for {
+					p := peak.Load()
+					if s.HeapAlloc <= p || peak.CompareAndSwap(p, s.HeapAlloc) {
+						break
+					}
+				}
+			}
+		}
+	}()
+
+	in, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer in.Close()
+	out, err := os.Create(filepath.Join(dir, "out.bin"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer out.Close()
+
+	st, err := Anonymize(in, out, Options{
+		Core:         core.Options{K: 5, M: 2, Seed: 1, Parallel: 2},
+		MemoryBudget: budget,
+		TempDir:      dir,
+	})
+	close(done)
+	samplerWG.Wait()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !st.Spilled || st.Shards < 4 {
+		t.Fatalf("run did not exercise the sharded path: %+v", st)
+	}
+	if st.Records != n {
+		t.Fatalf("engine saw %d of %d records", st.Records, n)
+	}
+
+	peakDelta := int64(peak.Load()) - int64(base)
+	limit := budget + budget/2
+	t.Logf("peak heap over baseline: %.1f MiB (limit %.1f MiB), %d shards (cut %d)",
+		float64(peakDelta)/(1<<20), float64(limit)/(1<<20), st.Shards, st.ShardRecords)
+	if peakDelta > limit {
+		t.Errorf("peak heap %.1f MiB exceeds 1.5× budget %.1f MiB for a %.1f MiB dataset",
+			float64(peakDelta)/(1<<20), float64(limit)/(1<<20), float64(footprint)/(1<<20))
+	}
+}

@@ -1,0 +1,261 @@
+package shard
+
+import (
+	"fmt"
+	"io"
+	"os"
+
+	"disasso/internal/core"
+	"disasso/internal/dataset"
+)
+
+// The file-based shard planner mirrors core's in-memory planShards over
+// spill files: the same preorder (with-branch first), the same mutate-and-
+// undo ignore discipline and the same core.ShardCut decisions, so for equal
+// options both planners cut the split tree at identical nodes and the
+// concatenated per-shard outputs are byte-identical to the in-memory path.
+
+// plan recursively routes the root spill file into shard files. counts is
+// the dense per-term support of the whole stream (from pass 1); exclude the
+// sensitive split exclusions.
+func (e *engine) plan(counts []int32, exclude []bool) error {
+	ignore := make([]bool, e.dom.Len())
+	copy(ignore, exclude)
+	root := fileShard{path: e.spill.f.Name(), n: e.numRecords}
+	return e.planNode(root, counts, ignore, nil)
+}
+
+// planNode decides one split-tree node. counts may be nil for a node whose
+// supports were not retained; it is then recounted from the file. The
+// caller cedes ownership of counts. ignore is mutated for the with-subtree
+// and restored afterwards; path tracks the split terms consumed so far,
+// snapshotted into emitted shards.
+func (e *engine) planNode(node fileShard, counts []int32, ignore []bool, path []int32) error {
+	if counts == nil {
+		var err error
+		if counts, err = e.countFile(node); err != nil {
+			return err
+		}
+	}
+	a, _, split := core.ShardCut(node.n, counts, ignore, e.copts.MaxShardRecords, e.copts.K)
+	if !split {
+		node.pathTerms = append([]int32(nil), path...)
+		e.shards = append(e.shards, node)
+		return nil
+	}
+	with, without, withCounts, err := e.route(node, a)
+	if err != nil {
+		return err
+	}
+	os.Remove(node.path)
+
+	// The without side's supports are the parent's minus the with side's
+	// (every occurrence lands on exactly one side), so they come for free by
+	// in-place subtraction — no recount pass. The array must survive the
+	// with-recursion, so the hold is budgeted: past the cap it is dropped
+	// and the without side recounts from its file when reached. On the
+	// common lopsided-split chains the with-subtree is a leaf that returns
+	// immediately, so only one level's counts are ever held.
+	woCounts := counts
+	countBytes := int64(len(counts)) * 4
+	if e.heldCountBytes+countBytes > e.budget/4 {
+		woCounts = nil
+	} else {
+		for t, c := range withCounts {
+			woCounts[t] -= c
+		}
+	}
+	counts = nil
+
+	// With-subtree first (preorder), under ignore[a]; the without side keeps
+	// the parent's ignore set, exactly like horPartN.
+	ignore[a] = true
+	if woCounts != nil {
+		e.heldCountBytes += countBytes
+	}
+	err = e.planNode(with, withCounts, ignore, append(path, a))
+	if woCounts != nil {
+		e.heldCountBytes -= countBytes
+	}
+	if err != nil {
+		return err
+	}
+	ignore[a] = false
+	return e.planNode(without, woCounts, ignore, path)
+}
+
+// countFile computes a node's dense per-term supports in one streaming pass.
+func (e *engine) countFile(node fileShard) ([]int32, error) {
+	f, err := os.Open(node.path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	counts := make([]int32, e.dom.Len())
+	rr := dataset.NewBinaryRecordReader(f)
+	var buf dataset.Record
+	for {
+		rec, err := rr.Next(buf)
+		if err == io.EOF {
+			return counts, nil
+		}
+		if err != nil {
+			return nil, fmt.Errorf("shard: count %s: %w", node.path, err)
+		}
+		for _, t := range rec {
+			counts[t]++
+		}
+		buf = rec
+	}
+}
+
+// route splits a node's file on dense term a: records containing a stream to
+// the with-file, the rest to the without-file, preserving order on both
+// sides. The with-side supports are counted during the pass (they steer the
+// immediate with-recursion); the without side is recounted lazily if needed.
+// Records of the root file (original terms) are remapped to dense ids here,
+// so every routed file holds dense records.
+func (e *engine) route(node fileShard, a int32) (with, without fileShard, withCounts []int32, err error) {
+	f, err := os.Open(node.path)
+	if err != nil {
+		return with, without, nil, err
+	}
+	defer f.Close()
+
+	withPath, woPath := e.tmpPath("with"), e.tmpPath("wo")
+	wf, err := os.Create(withPath)
+	if err != nil {
+		return with, without, nil, err
+	}
+	defer wf.Close()
+	wof, err := os.Create(woPath)
+	if err != nil {
+		return with, without, nil, err
+	}
+	defer wof.Close()
+
+	wcw := &countingWriter{w: wf}
+	wocw := &countingWriter{w: wof}
+	ww := dataset.NewBinaryRecordWriter(wcw)
+	wow := dataset.NewBinaryRecordWriter(wocw)
+	withCounts = make([]int32, e.dom.Len())
+	with = fileShard{path: withPath, dense: true}
+	without = fileShard{path: woPath, dense: true}
+
+	rr := dataset.NewBinaryRecordReader(f)
+	var buf, denseBuf dataset.Record
+	for {
+		rec, rerr := rr.Next(buf)
+		if rerr == io.EOF {
+			break
+		}
+		if rerr != nil {
+			return with, without, nil, fmt.Errorf("shard: route %s: %w", node.path, rerr)
+		}
+		buf = rec
+		if !node.dense {
+			denseBuf = e.remap(rec, denseBuf[:0])
+			rec = denseBuf
+		}
+		if rec.Contains(dataset.Term(a)) {
+			for _, t := range rec {
+				withCounts[t]++
+			}
+			with.n++
+			err = ww.Write(rec)
+		} else {
+			without.n++
+			err = wow.Write(rec)
+		}
+		if err != nil {
+			return with, without, nil, fmt.Errorf("shard: route %s: %w", node.path, err)
+		}
+	}
+	if err := ww.Flush(); err != nil {
+		return with, without, nil, err
+	}
+	if err := wow.Flush(); err != nil {
+		return with, without, nil, err
+	}
+	e.spillBytes.Add(wcw.n + wocw.n)
+	if err := wf.Close(); err != nil {
+		return with, without, nil, err
+	}
+	return with, without, withCounts, wof.Close()
+}
+
+// remap rewrites a record from original terms to dense ids into dst.
+func (e *engine) remap(rec dataset.Record, dst dataset.Record) dataset.Record {
+	for _, t := range rec {
+		id, ok := e.dom.ID(t)
+		if !ok {
+			panic("shard: spilled term outside domain")
+		}
+		dst = append(dst, dataset.Term(id))
+	}
+	return dst
+}
+
+// writeJSONBody stages one shard's clusters in the JSON format: every
+// cluster prefixed by the ",\n    " element separator (assembly strips the
+// leading comma of the very first cluster overall).
+func writeJSONBody(w io.Writer, nodes []*core.ClusterNode) error {
+	for _, n := range nodes {
+		body, err := core.MarshalClusterJSON(n)
+		if err != nil {
+			return err
+		}
+		if _, err := io.WriteString(w, ",\n    "); err != nil {
+			return err
+		}
+		if _, err := w.Write(body); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// assembleJSON stitches the staged JSON bodies behind the WriteJSON header,
+// reproducing its bytes exactly (the envelope pieces come from the same
+// core.WriteJSONHeader/WriteJSONTrailer every JSON path shares).
+func (e *engine) assembleJSON(w io.Writer) error {
+	if err := core.WriteJSONHeader(w, e.copts.K, e.copts.M); err != nil {
+		return err
+	}
+	total := 0
+	for i := range e.shards {
+		total += e.shards[i].clusters
+	}
+	if total == 0 {
+		return core.WriteJSONTrailer(w, 0)
+	}
+	if _, err := io.WriteString(w, "["); err != nil {
+		return err
+	}
+	first := true
+	for i := range e.shards {
+		if e.shards[i].clusters == 0 {
+			os.Remove(e.shards[i].bodyPath)
+			continue
+		}
+		f, err := os.Open(e.shards[i].bodyPath)
+		if err != nil {
+			return err
+		}
+		if first {
+			// Drop the first cluster's leading comma: "[\n    {...".
+			if _, err := f.Seek(1, io.SeekStart); err != nil {
+				f.Close()
+				return err
+			}
+			first = false
+		}
+		_, err = io.Copy(w, f)
+		f.Close()
+		if err != nil {
+			return err
+		}
+		os.Remove(e.shards[i].bodyPath)
+	}
+	return core.WriteJSONTrailer(w, total)
+}

@@ -1,0 +1,7 @@
+//go:build race
+
+package shard
+
+// raceEnabled reports that the race detector is instrumenting this build;
+// the bounded-memory guard skips, since instrumentation multiplies the heap.
+const raceEnabled = true

@@ -1,0 +1,116 @@
+package disasso_test
+
+import (
+	"bytes"
+	"context"
+	"os/exec"
+	"path/filepath"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+)
+
+// The repo carries six mains without their own test files (the examples and
+// cmd/experiments). These smoke tests build and run each one on a tiny
+// workload so they cannot rot silently: a compile error, a panic, or a
+// regression in the APIs they demonstrate fails the suite.
+
+// goTool locates the go binary, skipping the test where there is none (the
+// library itself must stay testable without a toolchain on PATH).
+func goTool(t *testing.T) string {
+	t.Helper()
+	path, err := exec.LookPath("go")
+	if err != nil {
+		t.Skip("go tool not on PATH")
+	}
+	return path
+}
+
+// buildAndRun compiles pkg into dir and runs it with args, returning the
+// combined output.
+func buildAndRun(t *testing.T, pkg string, args ...string) string {
+	t.Helper()
+	gobin := goTool(t)
+	ctx, cancel := context.WithTimeout(context.Background(), 3*time.Minute)
+	defer cancel()
+
+	bin := filepath.Join(t.TempDir(), "main")
+	if runtime.GOOS == "windows" {
+		bin += ".exe"
+	}
+	build := exec.CommandContext(ctx, gobin, "build", "-o", bin, pkg)
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("go build %s: %v\n%s", pkg, err, out)
+	}
+
+	var out bytes.Buffer
+	cmd := exec.CommandContext(ctx, bin, args...)
+	cmd.Stdout = &out
+	cmd.Stderr = &out
+	if err := cmd.Run(); err != nil {
+		t.Fatalf("run %s %v: %v\n%s", pkg, args, err, clipOutput(out.String()))
+	}
+	return out.String()
+}
+
+func clipOutput(s string) string {
+	if len(s) > 2000 {
+		return s[:2000] + "…"
+	}
+	return s
+}
+
+func TestSmokeExampleQuickstart(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and runs a binary")
+	}
+	out := buildAndRun(t, "disasso/examples/quickstart")
+	if !strings.Contains(out, "anonymized 10 records") {
+		t.Errorf("quickstart output missing summary:\n%s", clipOutput(out))
+	}
+	if !strings.Contains(out, "reconstructed") {
+		t.Errorf("quickstart output missing reconstruction:\n%s", clipOutput(out))
+	}
+}
+
+func TestSmokeExampleAudit(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and runs a binary")
+	}
+	out := buildAndRun(t, "disasso/examples/audit")
+	if strings.Contains(strings.ToLower(out), "violation") {
+		t.Errorf("audit example reported a guarantee violation:\n%s", clipOutput(out))
+	}
+}
+
+func TestSmokeExampleDiversity(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and runs a binary")
+	}
+	buildAndRun(t, "disasso/examples/diversity")
+}
+
+func TestSmokeExampleRetail(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and runs a binary")
+	}
+	buildAndRun(t, "disasso/examples/retail")
+}
+
+func TestSmokeExampleWeblog(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and runs a binary")
+	}
+	buildAndRun(t, "disasso/examples/weblog")
+}
+
+func TestSmokeExperiments(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and runs a binary")
+	}
+	out := buildAndRun(t, "disasso/cmd/experiments", "-fig", "fig7a", "-scale", "500")
+	if !strings.Contains(out, "fig7a") {
+		t.Errorf("experiments output missing figure tag:\n%s", clipOutput(out))
+	}
+}

@@ -20,6 +20,7 @@ import (
 	"disasso/internal/hierarchy"
 	"disasso/internal/itemset"
 	"disasso/internal/metrics"
+	"disasso/internal/query"
 	"disasso/internal/quest"
 	"disasso/internal/realdata"
 	"disasso/internal/reconstruct"
@@ -272,6 +273,66 @@ func BenchmarkAnonymizeStream(b *testing.B) {
 		}
 	}
 	b.ReportMetric(float64(peak)/(1<<20), "peak-MiB")
+}
+
+// --- Query-serving benchmarks: scan vs inverted index ---
+
+// benchQueryWorkload publishes a many-cluster dataset and draws a fixed mix
+// of query itemsets (singletons, pairs, triples) from its domain — the
+// serving workload of Section 6 / the disassod service.
+func benchQueryWorkload(b *testing.B) (*core.Anonymized, []dataset.Record) {
+	b.Helper()
+	d := benchDataset(b)
+	a, err := core.Anonymize(d, core.Options{K: 5, M: 2, Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := rand.New(rand.NewPCG(17, 18))
+	var queries []dataset.Record
+	for i := 0; i < 256; i++ {
+		size := 1 + i%3
+		terms := make([]dataset.Term, size)
+		for j := range terms {
+			terms[j] = dataset.Term(rng.IntN(1000))
+		}
+		queries = append(queries, dataset.NewRecord(terms...))
+	}
+	return a, queries
+}
+
+// BenchmarkSupportScan is the baseline: every query walks every cluster.
+func BenchmarkSupportScan(b *testing.B) {
+	a, queries := benchQueryWorkload(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		query.Support(a, queries[i%len(queries)])
+	}
+}
+
+// BenchmarkSupportIndexed serves the identical workload through the
+// inverted index (estimates are bit-identical to the scan; the property
+// tests in internal/query assert it). The index is built once outside the
+// timer, as a long-running service would.
+func BenchmarkSupportIndexed(b *testing.B) {
+	a, queries := benchQueryWorkload(b)
+	est := query.NewEstimator(a)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		est.Support(queries[i%len(queries)])
+	}
+}
+
+// BenchmarkSupportIndexBuild measures the one-time cost the indexed path
+// pays: inverted index plus singleton precomputation.
+func BenchmarkSupportIndexBuild(b *testing.B) {
+	a, _ := benchQueryWorkload(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		query.NewEstimator(a)
+	}
 }
 
 func BenchmarkReconstruct(b *testing.B) {

@@ -20,11 +20,11 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
-	"strconv"
-	"strings"
 
 	"disasso"
+	"disasso/internal/dataset"
 )
 
 func main() {
@@ -81,27 +81,25 @@ type runConfig struct {
 	tmpDir      string
 }
 
-// parseBytes parses a byte count with an optional K/M/G (or KiB-style) suffix.
+// parseBytes parses a byte count with an optional K/M/G (or KiB-style)
+// suffix. It rejects values whose suffix multiplication would overflow
+// int64 — "9223372036854775807K" used to wrap to a negative budget and be
+// accepted silently.
 func parseBytes(s string) (int64, error) {
-	s = strings.TrimSpace(s)
-	if s == "" {
-		return 0, nil
+	return dataset.ParseByteSize(s)
+}
+
+// openOutput resolves -out: the returned close function's error must be
+// checked — on a full disk the failure often only surfaces at close time.
+func openOutput(path string) (io.Writer, func() error, error) {
+	if path == "" {
+		return os.Stdout, func() error { return nil }, nil
 	}
-	mult := int64(1)
-	upper := strings.ToUpper(strings.TrimSuffix(strings.TrimSuffix(strings.ToUpper(s), "IB"), "B"))
-	switch {
-	case strings.HasSuffix(upper, "K"):
-		mult, upper = 1<<10, strings.TrimSuffix(upper, "K")
-	case strings.HasSuffix(upper, "M"):
-		mult, upper = 1<<20, strings.TrimSuffix(upper, "M")
-	case strings.HasSuffix(upper, "G"):
-		mult, upper = 1<<30, strings.TrimSuffix(upper, "G")
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, nil, err
 	}
-	v, err := strconv.ParseInt(strings.TrimSpace(upper), 10, 64)
-	if err != nil || v < 0 {
-		return 0, fmt.Errorf("bad byte count %q", s)
-	}
-	return v * mult, nil
+	return f, f.Close, nil
 }
 
 func run(cfg runConfig) error {
@@ -122,13 +120,9 @@ func run(cfg runConfig) error {
 		if err != nil {
 			return err
 		}
-		w := os.Stdout
-		if cfg.out != "" {
-			w, err = os.Create(cfg.out)
-			if err != nil {
-				return err
-			}
-			defer w.Close()
+		w, closeOut, err := openOutput(cfg.out)
+		if err != nil {
+			return err
 		}
 		st, err := disasso.AnonymizeStream(f, w, disasso.StreamOptions{
 			Core: disasso.Options{
@@ -139,6 +133,9 @@ func run(cfg runConfig) error {
 			TempDir:      cfg.tmpDir,
 			JSON:         !cfg.binaryOut,
 		})
+		if cerr := closeOut(); err == nil {
+			err = cerr
+		}
 		if err != nil {
 			return err
 		}
@@ -158,20 +155,26 @@ func run(cfg runConfig) error {
 		return err
 	}
 
-	w := os.Stdout
-	if cfg.out != "" {
-		w, err = os.Create(cfg.out)
-		if err != nil {
-			return err
-		}
-		defer w.Close()
+	w, closeOut, err := openOutput(cfg.out)
+	if err != nil {
+		return err
 	}
+	err = emit(cfg, d, dict, w)
+	if cerr := closeOut(); err == nil {
+		err = cerr
+	}
+	return err
+}
 
+// emit performs the requested action, writing results to w. Every write
+// error propagates: a broken pipe or full disk must fail the run, not exit
+// 0 with truncated output.
+func emit(cfg runConfig, d *disasso.Dataset, dict *disasso.Dictionary, w io.Writer) error {
 	if cfg.stats {
 		st := d.ComputeStats()
-		fmt.Fprintf(w, "records: %d\nterms: %d\nmax record: %d\navg record: %.2f\n",
+		_, err := fmt.Fprintf(w, "records: %d\nterms: %d\nmax record: %d\navg record: %.2f\n",
 			st.NumRecords, st.DomainSize, st.MaxRecord, st.AvgRecord)
-		return nil
+		return err
 	}
 
 	if cfg.verify != "" {
@@ -192,8 +195,8 @@ func run(cfg runConfig) error {
 		if err := disasso.VerifyAgainstOriginal(a, d); err != nil {
 			return err
 		}
-		fmt.Fprintf(w, "OK: %s is %d^%d-anonymous and consistent with %s\n", cfg.verify, a.K, a.M, cfg.in)
-		return nil
+		_, err = fmt.Fprintf(w, "OK: %s is %d^%d-anonymous and consistent with %s\n", cfg.verify, a.K, a.M, cfg.in)
+		return err
 	}
 
 	a, err := disasso.Anonymize(d, disasso.Options{
@@ -214,22 +217,38 @@ func run(cfg runConfig) error {
 	}
 
 	if cfg.reconstruct > 0 {
-		for i, r := range disasso.ReconstructMany(a, cfg.reconstruct, cfg.seed) {
-			if i > 0 {
-				fmt.Fprintln(w, "%%") // dataset separator
-			}
-			if cfg.names {
-				if err := disasso.WriteNames(w, r, dict); err != nil {
-					return err
-				}
-			} else if err := disasso.WriteIDs(w, r); err != nil {
-				return err
-			}
+		var names *disasso.Dictionary
+		if cfg.names {
+			names = dict
 		}
-		return nil
+		return writeReconstructions(w, disasso.ReconstructMany(a, cfg.reconstruct, cfg.seed), names)
 	}
 	if cfg.binaryOut {
 		return disasso.WriteBinary(w, a)
 	}
 	return disasso.WriteJSON(w, a)
+}
+
+// writeReconstructions emits the sampled datasets separated by literal "%%"
+// lines (the multi-dataset framing -reconstruct documents), through dict
+// when non-nil. The first write error — separator lines included — aborts
+// and propagates.
+func writeReconstructions(w io.Writer, datasets []*disasso.Dataset, dict *disasso.Dictionary) error {
+	for i, r := range datasets {
+		if i > 0 {
+			if _, err := fmt.Fprintln(w, "%%"); err != nil {
+				return err
+			}
+		}
+		var err error
+		if dict != nil {
+			err = disasso.WriteNames(w, r, dict)
+		} else {
+			err = disasso.WriteIDs(w, r)
+		}
+		if err != nil {
+			return err
+		}
+	}
+	return nil
 }

@@ -1,10 +1,15 @@
 package main
 
 import (
+	"bytes"
+	"errors"
+	"math"
 	"os"
 	"path/filepath"
 	"strings"
 	"testing"
+
+	"disasso"
 )
 
 // writeInput creates a small dataset file.
@@ -206,6 +211,10 @@ func TestParseBytes(t *testing.T) {
 	cases := map[string]int64{
 		"": 0, "123": 123, "1K": 1 << 10, "2M": 2 << 20, "3G": 3 << 30,
 		"512MiB": 512 << 20, "64kb": 64 << 10, " 7 ": 7,
+		"1KiB": 1 << 10, "1kib": 1 << 10, "2mb": 2 << 20, "2gib": 2 << 30,
+		"0K": 0, "9007199254740992": 1 << 53,
+		"9223372036854775807": math.MaxInt64, // max without a suffix is fine
+		"8796093022207K":      8796093022207 << 10,
 	}
 	for s, want := range cases {
 		got, err := parseBytes(s)
@@ -213,9 +222,83 @@ func TestParseBytes(t *testing.T) {
 			t.Errorf("parseBytes(%q) = %d, %v; want %d", s, got, err, want)
 		}
 	}
-	for _, bad := range []string{"x", "12Q", "--3", "-512M", "-1"} {
-		if _, err := parseBytes(bad); err == nil {
-			t.Errorf("parseBytes(%q) accepted", bad)
+	bad := []string{
+		"x", "12Q", "--3", "-512M", "-1", "K", "1.5M", "0x10K",
+		// Overflow: v * mult wraps int64 — used to be returned as a huge
+		// negative budget without error.
+		"9223372036854775807K", "9223372036854775807M", "9223372036854775807G",
+		"9007199254740992G", "8796093022208M",
+		// Past int64 before the suffix even applies.
+		"9223372036854775808", "99999999999999999999K",
+	}
+	for _, s := range bad {
+		if got, err := parseBytes(s); err == nil {
+			t.Errorf("parseBytes(%q) accepted, returned %d", s, got)
 		}
 	}
+}
+
+// failAfter errors on the first write once limit bytes have been accepted —
+// a stand-in for a broken pipe or full disk mid-output.
+type failAfter struct {
+	limit   int
+	written bytes.Buffer
+}
+
+func (f *failAfter) Write(p []byte) (int, error) {
+	if f.written.Len()+len(p) > f.limit {
+		return 0, errors.New("disk full")
+	}
+	return f.written.Write(p)
+}
+
+func TestWriteReconstructionsFraming(t *testing.T) {
+	datasets := disasso.ReconstructMany(mustAnonymize(t), 3, 1)
+	var out bytes.Buffer
+	if err := writeReconstructions(&out, datasets, nil); err != nil {
+		t.Fatal(err)
+	}
+	text := out.String()
+	parts := strings.Split(text, "%%\n")
+	if len(parts) != 3 {
+		t.Fatalf("output has %d %%%%-framed datasets, want 3:\n%s", len(parts), text)
+	}
+	for i, part := range parts {
+		lines := strings.Split(strings.TrimSpace(part), "\n")
+		if len(lines) != 10 {
+			t.Errorf("dataset %d has %d records, want 10", i, len(lines))
+		}
+	}
+	if strings.HasSuffix(text, "%%\n") {
+		t.Error("trailing separator after the last dataset")
+	}
+}
+
+func TestWriteReconstructionsPropagatesWriteErrors(t *testing.T) {
+	datasets := disasso.ReconstructMany(mustAnonymize(t), 4, 1)
+	var full bytes.Buffer
+	if err := writeReconstructions(&full, datasets, nil); err != nil {
+		t.Fatal(err)
+	}
+	// Break the writer at every prefix length: each must surface the error.
+	for limit := 0; limit < full.Len(); limit += 7 {
+		w := &failAfter{limit: limit}
+		if err := writeReconstructions(w, datasets, nil); err == nil {
+			t.Fatalf("write failure after %d bytes not propagated", limit)
+		}
+	}
+}
+
+// mustAnonymize publishes the toy dataset for reconstruction tests.
+func mustAnonymize(t *testing.T) *disasso.Anonymized {
+	t.Helper()
+	d, err := disasso.ReadIDs(strings.NewReader(toyData))
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := disasso.Anonymize(d, disasso.Options{K: 3, M: 2, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return a
 }

@@ -1,0 +1,102 @@
+// Command disassod serves published disassociated datasets over HTTP — the
+// long-running analyst-facing counterpart of the one-shot disasso tool. A
+// publisher uploads a dataset once; the daemon anonymizes it (in memory or
+// through the bounded-memory streaming engine), builds the inverted query
+// index, and then serves itemset support estimates, reconstruction samples,
+// utility metrics and publication stats to any number of concurrent
+// clients.
+//
+// Usage:
+//
+//	disassod -addr :8080
+//
+// Endpoints (see the repository README for an example curl session):
+//
+//	GET    /healthz
+//	GET    /v1/datasets
+//	POST   /v1/datasets/{name}?k=5&m=2[&stream=1&membudget=256M]
+//	DELETE /v1/datasets/{name}
+//	GET    /v1/datasets/{name}/stats
+//	POST   /v1/datasets/{name}/support        {"itemsets": [[3,17],[42]]}
+//	GET    /v1/datasets/{name}/support?itemset=3,17
+//	POST   /v1/datasets/{name}/reconstruct    {"samples": 2, "seed": 7}
+//	GET    /v1/datasets/{name}/metrics
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"disasso"
+	"disasso/internal/dataset"
+)
+
+func main() {
+	var (
+		addr     = flag.String("addr", ":8080", "listen address")
+		maxBody  = flag.String("max-body", "", "request body cap, bytes with optional K/M/G suffix (default 64M)")
+		maxRecon = flag.Int("max-reconstructions", 0, "per-request reconstruction sample cap (default 16)")
+		tmpDir   = flag.String("tmpdir", "", "directory for streaming spill files (default system temp)")
+	)
+	flag.Parse()
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, *addr, *maxBody, *maxRecon, *tmpDir, os.Stderr); err != nil {
+		fmt.Fprintln(os.Stderr, "disassod:", err)
+		os.Exit(1)
+	}
+}
+
+// run starts the HTTP service and blocks until the context is canceled or
+// the listener fails; progress goes to logw.
+func run(ctx context.Context, addr, maxBody string, maxRecon int, tmpDir string, logw io.Writer) error {
+	bodyCap, err := dataset.ParseByteSize(maxBody)
+	if err != nil {
+		return err
+	}
+	handler := disasso.NewServer(disasso.ServerOptions{
+		MaxBodyBytes:       bodyCap,
+		MaxReconstructions: maxRecon,
+		TempDir:            tmpDir,
+	})
+
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	logger := log.New(logw, "disassod: ", log.LstdFlags)
+	srv := &http.Server{
+		Handler:           handler,
+		ReadHeaderTimeout: 10 * time.Second,
+		ErrorLog:          logger,
+	}
+	logger.Printf("serving on %s", ln.Addr())
+
+	done := make(chan error, 1)
+	go func() { done <- srv.Serve(ln) }()
+	select {
+	case err := <-done:
+		return err
+	case <-ctx.Done():
+	}
+	logger.Printf("shutting down")
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(shutdownCtx); err != nil {
+		return err
+	}
+	if err := <-done; !errors.Is(err, http.ErrServerClosed) {
+		return err
+	}
+	return nil
+}

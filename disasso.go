@@ -29,6 +29,7 @@ import (
 	"fmt"
 	"io"
 	"math/rand/v2"
+	"net/http"
 
 	"disasso/internal/anonymity"
 	"disasso/internal/attack"
@@ -38,6 +39,7 @@ import (
 	"disasso/internal/query"
 	"disasso/internal/quest"
 	"disasso/internal/reconstruct"
+	"disasso/internal/server"
 	"disasso/internal/shard"
 )
 
@@ -187,9 +189,60 @@ func Stats(a *Anonymized) Summary { return a.Stats() }
 type SupportEstimate = query.Estimate
 
 // EstimateSupport estimates an itemset's support from the published form
-// alone, without sampling reconstructions.
+// alone, without sampling reconstructions, by a linear scan over the
+// clusters. For repeated queries over one publication, build a SupportIndex
+// instead — same estimates, sublinear per query.
 func EstimateSupport(a *Anonymized, itemset Record) SupportEstimate {
 	return query.Support(a, itemset)
+}
+
+// SupportIndex answers support queries through an inverted term index over
+// the published form: each query visits only the clusters containing every
+// term of the itemset, and singleton estimates are precomputed. Estimates
+// are identical to EstimateSupport. A SupportIndex is immutable and safe
+// for concurrent use.
+type SupportIndex = query.Estimator
+
+// NewSupportIndex builds the inverted index over a published dataset. The
+// publication must not be mutated afterwards.
+func NewSupportIndex(a *Anonymized) *SupportIndex {
+	return query.NewEstimator(a)
+}
+
+// HTTP query service (cmd/disassod): request and response wire types,
+// re-exported so API clients can marshal against the same definitions the
+// server uses.
+type (
+	// ServerOptions configures NewServer.
+	ServerOptions = server.Options
+	// ServerDatasetInfo describes one registered dataset.
+	ServerDatasetInfo = server.DatasetInfo
+	// ServerListResponse answers GET /v1/datasets.
+	ServerListResponse = server.ListResponse
+	// ServerStatsResponse answers GET /v1/datasets/{name}/stats.
+	ServerStatsResponse = server.StatsResponse
+	// ServerSupportRequest is the body of POST .../support.
+	ServerSupportRequest = server.SupportRequest
+	// ServerSupportResponse answers a support request.
+	ServerSupportResponse = server.SupportResponse
+	// ServerItemsetEstimate is one itemset's served support estimate.
+	ServerItemsetEstimate = server.ItemsetEstimate
+	// ServerReconstructRequest is the body of POST .../reconstruct.
+	ServerReconstructRequest = server.ReconstructRequest
+	// ServerReconstructResponse carries sampled reconstructions.
+	ServerReconstructResponse = server.ReconstructResponse
+	// ServerMetricsResponse answers GET .../metrics.
+	ServerMetricsResponse = server.MetricsResponse
+	// ServerErrorResponse is the body of every non-2xx answer.
+	ServerErrorResponse = server.ErrorResponse
+)
+
+// NewServer returns the HTTP query service handler serving the disassod
+// API: dataset publishing (in-memory or streaming), itemset support
+// estimates over the inverted index, reconstruction sampling, utility
+// metrics and stats. The handler is safe for concurrent use.
+func NewServer(opts ServerOptions) http.Handler {
+	return server.New(opts)
 }
 
 // Candidates returns how many records an adversary holding the given

@@ -68,13 +68,15 @@ func WriteJSONHeader(w io.Writer, k, m int) error {
 	return err
 }
 
-// WriteJSONTrailer closes the envelope: a publication with no clusters
-// serializes its cluster list as null (matching the nil slice the in-memory
-// pipeline produces), otherwise the array and object close.
+// WriteJSONTrailer closes the envelope: the array and object close. A
+// publication with no clusters serializes its cluster list as [] — the
+// stable wire format external consumers iterate (jq '.Clusters[]', typed
+// decoders that reject null for an array field), regardless of whether the
+// in-memory pipeline's slice happened to be nil.
 func WriteJSONTrailer(w io.Writer, clusters int) error {
 	s := "\n  ]\n}\n"
 	if clusters == 0 {
-		s = "null\n}\n"
+		s = "[]\n}\n"
 	}
 	_, err := io.WriteString(w, s)
 	return err

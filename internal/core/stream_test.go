@@ -79,9 +79,12 @@ func TestWriteJSONMatchesEncoderReference(t *testing.T) {
 	}
 }
 
-// TestWriteJSONEmptyMatchesReference pins the no-cluster envelope.
+// TestWriteJSONEmptyMatchesReference pins the no-cluster envelope: the
+// cluster list serializes as [] — the wire format of every pre-chunked
+// release and what array-typed consumers expect — matching the reference
+// encoder on the non-nil empty slice the pipeline actually produces.
 func TestWriteJSONEmptyMatchesReference(t *testing.T) {
-	a := &Anonymized{K: 3, M: 2}
+	a := &Anonymized{K: 3, M: 2, Clusters: []*ClusterNode{}}
 	want := encodeJSONReference(t, a)
 	var got bytes.Buffer
 	if err := WriteJSON(&got, a); err != nil {
@@ -89,6 +92,15 @@ func TestWriteJSONEmptyMatchesReference(t *testing.T) {
 	}
 	if got.String() != string(want) {
 		t.Fatalf("empty WriteJSON %q != reference %q", got.String(), string(want))
+	}
+	// A nil Clusters slice must serialize identically — the writer, not the
+	// slice's nil-ness, owns the envelope.
+	var gotNil bytes.Buffer
+	if err := WriteJSON(&gotNil, &Anonymized{K: 3, M: 2}); err != nil {
+		t.Fatal(err)
+	}
+	if gotNil.String() != got.String() {
+		t.Fatalf("nil-slice WriteJSON %q != empty-slice WriteJSON %q", gotNil.String(), got.String())
 	}
 }
 

@@ -1,0 +1,39 @@
+package dataset
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// ParseByteSize parses a byte count with an optional K/M/G multiplier, in
+// any of the usual spellings ("64K", "512MiB", "2gb", "64 M"). The empty
+// string parses to 0 (callers treat it as "use the default"). Negative
+// values, garbage, and — crucially — values whose multiplication by the
+// suffix would overflow int64 are rejected: "9223372036854775807K" is an
+// error, not a silently wrapped negative budget.
+func ParseByteSize(s string) (int64, error) {
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return 0, nil
+	}
+	mult := int64(1)
+	upper := strings.TrimSuffix(strings.TrimSuffix(strings.ToUpper(s), "IB"), "B")
+	switch {
+	case strings.HasSuffix(upper, "K"):
+		mult, upper = 1<<10, strings.TrimSuffix(upper, "K")
+	case strings.HasSuffix(upper, "M"):
+		mult, upper = 1<<20, strings.TrimSuffix(upper, "M")
+	case strings.HasSuffix(upper, "G"):
+		mult, upper = 1<<30, strings.TrimSuffix(upper, "G")
+	}
+	v, err := strconv.ParseInt(strings.TrimSpace(upper), 10, 64)
+	if err != nil || v < 0 {
+		return 0, fmt.Errorf("bad byte count %q", s)
+	}
+	if v > math.MaxInt64/mult {
+		return 0, fmt.Errorf("byte count %q overflows", s)
+	}
+	return v * mult, nil
+}

@@ -142,6 +142,69 @@ func TestRelativeErrorNoPairs(t *testing.T) {
 	}
 }
 
+func TestRelativeErrorEmptyTermRange(t *testing.T) {
+	// No terms at all (e.g. RangeTerms clipping emptied the range): no pair
+	// keys exist, so the metric is 0, not NaN from a 0/0 average.
+	records := []dataset.Record{rec(1, 2), rec(2, 3)}
+	if got := RelativeError(records, records, nil); got != 0 {
+		t.Errorf("re over empty term range = %v, want 0", got)
+	}
+	if got := RelativeError(records, records, []dataset.Term{}); got != 0 {
+		t.Errorf("re over zero-length term range = %v, want 0", got)
+	}
+	// A single term forms no pair either.
+	if got := RelativeError(records, records, []dataset.Term{2}); got != 0 {
+		t.Errorf("re over one term = %v, want 0", got)
+	}
+}
+
+func TestRelativeErrorOneSidedPairsMixed(t *testing.T) {
+	// Three pairs over terms {1,2,3}: {1,2} only in the original, {2,3}
+	// only in the published, {1,3} on both sides with equal support. The
+	// one-sided pairs each contribute the documented maximum of 2.
+	orig := []dataset.Record{rec(1, 2), rec(1, 3)}
+	pub := []dataset.Record{rec(2, 3), rec(1, 3)}
+	want := (2.0 + 2.0 + 0.0) / 3.0
+	if got := RelativeError(orig, pub, []dataset.Term{1, 2, 3}); math.Abs(got-want) > 1e-12 {
+		t.Errorf("re = %v, want %v", got, want)
+	}
+	// A metric value can never leave [0, 2] whatever the inputs.
+	if got := RelativeError(orig, nil, []dataset.Term{1, 2, 3}); got < 0 || got > 2 {
+		t.Errorf("re against empty published data = %v, outside [0, 2]", got)
+	}
+}
+
+func TestRangeTermsClipping(t *testing.T) {
+	// Supports: 5→3, 7→2, 9→1 — ranked [5, 7, 9].
+	d := dataset.FromRecords([]dataset.Record{rec(5, 7), rec(5, 7), rec(5, 9)})
+	cases := []struct {
+		lo, hi int
+		want   []dataset.Term
+	}{
+		{0, 3, []dataset.Term{5, 7, 9}},
+		{1, 2, []dataset.Term{7}},
+		{-4, 2, []dataset.Term{5, 7}}, // negative lo clips to 0
+		{1, 99, []dataset.Term{7, 9}}, // hi clips to the domain size
+		{-1, 99, []dataset.Term{5, 7, 9}},
+		{2, 2, nil},  // empty range
+		{3, 2, nil},  // inverted range
+		{99, 4, nil}, // both out of range
+	}
+	for _, c := range cases {
+		got := RangeTerms(d, c.lo, c.hi)
+		if len(got) != len(c.want) {
+			t.Errorf("RangeTerms(%d, %d) = %v, want %v", c.lo, c.hi, got, c.want)
+			continue
+		}
+		for i := range got {
+			if got[i] != c.want[i] {
+				t.Errorf("RangeTerms(%d, %d) = %v, want %v", c.lo, c.hi, got, c.want)
+				break
+			}
+		}
+	}
+}
+
 func TestRelativeErrorAveragedImproves(t *testing.T) {
 	// Averaging across reconstructions should not be worse than a single
 	// one for the same anonymized dataset (statistically; fixed seeds).

@@ -1,0 +1,321 @@
+package query
+
+import (
+	"disasso/internal/core"
+	"disasso/internal/dataset"
+	"disasso/internal/qindex"
+)
+
+// supportViaScan routes Estimator.Support through the retained linear scan
+// path instead of the inverted index — the correctness oracle. Tests flip it
+// to cross-check the two paths; building with -tags query_scan flips the
+// default so the whole suite (including the HTTP server tests) runs on the
+// scan path, the same device as internal/core's refine_replan tag.
+var supportViaScan = supportViaScanDefault
+
+// Estimator answers support queries over one published dataset through an
+// inverted term index: a query visits only the clusters in the intersection
+// of its terms' posting lists (sublinear in the cluster count), and
+// singleton queries return precomputed estimates without touching the forest
+// at all. The estimator is immutable after construction, so any number of
+// goroutines may query it concurrently.
+//
+// Estimates are identical — bit for bit, including float rounding — to the
+// scan path Support: the non-intersecting clusters a scan visits contribute
+// exact zeros, and the singleton precomputation replays the scan's
+// arithmetic operation by operation.
+type Estimator struct {
+	a          *core.Anonymized
+	ix         *qindex.Index
+	nodes      []*nodeIndex // per top-level cluster: spans + chunk postings
+	singles    []Estimate   // rank -> Support(a, {term})
+	numRecords int
+}
+
+// NewEstimator builds the inverted index over the published dataset and the
+// estimator on top of it.
+func NewEstimator(a *core.Anonymized) *Estimator {
+	return NewEstimatorWithIndex(a, qindex.Build(a))
+}
+
+// NewEstimatorWithIndex builds an estimator over an already-built index
+// (which must index exactly a).
+func NewEstimatorWithIndex(a *core.Anonymized, ix *qindex.Index) *Estimator {
+	nodes := make([]*nodeIndex, len(a.Clusters))
+	for i, n := range a.Clusters {
+		nodes[i] = buildNodeIndex(n)
+	}
+	return &Estimator{
+		a:          a,
+		ix:         ix,
+		nodes:      nodes,
+		singles:    computeSingles(a, ix),
+		numRecords: a.NumRecords(),
+	}
+}
+
+// Index returns the underlying inverted index.
+func (e *Estimator) Index() *qindex.Index { return e.ix }
+
+// Support estimates the support of the normalized itemset s, returning the
+// same Estimate as Support(a, s).
+func (e *Estimator) Support(s dataset.Record) Estimate {
+	if supportViaScan {
+		return Support(e.a, s)
+	}
+	var est Estimate
+	if len(s) == 0 {
+		est.Lower = e.numRecords
+		est.Upper = est.Lower
+		est.Expected = float64(est.Lower)
+		return est
+	}
+	if len(s) == 1 {
+		if r, ok := e.ix.Rank(s[0]); ok {
+			return e.singles[r]
+		}
+		return est
+	}
+	for _, ci := range e.ix.IntersectClusters(nil, s) {
+		o := estimateNodeIx(e.a.Clusters[ci], e.nodes[ci], s)
+		est.Lower += o.Lower
+		est.Upper += o.Upper
+		est.Expected += o.Expected
+	}
+	return clampEstimate(est)
+}
+
+// sharedEntry is one ancestor shared chunk's view of a term during the
+// singleton precomputation: how many of the chunk's subrecords carry the
+// term and how many records the hosting joint spans.
+type sharedEntry struct {
+	count int
+	span  int
+}
+
+// singlesPass carries the flat per-rank state of the singleton
+// precomputation. All tables are indexed by the qindex rank; node-scoped
+// accumulators are epoch-stamped by cluster id so nothing is cleared between
+// clusters.
+type singlesPass struct {
+	ix      *qindex.Index
+	singles []Estimate
+
+	// Node-scoped accumulators, valid where nodeStamp matches the cluster.
+	lower, upper []int
+	expected     []float64
+	touched      []int32
+	nodeStamp    []int32
+
+	// Ancestor shared-chunk stacks, in descent order, plus the ranks with
+	// non-empty stacks (activation order; frames truncate on exit).
+	shared       [][]sharedEntry
+	activeShared []int32
+
+	// Leaf-scoped state, epoch-stamped per leaf.
+	leafCnts    [][]int32 // counts per containing record chunk, chunk order
+	leafTC      []bool
+	leafTouched []int32
+	leafStamp   []int32
+	leafEpoch   int32
+}
+
+// computeSingles precomputes Support(a, {t}) for every published term in one
+// walk over the forest, mirroring the scan path's arithmetic exactly: per
+// leaf it replays evalLeaf's operations for the singleton case, per joint it
+// adds the shared-chunk certain occurrences, per node it applies
+// estimateNode's clamps in leaf-major accumulation order, and at the end it
+// applies Support's final sandwich clamp.
+func computeSingles(a *core.Anonymized, ix *qindex.Index) []Estimate {
+	n := ix.NumTerms()
+	p := &singlesPass{
+		ix:        ix,
+		singles:   make([]Estimate, n),
+		lower:     make([]int, n),
+		upper:     make([]int, n),
+		expected:  make([]float64, n),
+		nodeStamp: make([]int32, n),
+		shared:    make([][]sharedEntry, n),
+		leafCnts:  make([][]int32, n),
+		leafTC:    make([]bool, n),
+		leafStamp: make([]int32, n),
+	}
+	for i := range p.nodeStamp {
+		p.nodeStamp[i] = -1
+		p.leafStamp[i] = -1
+	}
+	for ci, node := range a.Clusters {
+		p.touched = p.touched[:0]
+		p.walk(node, int32(ci))
+		// estimateNode's node-level clamps, then fold into the totals.
+		for _, r := range p.touched {
+			o := clampEstimate(Estimate{Lower: p.lower[r], Upper: p.upper[r], Expected: p.expected[r]})
+			p.singles[r].Lower += o.Lower
+			p.singles[r].Upper += o.Upper
+			p.singles[r].Expected += o.Expected
+		}
+	}
+	for r := range p.singles {
+		p.singles[r] = clampEstimate(p.singles[r])
+	}
+	return p.singles
+}
+
+// touch readies the node-scoped accumulators of a rank for the cluster.
+func (p *singlesPass) touch(r int32, ci int32) {
+	if p.nodeStamp[r] != ci {
+		p.nodeStamp[r] = ci
+		p.lower[r], p.upper[r], p.expected[r] = 0, 0, 0
+		p.touched = append(p.touched, r)
+	}
+}
+
+// walk processes one node of the cluster forest: joints push their shared
+// chunks onto the per-term stacks for the descent and add their certain
+// subrecord occurrences to Lower; leaves replay evalLeaf per term.
+func (p *singlesPass) walk(n *core.ClusterNode, ci int32) {
+	if n.IsLeaf() {
+		p.leaf(n.Simple, ci)
+		return
+	}
+	span := n.Size()
+	activeMark := len(p.activeShared)
+	for i := range n.SharedChunks {
+		c := &n.SharedChunks[i]
+		for _, t := range c.Domain {
+			r := p.ix.MustRank(t)
+			if len(p.shared[r]) == 0 {
+				p.activeShared = append(p.activeShared, r)
+			}
+			p.shared[r] = append(p.shared[r], sharedEntry{span: span})
+		}
+		for _, sr := range c.Subrecords {
+			for _, t := range sr {
+				r := p.ix.MustRank(t)
+				// The subrecord term is in the domain, so the entry just
+				// pushed for this chunk is the top of the rank's stack.
+				p.shared[r][len(p.shared[r])-1].count++
+				// Certain occurrence: a shared subrecord containing the
+				// term lands on some record in every reconstruction.
+				p.touch(r, ci)
+				p.lower[r]++
+			}
+		}
+	}
+	for _, child := range n.Children {
+		p.walk(child, ci)
+	}
+	// Pop this frame's stack entries; every rank activated at or below this
+	// frame is empty again, so the active list truncates to its entry mark.
+	for i := range n.SharedChunks {
+		for _, t := range n.SharedChunks[i].Domain {
+			r := p.ix.MustRank(t)
+			p.shared[r] = p.shared[r][:len(p.shared[r])-1]
+		}
+	}
+	p.activeShared = p.activeShared[:activeMark]
+}
+
+// leaf replays evalLeaf for every term visible at this leaf: the terms of
+// its own record chunks and term chunk, plus the terms available from
+// ancestor shared chunks.
+func (p *singlesPass) leaf(leaf *core.Cluster, ci int32) {
+	z := leaf.Size
+	if z == 0 {
+		return
+	}
+	p.leafEpoch++
+	p.leafTouched = p.leafTouched[:0]
+	touchLeaf := func(r int32) {
+		if p.leafStamp[r] != p.leafEpoch {
+			p.leafStamp[r] = p.leafEpoch
+			p.leafCnts[r] = p.leafCnts[r][:0]
+			p.leafTC[r] = false
+			p.leafTouched = append(p.leafTouched, r)
+		}
+	}
+	for i := range leaf.RecordChunks {
+		c := &leaf.RecordChunks[i]
+		for _, t := range c.Domain {
+			r := p.ix.MustRank(t)
+			touchLeaf(r)
+			p.leafCnts[r] = append(p.leafCnts[r], 0)
+		}
+		for _, sr := range c.Subrecords {
+			for _, t := range sr {
+				r := p.ix.MustRank(t)
+				p.leafCnts[r][len(p.leafCnts[r])-1]++
+			}
+		}
+	}
+	for _, t := range leaf.TermChunk {
+		r := p.ix.MustRank(t)
+		touchLeaf(r)
+		p.leafTC[r] = true
+	}
+
+	fz := float64(z)
+	// Terms hosted by the leaf's own chunks: evalLeaf's record-chunk and
+	// term-chunk sections (ancestor chunks are never consulted once the
+	// term is covered).
+	for _, r := range p.leafTouched {
+		expected := fz
+		upper := -1
+		inOneChunk := -1
+		for _, cnt := range p.leafCnts[r] {
+			c := int(cnt)
+			inOneChunk = c
+			expected *= float64(c) / fz
+			if upper == -1 || c < upper {
+				upper = c
+			}
+		}
+		if p.leafTC[r] {
+			expected /= fz
+			if upper == -1 || z < upper {
+				upper = z
+			}
+		}
+		if upper > z {
+			upper = z
+		}
+		p.touch(r, ci)
+		switch {
+		case inOneChunk >= 0 && !p.leafTC[r]:
+			p.lower[r] += inOneChunk
+		case p.leafTC[r]:
+			p.lower[r]++
+		}
+		if upper > 0 {
+			p.upper[r] += upper
+		}
+		p.expected[r] += expected
+	}
+
+	// Terms available only from ancestor shared chunks: evalLeaf's shared
+	// section, with capacity summed and probabilities accumulated in
+	// root-to-leaf descent order.
+	for _, r := range p.activeShared {
+		if p.leafStamp[r] == p.leafEpoch {
+			continue // covered by the leaf's own chunks above
+		}
+		capacity := 0
+		probSum := 0.0
+		for _, en := range p.shared[r] {
+			capacity += en.count
+			probSum += float64(en.count) / float64(en.span)
+		}
+		if probSum > 1 {
+			probSum = 1
+		}
+		upper := capacity
+		if upper > z {
+			upper = z
+		}
+		p.touch(r, ci)
+		if upper > 0 {
+			p.upper[r] += upper
+		}
+		p.expected[r] += fz * probSum
+	}
+}

@@ -1,0 +1,186 @@
+package query
+
+import (
+	"math/rand/v2"
+	"testing"
+
+	"disasso/internal/core"
+	"disasso/internal/dataset"
+)
+
+// forceIndexed runs fn with the scan-fallback hook off so the indexed path
+// is what's under test even under -tags query_scan.
+func forceIndexed(t *testing.T, fn func()) {
+	t.Helper()
+	old := supportViaScan
+	supportViaScan = false
+	defer func() { supportViaScan = old }()
+	fn()
+}
+
+func randomDataset(rng *rand.Rand, n, domain, maxLen int) *dataset.Dataset {
+	var records []dataset.Record
+	for i := 0; i < n; i++ {
+		terms := make([]dataset.Term, 1+rng.IntN(maxLen))
+		for j := range terms {
+			terms[j] = dataset.Term(rng.IntN(domain))
+		}
+		records = append(records, dataset.NewRecord(terms...))
+	}
+	return dataset.FromRecords(records)
+}
+
+// The oracle property test of the tentpole: across K/M/cluster-size
+// configurations and random datasets, the indexed Estimator must return
+// Estimates identical — including the Expected float, bit for bit — to the
+// retained scan path, for singletons and multi-term itemsets alike,
+// including terms absent from the publication.
+func TestEstimatorMatchesScanExactly(t *testing.T) {
+	configs := []struct {
+		k, m, maxCluster int
+	}{
+		{3, 2, 0},
+		{5, 2, 0},
+		{3, 3, 0},
+		{4, 2, 12},
+		{2, 1, 8},
+	}
+	for _, cfg := range configs {
+		for _, seed := range []uint64{1, 2, 3} {
+			rng := rand.New(rand.NewPCG(seed, uint64(cfg.k*100+cfg.m)))
+			d := randomDataset(rng, 500, 40, 5)
+			a, err := core.Anonymize(d, core.Options{
+				K: cfg.k, M: cfg.m, MaxClusterSize: cfg.maxCluster, Seed: seed,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			est := NewEstimator(a)
+			forceIndexed(t, func() {
+				check := func(s dataset.Record) {
+					t.Helper()
+					got := est.Support(s)
+					want := Support(a, s)
+					if got != want {
+						t.Fatalf("config %+v seed %d itemset %v: indexed %+v != scan %+v",
+							cfg, seed, s, got, want)
+					}
+				}
+				check(dataset.Record{})
+				for term := dataset.Term(0); term < 44; term++ { // incl. absent terms
+					check(dataset.NewRecord(term))
+				}
+				for trial := 0; trial < 150; trial++ {
+					size := 2 + rng.IntN(3)
+					terms := make([]dataset.Term, size)
+					for j := range terms {
+						terms[j] = dataset.Term(rng.IntN(44))
+					}
+					check(dataset.NewRecord(terms...))
+				}
+			})
+		}
+	}
+}
+
+// The estimator sandwich invariant: Lower ≤ Expected ≤ Upper holds for every
+// estimate of both paths, on random datasets and itemsets.
+func TestSupportSandwichInvariant(t *testing.T) {
+	for _, seed := range []uint64{10, 11, 12} {
+		rng := rand.New(rand.NewPCG(seed, 77))
+		d := randomDataset(rng, 400, 30, 5)
+		a, err := core.Anonymize(d, core.Options{K: 3, M: 2, Seed: seed})
+		if err != nil {
+			t.Fatal(err)
+		}
+		est := NewEstimator(a)
+		check := func(s dataset.Record, e Estimate, path string) {
+			t.Helper()
+			if e.Lower > e.Upper {
+				t.Errorf("seed %d itemset %v (%s): Lower %d > Upper %d", seed, s, path, e.Lower, e.Upper)
+			}
+			if e.Expected < float64(e.Lower) || e.Expected > float64(e.Upper) {
+				t.Errorf("seed %d itemset %v (%s): Expected %v outside [%d, %d]",
+					seed, s, path, e.Expected, e.Lower, e.Upper)
+			}
+		}
+		forceIndexed(t, func() {
+			for trial := 0; trial < 300; trial++ {
+				size := 1 + rng.IntN(4)
+				terms := make([]dataset.Term, size)
+				for j := range terms {
+					terms[j] = dataset.Term(rng.IntN(33))
+				}
+				s := dataset.NewRecord(terms...)
+				check(s, Support(a, s), "scan")
+				check(s, est.Support(s), "indexed")
+			}
+		})
+	}
+}
+
+// The scan-hook must actually route through the scan path and still agree.
+func TestEstimatorScanHook(t *testing.T) {
+	rng := rand.New(rand.NewPCG(21, 22))
+	d := randomDataset(rng, 300, 25, 4)
+	a, err := core.Anonymize(d, core.Options{K: 3, M: 2, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	est := NewEstimator(a)
+	old := supportViaScan
+	defer func() { supportViaScan = old }()
+	for trial := 0; trial < 50; trial++ {
+		s := dataset.NewRecord(dataset.Term(rng.IntN(25)), dataset.Term(rng.IntN(25)))
+		supportViaScan = true
+		viaScan := est.Support(s)
+		supportViaScan = false
+		viaIndex := est.Support(s)
+		if viaScan != viaIndex {
+			t.Fatalf("itemset %v: scan-hook %+v != indexed %+v", s, viaScan, viaIndex)
+		}
+	}
+}
+
+// Estimator on joint-heavy output: force small clusters so REFINE builds
+// deep joints, and require exact agreement (exercises the shared-chunk
+// stack of the singleton precomputation).
+func TestEstimatorMatchesScanOnJointHeavyForest(t *testing.T) {
+	rng := rand.New(rand.NewPCG(31, 32))
+	var records []dataset.Record
+	// Correlated pairs so REFINE has refining terms to share.
+	for i := 0; i < 800; i++ {
+		base := dataset.Term(rng.IntN(8) * 2)
+		extra := dataset.Term(16 + rng.IntN(12))
+		records = append(records, dataset.NewRecord(base, base+1, extra))
+	}
+	a, err := core.Anonymize(dataset.FromRecords(records), core.Options{K: 2, M: 2, MaxClusterSize: 6, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	joints := 0
+	for _, n := range a.Clusters {
+		n.Walk(func(cn *core.ClusterNode) {
+			if !cn.IsLeaf() {
+				joints++
+			}
+		})
+	}
+	if joints == 0 {
+		t.Skip("workload produced no joint clusters; nothing joint-specific to test")
+	}
+	est := NewEstimator(a)
+	forceIndexed(t, func() {
+		for term := dataset.Term(0); term < 28; term++ {
+			if got, want := est.Support(dataset.NewRecord(term)), Support(a, dataset.NewRecord(term)); got != want {
+				t.Fatalf("term %d: indexed %+v != scan %+v", term, got, want)
+			}
+		}
+		for trial := 0; trial < 200; trial++ {
+			s := dataset.NewRecord(dataset.Term(rng.IntN(28)), dataset.Term(rng.IntN(28)), dataset.Term(rng.IntN(28)))
+			if got, want := est.Support(s), Support(a, s); got != want {
+				t.Fatalf("itemset %v: indexed %+v != scan %+v", s, got, want)
+			}
+		}
+	})
+}

@@ -1,0 +1,289 @@
+package query
+
+import (
+	"slices"
+
+	"disasso/internal/core"
+	"disasso/internal/dataset"
+)
+
+// The indexed per-cluster evaluator. Intersecting posting lists tells the
+// Estimator which clusters to visit; this file makes each visit cheap. The
+// scan path's estimateNode spends its time scanning chunk subrecords — once
+// per record chunk slice, and once per uncovered term per ancestor shared
+// chunk per leaf. The Estimator instead precomputes, per chunk, a posting
+// list of subrecord indices per domain term; a slice count is then a
+// posting-list intersection and a single-term count a length lookup. The
+// integer counts are identical by construction, and every float operation
+// of estimateNode is replayed in the same order, so the results match the
+// scan bit for bit.
+
+// chunkPostings is the per-chunk occurrence index: for each term of the
+// chunk's domain, the ascending subrecord indices containing it.
+type chunkPostings struct {
+	domain dataset.Record // the chunk's domain (shared, not copied)
+	off    []int32        // per domain position; len == len(domain)+1
+	ids    []int32        // flat subrecord-index backing
+}
+
+func buildChunkPostings(c *core.Chunk) chunkPostings {
+	d := c.Domain
+	counts := make([]int32, len(d))
+	for _, sr := range c.Subrecords {
+		for _, t := range sr {
+			if i, ok := slices.BinarySearch(d, t); ok {
+				counts[i]++
+			}
+		}
+	}
+	off := make([]int32, len(d)+1)
+	total := int32(0)
+	for i, n := range counts {
+		off[i] = total
+		total += n
+	}
+	off[len(d)] = total
+	ids := make([]int32, total)
+	next := slices.Clone(off[:len(d)])
+	for si, sr := range c.Subrecords {
+		for _, t := range sr {
+			if i, ok := slices.BinarySearch(d, t); ok {
+				ids[next[i]] = int32(si)
+				next[i]++
+			}
+		}
+	}
+	return chunkPostings{domain: d, off: off, ids: ids}
+}
+
+// listAt returns the posting list of the term at domain position i.
+func (cp *chunkPostings) listAt(i int) []int32 {
+	return cp.ids[cp.off[i]:cp.off[i+1]]
+}
+
+// count returns how many subrecords contain the term, 0 when the term is
+// outside the domain.
+func (cp *chunkPostings) count(t dataset.Term) (int, bool) {
+	i, ok := slices.BinarySearch(cp.domain, t)
+	if !ok {
+		return 0, false
+	}
+	return len(cp.listAt(i)), true
+}
+
+// countAll returns how many subrecords contain every term of the non-empty
+// slice, which must be a subset of the domain. It walks the shortest
+// posting list probing the others — the subrecord-scan loop of the scan
+// path, reduced to the occurrences of the rarest term.
+func (cp *chunkPostings) countAll(slice dataset.Record) int {
+	var buf [4][]int32
+	lists := buf[:0]
+	if len(slice) > len(buf) {
+		lists = make([][]int32, 0, len(slice))
+	}
+	minIdx := 0
+	for _, t := range slice {
+		i, ok := slices.BinarySearch(cp.domain, t)
+		if !ok {
+			return 0
+		}
+		lists = append(lists, cp.listAt(i))
+		if len(lists[len(lists)-1]) < len(lists[minIdx]) {
+			minIdx = len(lists) - 1
+		}
+	}
+	cnt := 0
+outer:
+	for _, id := range lists[minIdx] {
+		for j, l := range lists {
+			if j == minIdx {
+				continue
+			}
+			if _, ok := slices.BinarySearch(l, id); !ok {
+				continue outer
+			}
+		}
+		cnt++
+	}
+	return cnt
+}
+
+// nodeIndex shadows one published cluster node: precomputed spans and chunk
+// postings, parallel to the node's own structure.
+type nodeIndex struct {
+	size     int // == node.Size()
+	chunks   []chunkPostings
+	children []*nodeIndex
+}
+
+func buildNodeIndex(n *core.ClusterNode) *nodeIndex {
+	ni := &nodeIndex{size: n.Size()}
+	if n.IsLeaf() {
+		ni.chunks = make([]chunkPostings, len(n.Simple.RecordChunks))
+		for i := range n.Simple.RecordChunks {
+			ni.chunks[i] = buildChunkPostings(&n.Simple.RecordChunks[i])
+		}
+		return ni
+	}
+	ni.chunks = make([]chunkPostings, len(n.SharedChunks))
+	for i := range n.SharedChunks {
+		ni.chunks[i] = buildChunkPostings(&n.SharedChunks[i])
+	}
+	ni.children = make([]*nodeIndex, len(n.Children))
+	for i, c := range n.Children {
+		ni.children[i] = buildNodeIndex(c)
+	}
+	return ni
+}
+
+// sharedPartIx mirrors sharedPart with the chunk's postings in place of its
+// subrecords. The scan path's materialized slice is not carried: the leaf
+// evaluation only ever asks per-term counts of ancestor chunks.
+type sharedPartIx struct {
+	post *chunkPostings
+	span int
+}
+
+// hasCommonTerm reports whether the small normalized itemset s shares a
+// term with the (typically larger) normalized domain — the allocation-free
+// pre-check before materializing an intersection, since most chunks a query
+// walks do not intersect it at all.
+func hasCommonTerm(s, domain dataset.Record) bool {
+	for _, t := range s {
+		if _, ok := slices.BinarySearch(domain, t); ok {
+			return true
+		}
+	}
+	return false
+}
+
+// estimateNodeIx is estimateNode on the shadow index: same decomposition,
+// same accumulation order, same clamps — with every subrecord scan replaced
+// by a posting lookup.
+func estimateNodeIx(n *core.ClusterNode, ni *nodeIndex, s dataset.Record) Estimate {
+	var est Estimate
+	walkLeavesIx(n, ni, s, nil, &est)
+	sharedLowerIx(ni, s, &est)
+	return clampEstimate(est)
+}
+
+// sharedLowerIx adds the certain occurrences inside shared chunks — the
+// n.Walk block of estimateNode.
+func sharedLowerIx(ni *nodeIndex, s dataset.Record, est *Estimate) {
+	if ni.children == nil {
+		return
+	}
+	for i := range ni.chunks {
+		cp := &ni.chunks[i]
+		if !cp.domain.ContainsAll(s) {
+			continue
+		}
+		est.Lower += cp.countAll(s)
+	}
+	for _, child := range ni.children {
+		sharedLowerIx(child, s, est)
+	}
+}
+
+func walkLeavesIx(n *core.ClusterNode, ni *nodeIndex, s dataset.Record, shared []sharedPartIx, est *Estimate) {
+	if n.IsLeaf() {
+		evalLeafIx(n.Simple, ni, s, shared, est)
+		return
+	}
+	next := shared
+	for i := range ni.chunks {
+		cp := &ni.chunks[i]
+		if !hasCommonTerm(s, cp.domain) {
+			continue
+		}
+		next = append(next, sharedPartIx{post: cp, span: ni.size})
+	}
+	for i, child := range n.Children {
+		walkLeavesIx(child, ni.children[i], s, next, est)
+	}
+}
+
+func evalLeafIx(leaf *core.Cluster, ni *nodeIndex, s dataset.Record, shared []sharedPartIx, est *Estimate) {
+	z := leaf.Size
+	if z == 0 {
+		return
+	}
+	covered := dataset.Record{}
+	upper := -1
+	expected := float64(z)
+
+	inOneChunkCount := -1
+	for i := range ni.chunks {
+		cp := &ni.chunks[i]
+		if !hasCommonTerm(s, cp.domain) {
+			continue
+		}
+		slice := s.Intersect(cp.domain)
+		covered = covered.Union(slice)
+		cnt := cp.countAll(slice)
+		if len(slice) == len(s) {
+			inOneChunkCount = cnt
+		}
+		expected *= float64(cnt) / float64(z)
+		if upper == -1 || cnt < upper {
+			upper = cnt
+		}
+	}
+
+	var tcTerms dataset.Record
+	if hasCommonTerm(s, leaf.TermChunk) {
+		tcTerms = s.Intersect(leaf.TermChunk)
+		covered = covered.Union(tcTerms)
+		for range tcTerms {
+			expected /= float64(z)
+		}
+		if upper == -1 || z < upper {
+			upper = z
+		}
+	}
+
+	// Terms not covered by the leaf's own parts must come from ancestor
+	// shared chunks. covered ⊆ s by construction, so once every missing
+	// term is found the itemset is fully covered — the scan path's trailing
+	// covered.Equal(s) check can never fire and is elided.
+	if !covered.Equal(s) {
+		for _, t := range s.Subtract(covered) {
+			capacity := 0
+			probSum := 0.0
+			found := false
+			for _, p := range shared {
+				cnt, ok := p.post.count(t)
+				if !ok {
+					continue
+				}
+				found = true
+				capacity += cnt
+				probSum += float64(cnt) / float64(p.span)
+			}
+			if !found {
+				return
+			}
+			if probSum > 1 {
+				probSum = 1
+			}
+			expected *= probSum
+			if upper == -1 || capacity < upper {
+				upper = capacity
+			}
+		}
+	}
+	if upper > z {
+		upper = z
+	}
+
+	switch {
+	case inOneChunkCount >= 0 && len(tcTerms) == 0:
+		est.Lower += inOneChunkCount
+	case len(tcTerms) == 1 && len(s) == 1:
+		est.Lower++
+	}
+	if upper > 0 {
+		est.Upper += upper
+	}
+	est.Expected += expected
+}

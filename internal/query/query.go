@@ -28,7 +28,9 @@ type Estimate struct {
 }
 
 // Support estimates the support of the normalized itemset s across the
-// published dataset.
+// published dataset by a linear scan over every cluster node. It is the
+// reference path: Estimator answers the same queries through an inverted
+// index and must return identical estimates.
 func Support(a *core.Anonymized, s dataset.Record) Estimate {
 	var est Estimate
 	if len(s) == 0 {
@@ -42,6 +44,26 @@ func Support(a *core.Anonymized, s dataset.Record) Estimate {
 		est.Lower += o.Lower
 		est.Upper += o.Upper
 		est.Expected += o.Expected
+	}
+	return clampEstimate(est)
+}
+
+// clampEstimate enforces the sandwich invariant Lower ≤ Expected ≤ Upper.
+// Every per-node estimate and every cluster sum passes through it — the
+// single definition keeps the scan path, the indexed path and the singleton
+// precomputation in lockstep. At the sum level it matters because integer
+// sums preserve Lower ≤ Upper exactly while the Expected float accumulates
+// independent rounding per cluster, so a hair of drift past an integer
+// bound is possible and is clamped rather than leaked to callers.
+func clampEstimate(est Estimate) Estimate {
+	if est.Upper < est.Lower {
+		est.Upper = est.Lower
+	}
+	if est.Expected < float64(est.Lower) {
+		est.Expected = float64(est.Lower)
+	}
+	if est.Expected > float64(est.Upper) {
+		est.Expected = float64(est.Upper)
 	}
 	return est
 }
@@ -95,16 +117,7 @@ func estimateNode(n *core.ClusterNode, s dataset.Record) Estimate {
 			}
 		}
 	})
-	if est.Upper < est.Lower {
-		est.Upper = est.Lower
-	}
-	if est.Expected < float64(est.Lower) {
-		est.Expected = float64(est.Lower)
-	}
-	if est.Expected > float64(est.Upper) {
-		est.Expected = float64(est.Upper)
-	}
-	return est
+	return clampEstimate(est)
 }
 
 // walkLeaves descends the node tree accumulating the ancestor shared-chunk

@@ -1,0 +1,9 @@
+//go:build !query_scan
+
+package query
+
+// supportViaScanDefault selects the indexed path: Estimator.Support answers
+// through the inverted index. Build with -tags query_scan to route every
+// Estimator query through the reference scan path instead (used to
+// cross-check that the two paths are interchangeable).
+const supportViaScanDefault = false

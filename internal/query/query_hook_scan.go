@@ -1,0 +1,8 @@
+//go:build query_scan
+
+package query
+
+// supportViaScanDefault under the query_scan build tag forces the reference
+// path: every Estimator query runs the linear cluster scan, with the index
+// unused. Results must be identical to the indexed path.
+const supportViaScanDefault = true

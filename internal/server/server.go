@@ -1,0 +1,608 @@
+// Package server is the long-running query-serving surface over published
+// disassociated datasets — the deployment Section 6 of the paper implies and
+// the ROADMAP's "serves heavy traffic" north star asks for: a publisher
+// loads and anonymizes datasets once, then any number of analysts query
+// itemset supports, sample reconstructions and read utility metrics over
+// HTTP.
+//
+// Concurrency model: the registry maps names to immutable snapshots. A
+// publish builds the whole snapshot — published forest, inverted index,
+// estimator, summary — before the registry pointer is swapped under a short
+// write lock; reads grab the pointer under a read lock and then serve
+// entirely from immutable state, so queries never contend with each other
+// and a re-publish never disturbs in-flight readers of the old snapshot.
+package server
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"regexp"
+	"slices"
+	"strconv"
+	"strings"
+	"sync"
+
+	"disasso/internal/core"
+	"disasso/internal/dataset"
+	"disasso/internal/metrics"
+	"disasso/internal/query"
+	"disasso/internal/reconstruct"
+	"disasso/internal/shard"
+
+	"math/rand/v2"
+)
+
+// Options configures a Server.
+type Options struct {
+	// MaxBodyBytes bounds upload and request bodies; 0 means 64 MiB.
+	MaxBodyBytes int64
+	// MaxReconstructions caps the samples of one reconstruction request;
+	// 0 means 16.
+	MaxReconstructions int
+	// TempDir hosts spill files of streamed publishes; "" means the system
+	// temp directory.
+	TempDir string
+}
+
+// Server is the HTTP query service. Create one with New; it implements
+// http.Handler and is safe for concurrent use.
+type Server struct {
+	opts Options
+	mux  *http.ServeMux
+
+	mu        sync.RWMutex
+	snapshots map[string]*snapshot
+}
+
+// snapshot is one published dataset with everything needed to serve reads.
+// It is immutable after construction.
+type snapshot struct {
+	info     DatasetInfo
+	anon     *core.Anonymized
+	est      *query.Estimator
+	summary  core.Summary
+	original *dataset.Dataset // nil for streamed publishes
+}
+
+// DatasetInfo describes one registered dataset.
+type DatasetInfo struct {
+	Name     string `json:"name"`
+	K        int    `json:"k"`
+	M        int    `json:"m"`
+	Records  int    `json:"records"`
+	Terms    int    `json:"terms"`
+	Clusters int    `json:"clusters"` // top-level cluster nodes
+	Streamed bool   `json:"streamed"` // published via the streaming engine
+	// ShardRecords is the effective shard cut the publication was produced
+	// with — the explicit shardrecords parameter, or the cut a streamed
+	// publish derived from its budget. 0 means one global shard. Together
+	// with the other parameters it is what a client needs to reproduce the
+	// publication byte for byte.
+	ShardRecords int `json:"shard_records,omitempty"`
+}
+
+// ListResponse is the body of GET /v1/datasets.
+type ListResponse struct {
+	Datasets []DatasetInfo `json:"datasets"`
+}
+
+// StatsResponse is the body of GET /v1/datasets/{name}/stats.
+type StatsResponse struct {
+	DatasetInfo
+	Summary core.Summary `json:"summary"`
+}
+
+// SupportRequest is the body of POST /v1/datasets/{name}/support: the
+// itemsets to estimate, each a set of term ids.
+type SupportRequest struct {
+	Itemsets [][]dataset.Term `json:"itemsets"`
+}
+
+// ItemsetEstimate is one itemset's three support estimators (Section 6):
+// the certain lower bound, the reconstruction upper bound, and the expected
+// support under the probabilistic chunk model.
+type ItemsetEstimate struct {
+	Itemset  []dataset.Term `json:"itemset"`
+	Lower    int            `json:"lower"`
+	Upper    int            `json:"upper"`
+	Expected float64        `json:"expected"`
+}
+
+// SupportResponse is the body answering a support request, estimates in
+// request order.
+type SupportResponse struct {
+	Estimates []ItemsetEstimate `json:"estimates"`
+}
+
+// ReconstructRequest is the body of POST /v1/datasets/{name}/reconstruct.
+type ReconstructRequest struct {
+	Samples int    `json:"samples"` // default 1
+	Seed    uint64 `json:"seed"`    // default 1
+}
+
+// ReconstructResponse carries the sampled reconstructions: datasets of
+// records of term ids.
+type ReconstructResponse struct {
+	Datasets [][][]dataset.Term `json:"datasets"`
+}
+
+// MetricsResponse is the body of GET /v1/datasets/{name}/metrics: the
+// utility metrics computable against the retained original (Section 6
+// conventions; the ranges echo the effective parameters).
+type MetricsResponse struct {
+	K               int     `json:"k"`
+	TopK            int     `json:"top_k"`
+	MaxItemsetSize  int     `json:"max_itemset_size"`
+	RangeLo         int     `json:"range_lo"`
+	RangeHi         int     `json:"range_hi"`
+	TermsLost       float64 `json:"terms_lost"`
+	TopKDeviationLB float64 `json:"tkd_lower_bound"`
+	RelativeErrorLB float64 `json:"re_lower_bound"`
+}
+
+// ErrorResponse is the body of every non-2xx answer.
+type ErrorResponse struct {
+	Error string `json:"error"`
+}
+
+const (
+	defaultMaxBody  = 64 << 20
+	defaultMaxRecon = 16
+	maxItemsets     = 10_000
+
+	// Metrics-endpoint work caps (handleMetrics).
+	maxMetricsTopK        = 10_000
+	maxMetricsItemsetSize = 4
+	maxMetricsRangeWidth  = 1_000
+)
+
+var nameRe = regexp.MustCompile(`^[A-Za-z0-9._-]{1,64}$`)
+
+// New returns a Server with the given options.
+func New(opts Options) *Server {
+	if opts.MaxBodyBytes <= 0 {
+		opts.MaxBodyBytes = defaultMaxBody
+	}
+	if opts.MaxReconstructions <= 0 {
+		opts.MaxReconstructions = defaultMaxRecon
+	}
+	s := &Server{opts: opts, snapshots: make(map[string]*snapshot)}
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", s.handleHealth)
+	mux.HandleFunc("GET /v1/datasets", s.handleList)
+	mux.HandleFunc("POST /v1/datasets/{name}", s.handlePublish)
+	mux.HandleFunc("DELETE /v1/datasets/{name}", s.handleDelete)
+	mux.HandleFunc("GET /v1/datasets/{name}/stats", s.handleStats)
+	mux.HandleFunc("POST /v1/datasets/{name}/support", s.handleSupport)
+	mux.HandleFunc("GET /v1/datasets/{name}/support", s.handleSupportGet)
+	mux.HandleFunc("POST /v1/datasets/{name}/reconstruct", s.handleReconstruct)
+	mux.HandleFunc("GET /v1/datasets/{name}/metrics", s.handleMetrics)
+	s.mux = mux
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.mux.ServeHTTP(w, r)
+}
+
+// lookup fetches a snapshot pointer; the read lock is held only for the map
+// access, never while serving.
+func (s *Server) lookup(name string) (*snapshot, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	sn, ok := s.snapshots[name]
+	return sn, ok
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v) // the status line is out; a broken client connection is its own problem
+}
+
+func writeError(w http.ResponseWriter, status int, format string, args ...any) {
+	writeJSON(w, status, ErrorResponse{Error: fmt.Sprintf(format, args...)})
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
+	s.mu.RLock()
+	list := make([]DatasetInfo, 0, len(s.snapshots))
+	for _, sn := range s.snapshots {
+		list = append(list, sn.info)
+	}
+	s.mu.RUnlock()
+	slices.SortFunc(list, func(a, b DatasetInfo) int { return strings.Compare(a.Name, b.Name) })
+	writeJSON(w, http.StatusOK, ListResponse{Datasets: list})
+}
+
+// queryInt parses an integer query parameter with a default.
+func queryInt(r *http.Request, key string, def int) (int, error) {
+	v := r.URL.Query().Get(key)
+	if v == "" {
+		return def, nil
+	}
+	n, err := strconv.Atoi(v)
+	if err != nil {
+		return 0, fmt.Errorf("bad %s=%q", key, v)
+	}
+	return n, nil
+}
+
+// queryUint64 parses an unsigned parameter with a default — the full PRNG
+// seed range the CLI's flag.Uint64 accepts, with negatives rejected rather
+// than wrapped.
+func queryUint64(r *http.Request, key string, def uint64) (uint64, error) {
+	v := r.URL.Query().Get(key)
+	if v == "" {
+		return def, nil
+	}
+	n, err := strconv.ParseUint(v, 10, 64)
+	if err != nil {
+		return 0, fmt.Errorf("bad %s=%q", key, v)
+	}
+	return n, nil
+}
+
+// handlePublish loads the uploaded dataset (text format, one record of
+// whitespace-separated integer term ids per line), anonymizes it with the
+// parameters given as query values (k, m, maxcluster, seed, shardrecords,
+// norefine; stream=1 selects the bounded-memory streaming engine with
+// membudget), and registers the published snapshot. Re-publishing an
+// existing name needs replace=1.
+func (s *Server) handlePublish(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	if !nameRe.MatchString(name) {
+		writeError(w, http.StatusBadRequest, "bad dataset name %q", name)
+		return
+	}
+	q := r.URL.Query()
+	k, err1 := queryInt(r, "k", 5)
+	m, err2 := queryInt(r, "m", 2)
+	maxCluster, err3 := queryInt(r, "maxcluster", 0)
+	shardRecords, err4 := queryInt(r, "shardrecords", 0)
+	seed, err5 := queryUint64(r, "seed", 1)
+	if err := errors.Join(err1, err2, err3, err4, err5); err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	opts := core.Options{
+		K: k, M: m, MaxClusterSize: maxCluster, MaxShardRecords: shardRecords,
+		Seed: seed, DisableRefine: q.Get("norefine") == "1",
+	}
+
+	replace := q.Get("replace") == "1"
+	if !replace {
+		// Fast pre-check so a conflicting upload fails before the expensive
+		// anonymization; the insert below re-checks under the write lock.
+		if _, exists := s.lookup(name); exists {
+			writeError(w, http.StatusConflict, "dataset %q already exists (republish with replace=1)", name)
+			return
+		}
+	}
+
+	body := http.MaxBytesReader(w, r.Body, s.opts.MaxBodyBytes)
+	var (
+		sn  *snapshot
+		err error
+	)
+	if q.Get("stream") == "1" {
+		var budget int64
+		budget, err = dataset.ParseByteSize(q.Get("membudget"))
+		if err != nil {
+			writeError(w, http.StatusBadRequest, "%v", err)
+			return
+		}
+		sn, err = s.publishStreamed(name, body, opts, budget)
+	} else {
+		sn, err = s.publishInMemory(name, body, opts)
+	}
+	if err != nil {
+		publishError(w, err)
+		return
+	}
+
+	s.mu.Lock()
+	_, exists := s.snapshots[name]
+	if exists && !replace {
+		s.mu.Unlock()
+		writeError(w, http.StatusConflict, "dataset %q already exists (republish with replace=1)", name)
+		return
+	}
+	s.snapshots[name] = sn
+	s.mu.Unlock()
+	writeJSON(w, http.StatusCreated, sn.info)
+}
+
+// internalError marks a failure of the server's own machinery (spill files,
+// re-reading its own output) as opposed to a bad request.
+type internalError struct{ err error }
+
+func (e internalError) Error() string { return e.err.Error() }
+func (e internalError) Unwrap() error { return e.err }
+
+// publishError maps a failed publish to a status: oversized bodies are 413,
+// server-side machinery failures are 500, everything else (parse errors,
+// k/m validation) is a 400.
+func publishError(w http.ResponseWriter, err error) {
+	var tooLarge *http.MaxBytesError
+	if errors.As(err, &tooLarge) {
+		writeError(w, http.StatusRequestEntityTooLarge, "%v", err)
+		return
+	}
+	var internal internalError
+	if errors.As(err, &internal) {
+		writeError(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
+	writeError(w, http.StatusBadRequest, "%v", err)
+}
+
+// publishInMemory runs the standard pipeline, retaining the original for the
+// metrics endpoint.
+func (s *Server) publishInMemory(name string, body io.Reader, opts core.Options) (*snapshot, error) {
+	d, err := dataset.ReadIDs(body)
+	if err != nil {
+		return nil, err
+	}
+	a, err := core.Anonymize(d, opts)
+	if err != nil {
+		return nil, err
+	}
+	sn := newSnapshot(name, a, d, false)
+	sn.info.ShardRecords = opts.MaxShardRecords
+	return sn, nil
+}
+
+// publishStreamed runs the sharded streaming engine: the upload is
+// anonymized in bounded memory (spilling to TempDir) and the publication
+// re-read from its compact binary form. The original records are not
+// retained — that is the point of streaming — so the snapshot serves
+// support, reconstruction and stats but not original-vs-published metrics.
+func (s *Server) publishStreamed(name string, body io.Reader, opts core.Options, budget int64) (*snapshot, error) {
+	// The engine's serialized output goes through a spill file, not an
+	// in-memory buffer: buffering it would reintroduce exactly the
+	// unbounded working set stream publishing exists to avoid.
+	spill, err := os.CreateTemp(s.opts.TempDir, "disassod-publish-*.bin")
+	if err != nil {
+		return nil, internalError{err}
+	}
+	defer func() {
+		spill.Close()
+		os.Remove(spill.Name())
+	}()
+	bw := bufio.NewWriter(spill)
+	st, err := shard.Anonymize(body, bw, shard.Options{
+		Core:         opts,
+		MemoryBudget: budget,
+		TempDir:      s.opts.TempDir,
+	})
+	if err != nil {
+		return nil, err
+	}
+	if err := bw.Flush(); err != nil {
+		return nil, internalError{err}
+	}
+	if _, err := spill.Seek(0, io.SeekStart); err != nil {
+		return nil, internalError{err}
+	}
+	a, err := core.ReadBinary(bufio.NewReader(spill))
+	if err != nil {
+		return nil, internalError{fmt.Errorf("re-reading streamed publication: %w", err)}
+	}
+	sn := newSnapshot(name, a, nil, true)
+	sn.info.ShardRecords = st.ShardRecords
+	return sn, nil
+}
+
+// newSnapshot builds the immutable serving state: summary, inverted index
+// and estimator.
+func newSnapshot(name string, a *core.Anonymized, original *dataset.Dataset, streamed bool) *snapshot {
+	est := query.NewEstimator(a)
+	sum := a.Stats()
+	return &snapshot{
+		info: DatasetInfo{
+			Name: name, K: a.K, M: a.M,
+			Records:  sum.Records,
+			Terms:    sum.DistinctTerms,
+			Clusters: len(a.Clusters),
+			Streamed: streamed,
+		},
+		anon:     a,
+		est:      est,
+		summary:  sum,
+		original: original,
+	}
+}
+
+func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	s.mu.Lock()
+	_, ok := s.snapshots[name]
+	delete(s.snapshots, name)
+	s.mu.Unlock()
+	if !ok {
+		writeError(w, http.StatusNotFound, "no dataset %q", name)
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
+}
+
+// snapshotOr404 resolves the {name} path value, answering 404 itself when
+// the dataset is unknown.
+func (s *Server) snapshotOr404(w http.ResponseWriter, r *http.Request) *snapshot {
+	name := r.PathValue("name")
+	sn, ok := s.lookup(name)
+	if !ok {
+		writeError(w, http.StatusNotFound, "no dataset %q", name)
+		return nil
+	}
+	return sn
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	sn := s.snapshotOr404(w, r)
+	if sn == nil {
+		return
+	}
+	writeJSON(w, http.StatusOK, StatsResponse{DatasetInfo: sn.info, Summary: sn.summary})
+}
+
+func (s *Server) handleSupport(w http.ResponseWriter, r *http.Request) {
+	sn := s.snapshotOr404(w, r)
+	if sn == nil {
+		return
+	}
+	var req SupportRequest
+	body := http.MaxBytesReader(w, r.Body, s.opts.MaxBodyBytes)
+	if err := json.NewDecoder(body).Decode(&req); err != nil {
+		publishError(w, err)
+		return
+	}
+	if len(req.Itemsets) > maxItemsets {
+		writeError(w, http.StatusBadRequest, "%d itemsets exceed the per-request cap of %d", len(req.Itemsets), maxItemsets)
+		return
+	}
+	resp := SupportResponse{Estimates: make([]ItemsetEstimate, len(req.Itemsets))}
+	for i, terms := range req.Itemsets {
+		resp.Estimates[i] = estimateOne(sn, dataset.NewRecord(terms...))
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// handleSupportGet answers a single itemset given as a comma-separated term
+// list: GET .../support?itemset=3,17,42.
+func (s *Server) handleSupportGet(w http.ResponseWriter, r *http.Request) {
+	sn := s.snapshotOr404(w, r)
+	if sn == nil {
+		return
+	}
+	raw := r.URL.Query().Get("itemset")
+	if raw == "" {
+		// A missing/mistyped parameter must not silently degrade into the
+		// empty itemset (whose "estimate" is the total record count); the
+		// batch POST endpoint serves empty itemsets for callers who mean it.
+		writeError(w, http.StatusBadRequest, "missing itemset parameter (e.g. ?itemset=3,17)")
+		return
+	}
+	var terms []dataset.Term
+	for _, f := range strings.Split(raw, ",") {
+		n, err := strconv.ParseInt(strings.TrimSpace(f), 10, 32)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, "bad itemset term %q", f)
+			return
+		}
+		terms = append(terms, dataset.Term(n))
+	}
+	writeJSON(w, http.StatusOK, estimateOne(sn, dataset.NewRecord(terms...)))
+}
+
+// estimateOne runs one itemset through the snapshot's indexed estimator.
+func estimateOne(sn *snapshot, itemset dataset.Record) ItemsetEstimate {
+	est := sn.est.Support(itemset)
+	return ItemsetEstimate{
+		Itemset:  itemset,
+		Lower:    est.Lower,
+		Upper:    est.Upper,
+		Expected: est.Expected,
+	}
+}
+
+func (s *Server) handleReconstruct(w http.ResponseWriter, r *http.Request) {
+	sn := s.snapshotOr404(w, r)
+	if sn == nil {
+		return
+	}
+	req := ReconstructRequest{Samples: 1, Seed: 1}
+	body := http.MaxBytesReader(w, r.Body, s.opts.MaxBodyBytes)
+	raw, err := io.ReadAll(body)
+	if err != nil {
+		publishError(w, err)
+		return
+	}
+	if len(bytes.TrimSpace(raw)) > 0 {
+		if err := json.Unmarshal(raw, &req); err != nil {
+			writeError(w, http.StatusBadRequest, "%v", err)
+			return
+		}
+	}
+	if req.Samples < 1 || req.Samples > s.opts.MaxReconstructions {
+		writeError(w, http.StatusBadRequest, "samples must be in [1, %d]", s.opts.MaxReconstructions)
+		return
+	}
+	rng := rand.New(rand.NewPCG(req.Seed, 0x5EED))
+	resp := ReconstructResponse{Datasets: make([][][]dataset.Term, req.Samples)}
+	for i, d := range reconstruct.SampleMany(sn.anon, req.Samples, rng) {
+		recs := make([][]dataset.Term, len(d.Records))
+		for j, rec := range d.Records {
+			recs[j] = rec
+		}
+		resp.Datasets[i] = recs
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// handleMetrics computes the utility metrics of the publication against the
+// retained original: tlost, tKd-a and re-a under the Section 7.1
+// conventions, parameterized by k, topk, size, lo, hi query values.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	sn := s.snapshotOr404(w, r)
+	if sn == nil {
+		return
+	}
+	if sn.original == nil {
+		writeError(w, http.StatusConflict,
+			"dataset %q was published via the streaming engine; the original records were not retained, so original-vs-published metrics are unavailable", sn.info.Name)
+		return
+	}
+	k, err1 := queryInt(r, "k", sn.info.K)
+	topK, err2 := queryInt(r, "topk", 200)
+	maxSize, err3 := queryInt(r, "size", 2)
+	lo, err4 := queryInt(r, "lo", 200)
+	hi, err5 := queryInt(r, "hi", 220)
+	if err := errors.Join(err1, err2, err3, err4, err5); err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	// Bound per-request mining work like every other endpoint bounds its
+	// own: Apriori candidate generation is combinatorial in the itemset
+	// size and the top-K threshold drops toward support 1 as K grows.
+	switch {
+	case k < 1:
+		writeError(w, http.StatusBadRequest, "k must be ≥ 1")
+		return
+	case topK < 1 || topK > maxMetricsTopK:
+		writeError(w, http.StatusBadRequest, "topk must be in [1, %d]", maxMetricsTopK)
+		return
+	case maxSize < 1 || maxSize > maxMetricsItemsetSize:
+		writeError(w, http.StatusBadRequest, "size must be in [1, %d]", maxMetricsItemsetSize)
+		return
+	case lo < 0 || hi < lo:
+		// Ordered non-negative bounds first, so the width subtraction below
+		// cannot wrap around and slip past the cap.
+		writeError(w, http.StatusBadRequest, "term range [%d, %d) must satisfy 0 ≤ lo ≤ hi", lo, hi)
+		return
+	case hi-lo > maxMetricsRangeWidth:
+		writeError(w, http.StatusBadRequest, "term range wider than %d", maxMetricsRangeWidth)
+		return
+	}
+	terms := metrics.RangeTerms(sn.original, lo, hi)
+	writeJSON(w, http.StatusOK, MetricsResponse{
+		K: k, TopK: topK, MaxItemsetSize: maxSize, RangeLo: lo, RangeHi: hi,
+		TermsLost:       metrics.TermsLost(sn.original, sn.anon, k),
+		TopKDeviationLB: metrics.TopKDeviationLowerBound(sn.original.Records, sn.anon, topK, maxSize),
+		RelativeErrorLB: metrics.RelativeErrorLowerBound(sn.original.Records, sn.anon, terms),
+	})
+}

@@ -47,11 +47,12 @@ func main() {
 		maxBody  = flag.String("max-body", "", "request body cap, bytes with optional K/M/G suffix (default 64M)")
 		maxRecon = flag.Int("max-reconstructions", 0, "per-request reconstruction sample cap (default 16)")
 		tmpDir   = flag.String("tmpdir", "", "directory for streaming spill files (default system temp)")
+		supCache = flag.Int("support-cache", 0, "per-snapshot support cache entries (default 8192, negative disables)")
 	)
 	flag.Parse()
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
-	if err := run(ctx, *addr, *maxBody, *maxRecon, *tmpDir, os.Stderr); err != nil {
+	if err := run(ctx, *addr, *maxBody, *maxRecon, *supCache, *tmpDir, os.Stderr); err != nil {
 		fmt.Fprintln(os.Stderr, "disassod:", err)
 		os.Exit(1)
 	}
@@ -59,15 +60,16 @@ func main() {
 
 // run starts the HTTP service and blocks until the context is canceled or
 // the listener fails; progress goes to logw.
-func run(ctx context.Context, addr, maxBody string, maxRecon int, tmpDir string, logw io.Writer) error {
+func run(ctx context.Context, addr, maxBody string, maxRecon, supCache int, tmpDir string, logw io.Writer) error {
 	bodyCap, err := dataset.ParseByteSize(maxBody)
 	if err != nil {
 		return err
 	}
 	handler := disasso.NewServer(disasso.ServerOptions{
-		MaxBodyBytes:       bodyCap,
-		MaxReconstructions: maxRecon,
-		TempDir:            tmpDir,
+		MaxBodyBytes:        bodyCap,
+		MaxReconstructions:  maxRecon,
+		TempDir:             tmpDir,
+		SupportCacheEntries: supCache,
 	})
 
 	ln, err := net.Listen("tcp", addr)

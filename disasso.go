@@ -35,6 +35,7 @@ import (
 	"disasso/internal/attack"
 	"disasso/internal/core"
 	"disasso/internal/dataset"
+	"disasso/internal/load"
 	"disasso/internal/metrics"
 	"disasso/internal/query"
 	"disasso/internal/quest"
@@ -239,10 +240,64 @@ type (
 
 // NewServer returns the HTTP query service handler serving the disassod
 // API: dataset publishing (in-memory or streaming), itemset support
-// estimates over the inverted index, reconstruction sampling, utility
-// metrics and stats. The handler is safe for concurrent use.
+// estimates over the inverted index (memoized by a bounded per-snapshot
+// support cache, ServerOptions.SupportCacheEntries), reconstruction
+// sampling, utility metrics and stats. The handler is safe for concurrent
+// use.
 func NewServer(opts ServerOptions) http.Handler {
 	return server.New(opts)
+}
+
+// Workload modeling (cmd/loadbench): seeded deterministic query streams
+// drawn from a published snapshot's own term domain — Zipf-skewed singleton
+// supports, correlated itemsets from co-occurring cluster terms,
+// reconstruction calls and publish/delete churn — described by a small text
+// mix spec. The same machinery drives load benchmarks and the
+// correctness-under-concurrency soak tests.
+type (
+	// WorkloadSpec is a parsed workload mix (see ParseWorkloadSpec).
+	WorkloadSpec = load.Spec
+	// WorkloadEntry is one weighted mix entry.
+	WorkloadEntry = load.Entry
+	// WorkloadModel compiles a spec against one publication; immutable and
+	// safe for concurrent use.
+	WorkloadModel = load.Model
+	// WorkloadStream is one client's deterministic op stream.
+	WorkloadStream = load.Stream
+	// WorkloadOp is one generated operation.
+	WorkloadOp = load.Op
+	// WorkloadOpKind discriminates WorkloadOp operations.
+	WorkloadOpKind = load.OpKind
+	// LatencyHistogram is the bounded-memory log-linear latency histogram
+	// loadbench reports quantiles from (deterministic: the same samples
+	// always yield the same p50/p95/p99).
+	LatencyHistogram = load.Histogram
+)
+
+// Workload op kinds a WorkloadStream emits.
+const (
+	WorkloadSupport     = load.OpSupport
+	WorkloadReconstruct = load.OpReconstruct
+	WorkloadPublish     = load.OpPublish
+	WorkloadDelete      = load.OpDelete
+)
+
+// ParseWorkloadSpec parses the workload mix text format: one entry per
+// line or ';'-separated, `kind key=value ...` with '#' comments, kinds
+// singleton/itemset/reconstruct/publish/delete. See load.ParseSpec for the
+// per-kind parameters.
+func ParseWorkloadSpec(text string) (*WorkloadSpec, error) {
+	return load.ParseSpec(text)
+}
+
+// DefaultWorkloadSpec returns the built-in mixed read-heavy workload.
+func DefaultWorkloadSpec() *WorkloadSpec { return load.DefaultSpec() }
+
+// NewWorkloadModel compiles a workload spec against a publication. Streams
+// handed out by the model are pure functions of (publication, spec, seed,
+// client id) — same inputs, same ops.
+func NewWorkloadModel(a *Anonymized, spec *WorkloadSpec, seed uint64) (*WorkloadModel, error) {
+	return load.NewModel(a, spec, seed)
 }
 
 // Candidates returns how many records an adversary holding the given

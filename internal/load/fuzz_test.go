@@ -1,0 +1,57 @@
+package load
+
+import (
+	"testing"
+)
+
+// FuzzParseWorkloadSpec feeds arbitrary text to the mix-spec parser: no
+// panics, entry counts and parameters stay inside the documented caps, and
+// any accepted spec must round-trip through its canonical String() form
+// unchanged (the same pattern as the dataset/core decoder fuzz targets).
+func FuzzParseWorkloadSpec(f *testing.F) {
+	f.Add("singleton weight=60 zipf=1.1\nitemset weight=25 min=2 max=3\n")
+	f.Add("reconstruct samples=2; publish; delete weight=3")
+	f.Add("# comment\nsingleton # tail\n")
+	f.Add("singleton weight=1 # head terms; tuned later")
+	f.Add("singleton zipf=0.0e0 weight=1000000")
+	f.Add("itemset min=16 max=16")
+	f.Add("scan weight=1")
+	f.Add("singleton weight=-3")
+	f.Add("singleton zipf=Inf")
+	f.Add(";;;;")
+	f.Add("")
+	f.Fuzz(func(t *testing.T, text string) {
+		s, err := ParseSpec(text)
+		if err != nil {
+			return // rejected input: fine, as long as nothing panicked
+		}
+		if len(s.Entries) == 0 || len(s.Entries) > maxSpecEntries {
+			t.Fatalf("accepted spec has %d entries", len(s.Entries))
+		}
+		for i, e := range s.Entries {
+			if e.Weight < 1 || e.Weight > maxSpecWeight {
+				t.Fatalf("entry %d weight %d out of range", i, e.Weight)
+			}
+			if e.Zipf < 0 || e.Zipf > maxSpecZipf {
+				t.Fatalf("entry %d zipf %v out of range", i, e.Zipf)
+			}
+			if e.MinSize < 1 || e.MaxSize > maxItemsetSize || e.MinSize > e.MaxSize {
+				t.Fatalf("entry %d sizes [%d, %d] out of range", i, e.MinSize, e.MaxSize)
+			}
+			if e.Samples < 1 || e.Samples > maxSamples {
+				t.Fatalf("entry %d samples %d out of range", i, e.Samples)
+			}
+			if e.Universe < 1 || e.Universe > maxUniverseSize {
+				t.Fatalf("entry %d universe %d out of range", i, e.Universe)
+			}
+		}
+		canon := s.String()
+		again, err := ParseSpec(canon)
+		if err != nil {
+			t.Fatalf("canonical form %q of accepted spec %q rejected: %v", canon, text, err)
+		}
+		if again.String() != canon {
+			t.Fatalf("canonical form unstable: %q -> %q", canon, again.String())
+		}
+	})
+}

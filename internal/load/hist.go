@@ -1,0 +1,148 @@
+package load
+
+import (
+	"math"
+	"math/bits"
+	"time"
+)
+
+// Histogram bucket layout: exact unit buckets below 2^histSubBits, then
+// log-linear — histSub linear sub-buckets per power of two — above, the
+// HDR-histogram shape. Relative quantile error is bounded by 1/histSub
+// (6.25%) while the whole structure is a fixed ~7.5 KiB array, so per-client
+// per-endpoint histograms are cheap and merging is element-wise addition.
+const (
+	histSubBits = 4
+	histSub     = 1 << histSubBits // linear sub-buckets per power of two
+	// histBuckets covers every non-negative int64 nanosecond value:
+	// histSub exact buckets + histSub per remaining power of two.
+	histBuckets = histSub + (63-histSubBits)*histSub
+)
+
+// Histogram records latency samples in nanoseconds with bounded memory and
+// deterministic quantiles: the same multiset of observations always reports
+// the same quantile values (each is the upper bound of the bucket holding
+// the rank-th sample, capped at the exact observed maximum). The zero value
+// is ready to use. Not safe for concurrent use; give each goroutine its own
+// and Merge.
+type Histogram struct {
+	counts [histBuckets]uint64
+	count  uint64
+	sum    int64
+	min    int64
+	max    int64
+}
+
+// Observe records one latency sample. Negative durations (clock steps) are
+// clamped to zero rather than corrupting the layout.
+func (h *Histogram) Observe(d time.Duration) {
+	v := int64(d)
+	if v < 0 {
+		v = 0
+	}
+	if h.count == 0 || v < h.min {
+		h.min = v
+	}
+	if v > h.max {
+		h.max = v
+	}
+	h.counts[bucketIndex(v)]++
+	h.count++
+	h.sum += v
+}
+
+// bucketIndex maps a non-negative value to its bucket.
+func bucketIndex(v int64) int {
+	if v < histSub {
+		return int(v)
+	}
+	e := bits.Len64(uint64(v)) - 1 // 2^e ≤ v < 2^(e+1), e ≥ histSubBits
+	return histSub + (e-histSubBits)*histSub + int(v>>(e-histSubBits)) - histSub
+}
+
+// bucketMax returns the largest value a bucket can hold — the quantile
+// representative.
+func bucketMax(idx int) int64 {
+	if idx < histSub {
+		return int64(idx)
+	}
+	block := (idx - histSub) / histSub
+	sub := (idx - histSub) % histSub
+	shift := uint(block)
+	return (int64(histSub+sub+1) << shift) - 1
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() uint64 { return h.count }
+
+// Sum returns the total of all observations.
+func (h *Histogram) Sum() time.Duration { return time.Duration(h.sum) }
+
+// Mean returns the average observation, 0 when empty.
+func (h *Histogram) Mean() time.Duration {
+	if h.count == 0 {
+		return 0
+	}
+	return time.Duration(h.sum / int64(h.count))
+}
+
+// Min and Max return the exact observed extremes (0 when empty).
+func (h *Histogram) Min() time.Duration {
+	if h.count == 0 {
+		return 0
+	}
+	return time.Duration(h.min)
+}
+
+// Max returns the exact largest observation, 0 when empty.
+func (h *Histogram) Max() time.Duration { return time.Duration(h.max) }
+
+// Quantile returns the latency at quantile q in [0, 1]: the upper bound of
+// the bucket containing the ⌈q·count⌉-th smallest sample, capped at the
+// exact maximum (so Quantile(1) == Max). Returns 0 when the histogram is
+// empty; q outside [0, 1] is clamped.
+func (h *Histogram) Quantile(q float64) time.Duration {
+	if h.count == 0 {
+		return 0
+	}
+	if q < 0 || math.IsNaN(q) {
+		q = 0
+	}
+	rank := uint64(math.Ceil(q * float64(h.count)))
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > h.count {
+		rank = h.count
+	}
+	var seen uint64
+	for idx, c := range h.counts {
+		seen += c
+		if seen >= rank {
+			v := bucketMax(idx)
+			if v > h.max {
+				v = h.max
+			}
+			return time.Duration(v)
+		}
+	}
+	return time.Duration(h.max) // unreachable: counts sum to count
+}
+
+// Merge folds other into h. Both histograms keep working afterwards.
+func (h *Histogram) Merge(other *Histogram) {
+	if other.count == 0 {
+		return
+	}
+	if h.count == 0 || other.min < h.min {
+		h.min = other.min
+	}
+	if other.max > h.max {
+		h.max = other.max
+	}
+	for i, c := range other.counts {
+		h.counts[i] += c
+	}
+	h.count += other.count
+	h.sum += other.sum
+}

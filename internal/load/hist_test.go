@@ -1,0 +1,124 @@
+package load
+
+import (
+	"math"
+	"math/rand/v2"
+	"sort"
+	"testing"
+	"time"
+)
+
+// TestHistogramGoldenQuantiles pins the exact quantile values of a known
+// input stream, so the reporting layer cannot silently drift: 1..1000 ns,
+// one observation each. Under the log-linear layout (16 sub-buckets per
+// power of two) the expected values are bucket upper bounds: rank 500 lands
+// in [496, 511], rank 950 in [928, 959], rank 990 in [960, 991]; the p100
+// bucket bound 1023 is capped at the exact observed max.
+func TestHistogramGoldenQuantiles(t *testing.T) {
+	var h Histogram
+	for v := 1; v <= 1000; v++ {
+		h.Observe(time.Duration(v))
+	}
+	golden := []struct {
+		q    float64
+		want time.Duration
+	}{
+		{0, 1},      // rank clamps to 1 → first sample's bucket, exact below 16
+		{0.5, 511},  // rank 500 → bucket [496, 511]
+		{0.95, 959}, // rank 950 → bucket [928, 959]
+		{0.99, 991}, // rank 990 → bucket [960, 991]
+		{1, 1000},   // bucket [992, 1023] capped at the exact max
+	}
+	for _, g := range golden {
+		if got := h.Quantile(g.q); got != g.want {
+			t.Errorf("Quantile(%v) = %d, want %d", g.q, got, g.want)
+		}
+	}
+	if h.Count() != 1000 {
+		t.Errorf("Count = %d", h.Count())
+	}
+	if h.Sum() != 500500 {
+		t.Errorf("Sum = %d", h.Sum())
+	}
+	if h.Mean() != 500 {
+		t.Errorf("Mean = %d", h.Mean())
+	}
+	if h.Min() != 1 || h.Max() != 1000 {
+		t.Errorf("Min, Max = %d, %d", h.Min(), h.Max())
+	}
+}
+
+func TestHistogramEmptyAndClamp(t *testing.T) {
+	var h Histogram
+	if h.Quantile(0.5) != 0 || h.Max() != 0 || h.Min() != 0 || h.Mean() != 0 {
+		t.Error("empty histogram must report zeros")
+	}
+	h.Observe(-5 * time.Second) // clock step: clamped to 0
+	if h.Min() != 0 || h.Max() != 0 || h.Count() != 1 {
+		t.Errorf("negative observation: min=%d max=%d count=%d", h.Min(), h.Max(), h.Count())
+	}
+	h.Observe(7)
+	if h.Quantile(-1) != 0 { // q clamps low
+		t.Errorf("Quantile(-1) = %d", h.Quantile(-1))
+	}
+	if h.Quantile(2) != 7 { // q clamps high
+		t.Errorf("Quantile(2) = %d", h.Quantile(2))
+	}
+}
+
+// TestHistogramExactBelowSixteen: the unit buckets report small values
+// exactly.
+func TestHistogramExactBelowSixteen(t *testing.T) {
+	var h Histogram
+	for v := 0; v < 16; v++ {
+		h.Observe(time.Duration(v))
+	}
+	for i := 1; i <= 16; i++ {
+		want := time.Duration(i - 1) // rank i is value i-1
+		if got := h.Quantile(float64(i) / 16); got != want {
+			t.Errorf("Quantile(%d/16) = %d, want %d", i, got, want)
+		}
+	}
+}
+
+// TestHistogramErrorBoundAndMerge: against a sorted reference, every
+// quantile is ≥ the true order statistic and within the layout's 1/16
+// relative error; merging per-client histograms equals observing the
+// concatenated stream.
+func TestHistogramErrorBoundAndMerge(t *testing.T) {
+	rng := rand.New(rand.NewPCG(11, 7))
+	var merged, whole Histogram
+	var all []int64
+	for c := 0; c < 4; c++ {
+		var h Histogram
+		for i := 0; i < 2500; i++ {
+			v := rng.Int64N(1 << uint(4+rng.IntN(30)))
+			all = append(all, v)
+			h.Observe(time.Duration(v))
+			whole.Observe(time.Duration(v))
+		}
+		merged.Merge(&h)
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+	for _, q := range []float64{0.01, 0.25, 0.5, 0.9, 0.95, 0.99, 0.999, 1} {
+		rank := int(math.Ceil(q * float64(len(all)))) // the implementation's rank rule
+		if rank < 1 {
+			rank = 1
+		}
+		truth := all[rank-1]
+		got := int64(merged.Quantile(q))
+		if got < truth {
+			t.Errorf("q=%v: reported %d below true order statistic %d", q, got, truth)
+		}
+		if limit := truth + truth/16 + 1; got > limit {
+			t.Errorf("q=%v: reported %d exceeds error bound %d (truth %d)", q, got, limit, truth)
+		}
+		if whole.Quantile(q) != merged.Quantile(q) {
+			t.Errorf("q=%v: merged %d != whole-stream %d", q, merged.Quantile(q), whole.Quantile(q))
+		}
+	}
+	if merged.Count() != whole.Count() || merged.Sum() != whole.Sum() ||
+		merged.Min() != whole.Min() || merged.Max() != whole.Max() {
+		t.Error("merged aggregates differ from whole-stream aggregates")
+	}
+}

@@ -1,0 +1,322 @@
+package load
+
+import (
+	"fmt"
+	"math"
+	"math/rand/v2"
+	"sort"
+
+	"disasso/internal/core"
+	"disasso/internal/dataset"
+)
+
+// OpKind discriminates the operations a Stream emits.
+type OpKind uint8
+
+const (
+	// OpSupport is one itemset support query (Op.Itemset).
+	OpSupport OpKind = iota
+	// OpReconstruct is one reconstruction-sampling call (Op.Samples, Op.Seed).
+	OpReconstruct
+	// OpPublish asks the driver to publish/republish a snapshot.
+	OpPublish
+	// OpDelete asks the driver to delete a snapshot.
+	OpDelete
+)
+
+// String names the kind with its spec-line vocabulary (support ops report
+// which mix entry produced them via Op.Entry, not the kind name).
+func (k OpKind) String() string {
+	switch k {
+	case OpSupport:
+		return "support"
+	case OpReconstruct:
+		return KindReconstruct
+	case OpPublish:
+		return KindPublish
+	case OpDelete:
+		return KindDelete
+	}
+	return fmt.Sprintf("OpKind(%d)", uint8(k))
+}
+
+// Op is one generated operation.
+type Op struct {
+	Kind OpKind
+	// Entry is the index into Spec.Entries of the mix entry that produced
+	// the op — drivers bucket latency per entry so two singleton mixes with
+	// different skews report separately.
+	Entry int
+	// Itemset is the queried itemset of an OpSupport (normalized, non-empty).
+	Itemset dataset.Record
+	// Samples and Seed parameterize an OpReconstruct.
+	Samples int
+	Seed    uint64
+}
+
+// Model compiles a Spec against one publication: the term domain ranked by
+// certain support (the Zipf rank space), per-entry cumulative skew tables,
+// and per-cluster co-occurring term pools. A Model is immutable after New
+// and safe for concurrent use; all randomness lives in the Streams it hands
+// out.
+type Model struct {
+	spec *Spec
+	seed uint64
+
+	// terms is the published domain ordered by descending lower-bound
+	// support (ties broken by ascending term id) — rank 0 is the head term.
+	terms []dataset.Term
+
+	// zipf[i] is the cumulative weight table of query entry i (nil for
+	// churn/reconstruct kinds): P(rank r) ∝ 1/(r+1)^s. For singletons the
+	// rank space is terms; for itemsets it is universes[i].
+	zipf [][]float64
+
+	// universes[i] is itemset entry i's pre-drawn query universe: the fixed
+	// set of co-occurring itemsets the stream picks among Zipf-skewed, so
+	// popular queries repeat the way real workloads do.
+	universes [][]dataset.Record
+
+	// pools holds each top-level cluster's domain (sorted, deduplicated);
+	// poolCum is the cumulative record-span weight used to pick a cluster,
+	// so itemsets land in clusters proportionally to the records they govern.
+	pools   [][]dataset.Term
+	poolCum []float64
+
+	entryCum    []int // cumulative entry weights
+	totalWeight int
+}
+
+// NewModel compiles the spec against the publication. It fails when the mix
+// asks for query ops but the publication's domain (or, for itemsets, every
+// cluster pool) is empty — a workload that could only ever error is a
+// configuration mistake, not a load profile.
+func NewModel(a *core.Anonymized, spec *Spec, seed uint64) (*Model, error) {
+	if len(spec.Entries) == 0 {
+		return nil, fmt.Errorf("load: spec has no entries")
+	}
+	m := &Model{spec: spec, seed: seed}
+
+	m.terms = rankTerms(a)
+	m.pools, m.poolCum = clusterPools(a)
+
+	m.zipf = make([][]float64, len(spec.Entries))
+	m.universes = make([][]dataset.Record, len(spec.Entries))
+	m.entryCum = make([]int, len(spec.Entries))
+	for i, e := range spec.Entries {
+		m.totalWeight += e.Weight
+		m.entryCum[i] = m.totalWeight
+		switch e.Kind {
+		case KindSingleton:
+			if len(m.terms) == 0 {
+				return nil, fmt.Errorf("load: singleton entry %d: publication has an empty domain", i)
+			}
+			m.zipf[i] = zipfTable(len(m.terms), e.Zipf)
+		case KindItemset:
+			if len(m.pools) == 0 {
+				return nil, fmt.Errorf("load: itemset entry %d: publication has no non-empty clusters", i)
+			}
+			m.universes[i] = m.drawUniverse(&spec.Entries[i], uint64(i))
+			m.zipf[i] = zipfTable(len(m.universes[i]), e.Zipf)
+		}
+	}
+	return m, nil
+}
+
+// drawUniverse pre-draws an itemset entry's query universe: Universe
+// itemsets, each from one cluster's co-occurring terms, deduplicated (the
+// duplicate budget is spent on redraws, with a bounded attempt count so
+// tiny publications cannot loop forever). The universe is ordered by draw,
+// so rank 0 — the Zipf head — is an arbitrary but fixed popular query.
+func (m *Model) drawUniverse(e *Entry, idx uint64) []dataset.Record {
+	rng := rand.New(rand.NewPCG(m.seed^0x00D17E55E, idx))
+	seen := make(map[string]bool, e.Universe)
+	universe := make([]dataset.Record, 0, e.Universe)
+	for attempts := 0; len(universe) < e.Universe && attempts < 4*e.Universe+64; attempts++ {
+		s := drawItemset(rng, m, e)
+		key := fmt.Sprint(s)
+		if seen[key] {
+			continue
+		}
+		seen[key] = true
+		universe = append(universe, s)
+	}
+	return universe
+}
+
+// Spec returns the mix the model was compiled from.
+func (m *Model) Spec() *Spec { return m.spec }
+
+// NumTerms returns the size of the rank space singleton draws use.
+func (m *Model) NumTerms() int { return len(m.terms) }
+
+// Stream returns the deterministic op stream of client id: the sequence is
+// a pure function of (publication, spec, model seed, id). Distinct ids give
+// independent streams; the same id always replays the same ops.
+func (m *Model) Stream(id int) *Stream {
+	return &Stream{
+		m: m,
+		// Golden-ratio mixing separates per-client streams drawn from one
+		// model seed; the second PCG word pins the package so a model and
+		// e.g. a reconstruction sampler seeded alike do not correlate.
+		rng: rand.New(rand.NewPCG(m.seed+uint64(id)*0x9E3779B97F4A7C15, 0x10AD)),
+	}
+}
+
+// Stream draws ops from a Model. Not safe for concurrent use — give each
+// client goroutine its own Stream.
+type Stream struct {
+	m   *Model
+	rng *rand.Rand
+}
+
+// Next returns the stream's next operation.
+func (s *Stream) Next() Op {
+	m := s.m
+	w := s.rng.IntN(m.totalWeight)
+	i := sort.SearchInts(m.entryCum, w+1)
+	e := &m.spec.Entries[i]
+	op := Op{Entry: i}
+	switch e.Kind {
+	case KindSingleton:
+		op.Kind = OpSupport
+		op.Itemset = dataset.Record{m.terms[cumSearch(m.zipf[i], s.rng.Float64())]}
+	case KindItemset:
+		op.Kind = OpSupport
+		// A Zipf draw from the entry's fixed universe: popular itemsets
+		// repeat. The returned record is shared — callers must not modify.
+		op.Itemset = m.universes[i][cumSearch(m.zipf[i], s.rng.Float64())]
+	case KindReconstruct:
+		op.Kind = OpReconstruct
+		op.Samples = e.Samples
+		op.Seed = s.rng.Uint64()
+	case KindPublish:
+		op.Kind = OpPublish
+	case KindDelete:
+		op.Kind = OpDelete
+	}
+	return op
+}
+
+// drawItemset draws one correlated multi-term itemset: a cluster picked
+// with probability proportional to its record span, then size distinct
+// terms from that cluster's domain — terms that genuinely co-occur in the
+// publication, so the query's posting-list intersection is non-empty.
+func drawItemset(rng *rand.Rand, m *Model, e *Entry) dataset.Record {
+	pool := m.pools[cumSearch(m.poolCum, rng.Float64())]
+	size := e.MinSize + rng.IntN(e.MaxSize-e.MinSize+1)
+	if size > len(pool) {
+		size = len(pool)
+	}
+	var picked [maxItemsetSize]dataset.Term
+	n := 0
+	for n < size {
+		t := pool[rng.IntN(len(pool))]
+		dup := false
+		for _, p := range picked[:n] {
+			if p == t {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			picked[n] = t
+			n++
+		}
+	}
+	return dataset.NewRecord(picked[:n]...)
+}
+
+// rankTerms returns the published domain ordered by descending certain
+// support, ties by ascending term — the support-rank space Zipf skews over.
+func rankTerms(a *core.Anonymized) []dataset.Term {
+	sup := a.LowerBoundSupports()
+	terms := make([]dataset.Term, 0, len(sup))
+	for t := range sup {
+		terms = append(terms, t)
+	}
+	sort.Slice(terms, func(i, j int) bool {
+		si, sj := sup[terms[i]], sup[terms[j]]
+		if si != sj {
+			return si > sj
+		}
+		return terms[i] < terms[j]
+	})
+	return terms
+}
+
+// clusterPools collects each top-level cluster's domain and the cumulative
+// record-span weights for picking one. Clusters with fewer than two terms
+// cannot host a multi-term itemset but still get a pool (singleton draw
+// from a tiny cluster is a legitimate query); empty ones are dropped.
+func clusterPools(a *core.Anonymized) ([][]dataset.Term, []float64) {
+	var pools [][]dataset.Term
+	var cum []float64
+	total := 0.0
+	for _, node := range a.Clusters {
+		var pool []dataset.Term
+		node.Walk(func(cn *core.ClusterNode) {
+			if cn.IsLeaf() {
+				for _, c := range cn.Simple.RecordChunks {
+					pool = append(pool, c.Domain...)
+				}
+				pool = append(pool, cn.Simple.TermChunk...)
+				return
+			}
+			for _, c := range cn.SharedChunks {
+				pool = append(pool, c.Domain...)
+			}
+		})
+		pool = dataset.Record(pool).Normalize()
+		if len(pool) == 0 {
+			continue
+		}
+		pools = append(pools, pool)
+		total += float64(node.Size())
+		cum = append(cum, total)
+	}
+	if len(cum) > 0 && total > 0 {
+		for i := range cum {
+			cum[i] /= total
+		}
+		cum[len(cum)-1] = 1
+	} else {
+		// Degenerate publications (every cluster empty of records) still get
+		// a uniform table so a pool pick cannot run off the end.
+		for i := range cum {
+			cum[i] = float64(i+1) / float64(len(cum))
+		}
+	}
+	return pools, cum
+}
+
+// zipfTable builds the cumulative weight table over n ranks with exponent
+// s: weight(r) = 1/(r+1)^s, normalized so the last cumulative value is 1.
+func zipfTable(n int, s float64) []float64 {
+	cum := make([]float64, n)
+	total := 0.0
+	for r := 0; r < n; r++ {
+		total += math.Pow(float64(r+1), -s)
+		cum[r] = total
+	}
+	for r := range cum {
+		cum[r] /= total
+	}
+	cum[n-1] = 1 // exact, despite rounding
+	return cum
+}
+
+// cumSearch maps a uniform u in [0, 1) through a normalized cumulative
+// table: the least index whose cumulative value exceeds u.
+func cumSearch(cum []float64, u float64) int {
+	i := sort.SearchFloat64s(cum, u)
+	// SearchFloat64s finds the first cum[i] >= u; when u lands exactly on a
+	// boundary the draw belongs to the next bucket.
+	if i < len(cum) && cum[i] == u {
+		i++
+	}
+	if i >= len(cum) {
+		i = len(cum) - 1
+	}
+	return i
+}

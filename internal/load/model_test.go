@@ -1,0 +1,259 @@
+package load
+
+import (
+	"math/rand/v2"
+	"reflect"
+	"testing"
+
+	"disasso/internal/core"
+	"disasso/internal/dataset"
+)
+
+// testPublication anonymizes a small random dataset — the substrate every
+// model test draws workloads from.
+func testPublication(t *testing.T, seed uint64, n, domain, maxLen, k, m int) *core.Anonymized {
+	t.Helper()
+	rng := rand.New(rand.NewPCG(seed, seed^0xD15A))
+	var records []dataset.Record
+	for i := 0; i < n; i++ {
+		terms := make([]dataset.Term, 1+rng.IntN(maxLen))
+		for j := range terms {
+			terms[j] = dataset.Term(rng.IntN(domain))
+		}
+		records = append(records, dataset.NewRecord(terms...))
+	}
+	a, err := core.Anonymize(dataset.FromRecords(records), core.Options{K: k, M: m, Seed: seed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return a
+}
+
+// TestStreamDeterminism: the op sequence is a pure function of
+// (publication, spec, seed, client id) — the property the soak tests and
+// replayable load runs rely on.
+func TestStreamDeterminism(t *testing.T) {
+	a := testPublication(t, 5, 300, 60, 6, 3, 2)
+	spec := DefaultSpec()
+	m1, err := NewModel(a, spec, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2, err := NewModel(a, spec, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for client := 0; client < 3; client++ {
+		s1, s2 := m1.Stream(client), m2.Stream(client)
+		for i := 0; i < 500; i++ {
+			o1, o2 := s1.Next(), s2.Next()
+			if !reflect.DeepEqual(o1, o2) {
+				t.Fatalf("client %d op %d differs: %+v vs %+v", client, i, o1, o2)
+			}
+		}
+	}
+	// Distinct clients and distinct seeds must not replay the same stream.
+	diff := 0
+	s1, s3 := m1.Stream(0), m1.Stream(1)
+	for i := 0; i < 200; i++ {
+		if !reflect.DeepEqual(s1.Next(), s3.Next()) {
+			diff++
+		}
+	}
+	if diff == 0 {
+		t.Error("clients 0 and 1 emitted identical 200-op streams")
+	}
+	m3, err := NewModel(a, spec, 43)
+	if err != nil {
+		t.Fatal(err)
+	}
+	diff = 0
+	s1, s4 := m1.Stream(0), m3.Stream(0)
+	for i := 0; i < 200; i++ {
+		if !reflect.DeepEqual(s1.Next(), s4.Next()) {
+			diff++
+		}
+	}
+	if diff == 0 {
+		t.Error("seeds 42 and 43 emitted identical 200-op streams")
+	}
+}
+
+// TestStreamOpsWellFormed: every generated op respects its mix entry — the
+// itemset sizes, the sample caps, terms inside the published domain — and
+// multi-term itemsets only combine terms that co-occur in one cluster.
+func TestStreamOpsWellFormed(t *testing.T) {
+	a := testPublication(t, 9, 400, 80, 6, 4, 2)
+	spec, err := ParseSpec(`
+		singleton weight=4 zipf=1.3
+		itemset weight=4 min=2 max=4
+		reconstruct weight=1 samples=3
+		publish weight=1
+		delete weight=1
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	model, err := NewModel(a, spec, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	domain := dataset.Record(model.terms).Normalize()
+	seen := map[OpKind]int{}
+	st := model.Stream(0)
+	for i := 0; i < 4000; i++ {
+		op := st.Next()
+		seen[op.Kind]++
+		if op.Entry < 0 || op.Entry >= len(spec.Entries) {
+			t.Fatalf("op %d: entry index %d out of range", i, op.Entry)
+		}
+		e := spec.Entries[op.Entry]
+		switch op.Kind {
+		case OpSupport:
+			if !op.Itemset.IsNormalized() || len(op.Itemset) == 0 {
+				t.Fatalf("op %d: bad itemset %v", i, op.Itemset)
+			}
+			if !domain.ContainsAll(op.Itemset) {
+				t.Fatalf("op %d: itemset %v outside the published domain", i, op.Itemset)
+			}
+			switch e.Kind {
+			case KindSingleton:
+				if len(op.Itemset) != 1 {
+					t.Fatalf("op %d: singleton entry produced %v", i, op.Itemset)
+				}
+			case KindItemset:
+				if len(op.Itemset) > e.MaxSize {
+					t.Fatalf("op %d: itemset %v exceeds max=%d", i, op.Itemset, e.MaxSize)
+				}
+				if !coOccursInOneCluster(model, op.Itemset) {
+					t.Fatalf("op %d: itemset %v terms do not co-occur in any cluster", i, op.Itemset)
+				}
+			default:
+				t.Fatalf("op %d: OpSupport from entry kind %q", i, e.Kind)
+			}
+		case OpReconstruct:
+			if op.Samples != 3 {
+				t.Fatalf("op %d: samples = %d", i, op.Samples)
+			}
+		case OpPublish, OpDelete:
+			// carry no payload
+		default:
+			t.Fatalf("op %d: unknown kind %v", i, op.Kind)
+		}
+	}
+	for _, k := range []OpKind{OpSupport, OpReconstruct, OpPublish, OpDelete} {
+		if seen[k] == 0 {
+			t.Errorf("4000 ops never drew kind %v (mix %+v)", k, seen)
+		}
+	}
+}
+
+// coOccursInOneCluster reports whether some cluster pool contains the whole
+// itemset.
+func coOccursInOneCluster(m *Model, s dataset.Record) bool {
+	for _, pool := range m.pools {
+		if pool != nil && dataset.Record(pool).ContainsAll(s) {
+			return true
+		}
+	}
+	return false
+}
+
+// TestSingletonZipfSkew: with a strong skew, the head support-rank terms
+// must dominate the draw — the repeat-heavy property the support cache's
+// benchmark leans on.
+func TestSingletonZipfSkew(t *testing.T) {
+	a := testPublication(t, 3, 500, 200, 8, 3, 2)
+	spec, err := ParseSpec("singleton zipf=1.4")
+	if err != nil {
+		t.Fatal(err)
+	}
+	model, err := NewModel(a, spec, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if model.NumTerms() < 50 {
+		t.Fatalf("publication too small for the skew check: %d terms", model.NumTerms())
+	}
+	head := map[dataset.Term]bool{}
+	for _, t := range model.terms[:10] {
+		head[t] = true
+	}
+	st := model.Stream(0)
+	const draws = 5000
+	headHits := 0
+	for i := 0; i < draws; i++ {
+		if head[st.Next().Itemset[0]] {
+			headHits++
+		}
+	}
+	// Under uniform draws the top-10 of ≥50 terms would get ≤ ~20%; the
+	// Zipf(1.4) head mass over even 500 ranks is ≥ 45%. Split the
+	// difference with margin for sampling noise.
+	if frac := float64(headHits) / draws; frac < 0.30 {
+		t.Errorf("top-10 terms drew only %.1f%% of singleton queries, want the Zipf head to dominate", 100*frac)
+	}
+}
+
+// TestItemsetUniverseRepeats: itemset draws come from the entry's fixed
+// pre-drawn universe, so a bounded universe makes queries repeat — the
+// property the support cache's throughput win rests on.
+func TestItemsetUniverseRepeats(t *testing.T) {
+	a := testPublication(t, 4, 300, 80, 6, 3, 2)
+	spec, err := ParseSpec("itemset min=2 max=3 universe=16 zipf=1.2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	model, err := NewModel(a, spec, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := len(model.universes[0]); n > 16 {
+		t.Fatalf("universe holds %d itemsets, cap 16", n)
+	}
+	distinct := map[string]int{}
+	st := model.Stream(0)
+	for i := 0; i < 1000; i++ {
+		distinct[st.Next().Itemset.String()]++
+	}
+	if len(distinct) > 16 {
+		t.Errorf("1000 draws produced %d distinct itemsets from a 16-itemset universe", len(distinct))
+	}
+	// Zipf over the universe: some itemset must clearly dominate a uniform
+	// share (1000/16 ≈ 62).
+	maxHits := 0
+	for _, n := range distinct {
+		if n > maxHits {
+			maxHits = n
+		}
+	}
+	if maxHits < 100 {
+		t.Errorf("head itemset drawn only %d of 1000 times; want Zipf-skewed repeats", maxHits)
+	}
+}
+
+// TestNewModelErrors: mixes that could only ever error are rejected at
+// compile time.
+func TestNewModelErrors(t *testing.T) {
+	empty := &core.Anonymized{K: 2, M: 2}
+	for _, in := range []string{"singleton", "itemset"} {
+		spec, err := ParseSpec(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := NewModel(empty, spec, 1); err == nil {
+			t.Errorf("NewModel(empty publication, %q) accepted", in)
+		}
+	}
+	// Churn-only mixes are fine against an empty publication.
+	spec, err := ParseSpec("publish; delete")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewModel(empty, spec, 1); err != nil {
+		t.Errorf("NewModel(empty publication, churn-only) rejected: %v", err)
+	}
+	if _, err := NewModel(empty, &Spec{}, 1); err == nil {
+		t.Error("NewModel with an empty spec accepted")
+	}
+}

@@ -1,0 +1,279 @@
+// Package load generates query workloads against a published disassociated
+// dataset — the traffic side of the paper's evaluation. Terrovitis et al.
+// judge a publication by how query workloads behave against it (the Figure
+// 6/7 workloads over POS/WV1/WV2), and the ROADMAP north star is a service
+// surviving heavy traffic; this package is the substrate for both: a seeded,
+// deterministic workload model that draws operation streams from a
+// snapshot's own term domain, usable as a load generator (cmd/loadbench)
+// and as the op source of correctness-under-concurrency tests.
+//
+// A workload is described by a small text mix spec (ParseSpec), compiled
+// against one publication into a Model, and consumed as independent
+// per-client Streams: same spec, same publication, same seed — same ops,
+// regardless of how many clients drain them or how they interleave.
+package load
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// Op kinds a workload mix can contain, keyed by their spec-line names.
+const (
+	// KindSingleton issues single-term support queries, terms drawn
+	// Zipf-skewed from the publication's domain ranked by support — the
+	// repeat-heavy head-dominated mix real query traffic shows.
+	KindSingleton = "singleton"
+	// KindItemset issues multi-term support queries whose terms co-occur in
+	// one published cluster, so the posting-list intersection is non-trivial
+	// (uniformly random term pairs almost never share a cluster).
+	KindItemset = "itemset"
+	// KindReconstruct issues reconstruction-sampling calls.
+	KindReconstruct = "reconstruct"
+	// KindPublish issues publication churn: re-anonymize and swap in a
+	// snapshot (drivers direct it at a scratch dataset or a replace=1
+	// republish).
+	KindPublish = "publish"
+	// KindDelete issues deletion churn, the other half of snapshot swap.
+	KindDelete = "delete"
+)
+
+// Validation caps of the spec parser. They bound what a hostile or fuzzed
+// spec can make a Model allocate or a driver send, and double as the
+// documented limits of the format.
+const (
+	maxSpecEntries  = 64
+	maxSpecWeight   = 1_000_000
+	maxSpecZipf     = 8.0
+	maxItemsetSize  = 16
+	maxSamples      = 64
+	maxSpecLine     = 1024
+	maxUniverseSize = 65_536
+)
+
+// Entry is one parsed mix line: an op kind, its relative weight and its
+// kind-specific parameters (defaults filled in by the parser).
+type Entry struct {
+	Kind   string
+	Weight int
+	// Zipf is the skew exponent s: the query at popularity rank r is drawn
+	// with probability proportional to 1/(r+1)^s, 0 meaning uniform. For
+	// singletons the rank space is the domain ordered by support; for
+	// itemsets it is the entry's query universe.
+	Zipf float64
+	// MinSize and MaxSize bound the itemset size drawn per query.
+	MinSize, MaxSize int
+	// Universe is the itemset entry's query-universe size: the model
+	// pre-draws this many co-occurring itemsets once, and the stream picks
+	// among them Zipf-skewed — the standard workload-benchmark shape
+	// (popular queries repeat), and what makes a mix repeat-heavy.
+	Universe int
+	// Samples is the per-reconstruction-call sample count.
+	Samples int
+}
+
+// Spec is a parsed workload mix: a weighted set of op kinds.
+type Spec struct {
+	Entries []Entry
+}
+
+// DefaultSpec returns the mixed read-heavy workload loadbench and the soak
+// tests use when no spec is given: Zipf-skewed singletons dominating,
+// correlated itemsets, a trickle of reconstructions and snapshot churn.
+func DefaultSpec() *Spec {
+	s, err := ParseSpec(`
+		singleton weight=60 zipf=1.1
+		itemset weight=25 min=2 max=3
+		reconstruct weight=5 samples=1
+		publish weight=5
+		delete weight=5
+	`)
+	if err != nil {
+		panic("load: default spec invalid: " + err.Error())
+	}
+	return s
+}
+
+// ParseSpec parses the workload mix format: one entry per line (";" also
+// separates entries), each `kind key=value ...`, with "#" starting a
+// comment. Kinds and their keys:
+//
+//	singleton   [weight=N] [zipf=S]
+//	itemset     [weight=N] [min=N] [max=N] [universe=N] [zipf=S]
+//	reconstruct [weight=N] [samples=N]
+//	publish     [weight=N]
+//	delete      [weight=N]
+//
+// Weights default to 1; zipf defaults to 1.1 (0 means uniform); itemset
+// sizes default to min=2 max=3 over a universe of 1024 pre-drawn itemsets;
+// samples defaults to 1. The same kind may appear several times (e.g. two
+// singleton entries with different skews). At least one entry is required.
+func ParseSpec(text string) (*Spec, error) {
+	spec := &Spec{}
+	lineNo := 0
+	for line := range strings.Lines(text) {
+		lineNo++
+		if len(line) > maxSpecLine {
+			return nil, fmt.Errorf("load: spec line %d longer than %d bytes", lineNo, maxSpecLine)
+		}
+		// The comment runs to end of line, so it is stripped before the
+		// line splits into ';'-separated statements — a ';' inside a
+		// comment is commentary, not a new entry.
+		if i := strings.IndexByte(line, '#'); i >= 0 {
+			line = line[:i]
+		}
+		for _, stmt := range strings.Split(line, ";") {
+			fields := strings.Fields(stmt)
+			if len(fields) == 0 {
+				continue
+			}
+			if len(spec.Entries) >= maxSpecEntries {
+				return nil, fmt.Errorf("load: spec has more than %d entries", maxSpecEntries)
+			}
+			e, err := parseEntry(fields)
+			if err != nil {
+				return nil, fmt.Errorf("load: spec line %d: %w", lineNo, err)
+			}
+			spec.Entries = append(spec.Entries, e)
+		}
+	}
+	if len(spec.Entries) == 0 {
+		return nil, fmt.Errorf("load: spec has no entries")
+	}
+	return spec, nil
+}
+
+// parseEntry parses one `kind key=value ...` statement.
+func parseEntry(fields []string) (Entry, error) {
+	e := Entry{
+		Kind:    fields[0],
+		Weight:  1,
+		Zipf:    1.1,
+		MinSize: 2, MaxSize: 3,
+		Universe: 1024,
+		Samples:  1,
+	}
+	switch e.Kind {
+	case KindSingleton, KindItemset, KindReconstruct, KindPublish, KindDelete:
+	default:
+		return Entry{}, fmt.Errorf("unknown op kind %q", e.Kind)
+	}
+	for _, f := range fields[1:] {
+		key, val, ok := strings.Cut(f, "=")
+		if !ok {
+			return Entry{}, fmt.Errorf("%s: malformed parameter %q (want key=value)", e.Kind, f)
+		}
+		if err := setParam(&e, key, val); err != nil {
+			return Entry{}, fmt.Errorf("%s: %w", e.Kind, err)
+		}
+	}
+	if e.MinSize > e.MaxSize {
+		return Entry{}, fmt.Errorf("%s: min=%d exceeds max=%d", e.Kind, e.MinSize, e.MaxSize)
+	}
+	return e, nil
+}
+
+// setParam applies one key=value pair, validating both that the key belongs
+// to the entry's kind and that the value is inside the format's caps.
+func setParam(e *Entry, key, val string) error {
+	intIn := func(lo, hi int) (int, error) {
+		n, err := strconv.Atoi(val)
+		if err != nil || n < lo || n > hi {
+			return 0, fmt.Errorf("%s=%q must be an integer in [%d, %d]", key, val, lo, hi)
+		}
+		return n, nil
+	}
+	switch key {
+	case "weight":
+		n, err := intIn(1, maxSpecWeight)
+		if err != nil {
+			return err
+		}
+		e.Weight = n
+		return nil
+	case "zipf":
+		if e.Kind != KindSingleton && e.Kind != KindItemset {
+			break
+		}
+		s, err := strconv.ParseFloat(val, 64)
+		if err != nil || math.IsNaN(s) || s < 0 || s > maxSpecZipf {
+			return fmt.Errorf("zipf=%q must be a number in [0, %g]", val, maxSpecZipf)
+		}
+		e.Zipf = s
+		return nil
+	case "min":
+		if e.Kind != KindItemset {
+			break
+		}
+		n, err := intIn(1, maxItemsetSize)
+		if err != nil {
+			return err
+		}
+		e.MinSize = n
+		return nil
+	case "max":
+		if e.Kind != KindItemset {
+			break
+		}
+		n, err := intIn(1, maxItemsetSize)
+		if err != nil {
+			return err
+		}
+		e.MaxSize = n
+		return nil
+	case "universe":
+		if e.Kind != KindItemset {
+			break
+		}
+		n, err := intIn(1, maxUniverseSize)
+		if err != nil {
+			return err
+		}
+		e.Universe = n
+		return nil
+	case "samples":
+		if e.Kind != KindReconstruct {
+			break
+		}
+		n, err := intIn(1, maxSamples)
+		if err != nil {
+			return err
+		}
+		e.Samples = n
+		return nil
+	}
+	return fmt.Errorf("parameter %q not valid for this kind", key)
+}
+
+// String renders the spec back in the format ParseSpec accepts, one entry
+// per line with every parameter explicit — a canonical form, so
+// ParseSpec(s.String()).String() == s.String().
+func (s *Spec) String() string {
+	var b strings.Builder
+	for _, e := range s.Entries {
+		fmt.Fprintf(&b, "%s weight=%d", e.Kind, e.Weight)
+		switch e.Kind {
+		case KindSingleton:
+			fmt.Fprintf(&b, " zipf=%s", strconv.FormatFloat(e.Zipf, 'g', -1, 64))
+		case KindItemset:
+			fmt.Fprintf(&b, " min=%d max=%d universe=%d zipf=%s",
+				e.MinSize, e.MaxSize, e.Universe, strconv.FormatFloat(e.Zipf, 'g', -1, 64))
+		case KindReconstruct:
+			fmt.Fprintf(&b, " samples=%d", e.Samples)
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// TotalWeight sums the entry weights (the denominator of each entry's draw
+// probability).
+func (s *Spec) TotalWeight() int {
+	t := 0
+	for _, e := range s.Entries {
+		t += e.Weight
+	}
+	return t
+}

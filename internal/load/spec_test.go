@@ -1,0 +1,122 @@
+package load
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParseSpecDefaultsAndParams(t *testing.T) {
+	s, err := ParseSpec(`
+		# a comment line
+		singleton weight=10 zipf=1.5
+		itemset min=3 max=4   # trailing comment
+		reconstruct samples=2; publish weight=2
+		delete
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Entries) != 5 {
+		t.Fatalf("got %d entries, want 5: %+v", len(s.Entries), s.Entries)
+	}
+	e := s.Entries[0]
+	if e.Kind != KindSingleton || e.Weight != 10 || e.Zipf != 1.5 {
+		t.Errorf("singleton entry = %+v", e)
+	}
+	e = s.Entries[1]
+	if e.Kind != KindItemset || e.Weight != 1 || e.MinSize != 3 || e.MaxSize != 4 {
+		t.Errorf("itemset entry = %+v", e)
+	}
+	e = s.Entries[2]
+	if e.Kind != KindReconstruct || e.Samples != 2 {
+		t.Errorf("reconstruct entry = %+v", e)
+	}
+	if s.Entries[3].Kind != KindPublish || s.Entries[3].Weight != 2 {
+		t.Errorf("publish entry = %+v", s.Entries[3])
+	}
+	if s.Entries[4].Kind != KindDelete || s.Entries[4].Weight != 1 {
+		t.Errorf("delete entry = %+v", s.Entries[4])
+	}
+	if s.TotalWeight() != 10+1+1+2+1 {
+		t.Errorf("TotalWeight = %d", s.TotalWeight())
+	}
+}
+
+// TestParseSpecCommentWithSemicolon: a comment runs to end of line, so a
+// ';' inside it must not start a new entry.
+func TestParseSpecCommentWithSemicolon(t *testing.T) {
+	s, err := ParseSpec("singleton weight=1 # head terms; tuned later\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Entries) != 1 || s.Entries[0].Kind != KindSingleton {
+		t.Fatalf("entries = %+v", s.Entries)
+	}
+}
+
+func TestParseSpecErrors(t *testing.T) {
+	cases := []struct {
+		name, in, wantSub string
+	}{
+		{"empty", "", "no entries"},
+		{"comments only", "# nothing\n  \n", "no entries"},
+		{"unknown kind", "scan weight=1", "unknown op kind"},
+		{"malformed param", "singleton weight", "key=value"},
+		{"weight zero", "singleton weight=0", "weight"},
+		{"weight huge", "singleton weight=9999999", "weight"},
+		{"zipf negative", "singleton zipf=-1", "zipf"},
+		{"zipf nan", "singleton zipf=NaN", "zipf"},
+		{"zipf huge", "singleton zipf=99", "zipf"},
+		{"wrong key for kind", "publish zipf=1", "not valid"},
+		{"samples on itemset", "itemset samples=3", "not valid"},
+		{"min gt max", "itemset min=4 max=2", "exceeds"},
+		{"size cap", "itemset min=1 max=99", "max"},
+		{"samples cap", "reconstruct samples=1000", "samples"},
+		{"long line", "singleton " + strings.Repeat("x", 2000), "longer"},
+		{"too many entries", strings.Repeat("publish\n", 100), "entries"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, err := ParseSpec(tc.in); err == nil {
+				t.Fatalf("ParseSpec(%q) accepted", tc.in)
+			} else if !strings.Contains(err.Error(), tc.wantSub) {
+				t.Fatalf("ParseSpec(%q) error %q does not mention %q", tc.in, err, tc.wantSub)
+			}
+		})
+	}
+}
+
+// TestSpecStringRoundTrip: String() is a canonical form the parser accepts
+// and reproduces.
+func TestSpecStringRoundTrip(t *testing.T) {
+	for _, in := range []string{
+		"singleton\n",
+		"singleton weight=3 zipf=0\nitemset min=1 max=16\nreconstruct samples=64\npublish weight=1000000\ndelete\n",
+		DefaultSpec().String(),
+	} {
+		s, err := ParseSpec(in)
+		if err != nil {
+			t.Fatalf("ParseSpec(%q): %v", in, err)
+		}
+		canon := s.String()
+		again, err := ParseSpec(canon)
+		if err != nil {
+			t.Fatalf("ParseSpec(String()) of %q rejected %q: %v", in, canon, err)
+		}
+		if again.String() != canon {
+			t.Fatalf("round trip not stable:\nfirst:  %q\nsecond: %q", canon, again.String())
+		}
+	}
+}
+
+func TestDefaultSpecHasEveryKind(t *testing.T) {
+	kinds := map[string]bool{}
+	for _, e := range DefaultSpec().Entries {
+		kinds[e.Kind] = true
+	}
+	for _, k := range []string{KindSingleton, KindItemset, KindReconstruct, KindPublish, KindDelete} {
+		if !kinds[k] {
+			t.Errorf("default spec lacks %q", k)
+		}
+	}
+}

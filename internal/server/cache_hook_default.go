@@ -1,0 +1,8 @@
+//go:build !support_nocache
+
+package server
+
+// supportCacheOnDefault enables the snapshot-scoped support cache. Build
+// with -tags support_nocache to route every estimate through the uncached
+// estimator instead (used to cross-check that the cache is transparent).
+const supportCacheOnDefault = true

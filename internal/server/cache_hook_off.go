@@ -1,0 +1,8 @@
+//go:build support_nocache
+
+package server
+
+// supportCacheOnDefault under the support_nocache build tag disables the
+// snapshot-scoped support cache: every estimate is recomputed by the
+// estimator. Served answers must be identical to the cached build.
+const supportCacheOnDefault = false

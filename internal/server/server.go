@@ -48,6 +48,11 @@ type Options struct {
 	// TempDir hosts spill files of streamed publishes; "" means the system
 	// temp directory.
 	TempDir string
+	// SupportCacheEntries bounds the per-snapshot support cache (see
+	// cache.go): 0 means the default (8192 entries), negative disables
+	// caching. Each published snapshot gets its own cache, so a republish
+	// invalidates by the same pointer swap that installs the new snapshot.
+	SupportCacheEntries int
 }
 
 // Server is the HTTP query service. Create one with New; it implements
@@ -68,6 +73,11 @@ type snapshot struct {
 	est      *query.Estimator
 	summary  core.Summary
 	original *dataset.Dataset // nil for streamed publishes
+	// cache memoizes support estimates for this snapshot only (nil when
+	// disabled). It is the one mutable field, internally synchronized, and
+	// provably transparent: estimates are a pure function of the immutable
+	// snapshot, so cached and uncached answers are bit-identical.
+	cache *supportCache
 }
 
 // DatasetInfo describes one registered dataset.
@@ -171,6 +181,9 @@ func New(opts Options) *Server {
 	}
 	if opts.MaxReconstructions <= 0 {
 		opts.MaxReconstructions = defaultMaxRecon
+	}
+	if opts.SupportCacheEntries == 0 {
+		opts.SupportCacheEntries = defaultCacheEntries
 	}
 	s := &Server{opts: opts, snapshots: make(map[string]*snapshot)}
 	mux := http.NewServeMux()
@@ -361,7 +374,7 @@ func (s *Server) publishInMemory(name string, body io.Reader, opts core.Options)
 	if err != nil {
 		return nil, err
 	}
-	sn := newSnapshot(name, a, d, false)
+	sn := newSnapshot(name, a, d, false, s.opts.SupportCacheEntries)
 	sn.info.ShardRecords = opts.MaxShardRecords
 	return sn, nil
 }
@@ -402,17 +415,18 @@ func (s *Server) publishStreamed(name string, body io.Reader, opts core.Options,
 	if err != nil {
 		return nil, internalError{fmt.Errorf("re-reading streamed publication: %w", err)}
 	}
-	sn := newSnapshot(name, a, nil, true)
+	sn := newSnapshot(name, a, nil, true, s.opts.SupportCacheEntries)
 	sn.info.ShardRecords = st.ShardRecords
 	return sn, nil
 }
 
-// newSnapshot builds the immutable serving state: summary, inverted index
-// and estimator.
-func newSnapshot(name string, a *core.Anonymized, original *dataset.Dataset, streamed bool) *snapshot {
+// newSnapshot builds the immutable serving state — summary, inverted index
+// and estimator — plus the snapshot's own (empty) support cache.
+func newSnapshot(name string, a *core.Anonymized, original *dataset.Dataset, streamed bool, cacheEntries int) *snapshot {
 	est := query.NewEstimator(a)
 	sum := a.Stats()
 	return &snapshot{
+		cache: newSupportCache(cacheEntries),
 		info: DatasetInfo{
 			Name: name, K: a.K, M: a.M,
 			Records:  sum.Records,
@@ -509,9 +523,10 @@ func (s *Server) handleSupportGet(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, estimateOne(sn, dataset.NewRecord(terms...)))
 }
 
-// estimateOne runs one itemset through the snapshot's indexed estimator.
+// estimateOne runs one itemset through the snapshot's support cache (backed
+// by the indexed estimator).
 func estimateOne(sn *snapshot, itemset dataset.Record) ItemsetEstimate {
-	est := sn.est.Support(itemset)
+	est := sn.support(itemset)
 	return ItemsetEstimate{
 		Itemset:  itemset,
 		Lower:    est.Lower,

@@ -1,0 +1,197 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"disasso/internal/core"
+	"disasso/internal/dataset"
+	"disasso/internal/load"
+)
+
+// TestServerSoakUnderChurn is the loadbench-shaped e2e soak: N concurrent
+// clients drain workload-model op streams (Zipf singletons, correlated
+// itemsets, reconstructions, publish/delete churn) against a live disassod
+// handler for a bounded duration. Publishes use replace=1 so snapshots —
+// and their support caches — swap under the readers' feet, and deletes make
+// reads race dataset disappearance. Invariants, checked on every response:
+// the server never answers 5xx, and every support estimate satisfies the
+// sandwich Lower ≤ Expected ≤ Upper. Run under -race (CI does) this is the
+// registry+cache concurrency proof.
+func TestServerSoakUnderChurn(t *testing.T) {
+	duration := 1500 * time.Millisecond
+	if testing.Short() {
+		duration = 300 * time.Millisecond
+	}
+
+	// A deterministic upload body plus the matching local publication the
+	// workload model draws terms from. The churn republishes vary the seed,
+	// so swapped-in snapshots genuinely differ — the model's terms remain
+	// valid queries (the domain survives anonymization).
+	body, d := testDataset(t, 21, 300, 60, 6)
+	a, err := core.Anonymize(d, core.Options{K: 3, M: 2, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec, err := load.ParseSpec(`
+		singleton weight=50 zipf=1.2
+		itemset weight=30 min=2 max=3
+		reconstruct weight=4 samples=2
+		publish weight=8
+		delete weight=8
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	model, err := load.NewModel(a, spec, 77)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// A small cache cap keeps eviction churning during the soak.
+	srv := httptest.NewServer(New(Options{SupportCacheEntries: 64}))
+	defer srv.Close()
+	base := srv.URL + "/v1/datasets/soak"
+	do(t, srv.Client(), "POST", base+"?k=3&m=2&seed=1", body, http.StatusCreated, nil)
+
+	const clients = 6
+	var (
+		wg       sync.WaitGroup
+		pubSeq   atomic.Uint64
+		opsDone  [4]atomic.Int64
+		failures = make(chan error, clients)
+	)
+	deadline := time.Now().Add(duration)
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			client := srv.Client()
+			st := model.Stream(c)
+			for time.Now().Before(deadline) {
+				op := st.Next()
+				if err := soakOp(client, base, body, op, &pubSeq); err != nil {
+					failures <- fmt.Errorf("client %d: %w", c, err)
+					return
+				}
+				opsDone[op.Kind].Add(1)
+			}
+		}(c)
+	}
+	wg.Wait()
+	close(failures)
+	for err := range failures {
+		t.Error(err)
+	}
+	total := int64(0)
+	for k := range opsDone {
+		if opsDone[k].Load() == 0 {
+			t.Errorf("soak never exercised op kind %v", load.OpKind(k))
+		}
+		total += opsDone[k].Load()
+	}
+	t.Logf("soak: %d ops in %v (support=%d reconstruct=%d publish=%d delete=%d)",
+		total, duration, opsDone[load.OpSupport].Load(), opsDone[load.OpReconstruct].Load(),
+		opsDone[load.OpPublish].Load(), opsDone[load.OpDelete].Load())
+}
+
+// soakOp executes one workload op against the server, enforcing the soak
+// invariants: no 5xx ever; 404/409 are legitimate churn outcomes; support
+// answers must satisfy the sandwich invariant.
+func soakOp(client *http.Client, base, body string, op load.Op, pubSeq *atomic.Uint64) error {
+	switch op.Kind {
+	case load.OpSupport:
+		reqBody, err := json.Marshal(SupportRequest{Itemsets: [][]dataset.Term{op.Itemset}})
+		if err != nil {
+			return err
+		}
+		status, raw, err := soakDo(client, "POST", base+"/support", string(reqBody))
+		if err != nil {
+			return err
+		}
+		if status == http.StatusNotFound {
+			return nil // deleted mid-flight by churn
+		}
+		if status != http.StatusOK {
+			return fmt.Errorf("support: status %d, body %s", status, raw)
+		}
+		var resp SupportResponse
+		if err := json.Unmarshal(raw, &resp); err != nil {
+			return fmt.Errorf("support: %w (body %s)", err, raw)
+		}
+		if len(resp.Estimates) != 1 {
+			return fmt.Errorf("support: %d estimates", len(resp.Estimates))
+		}
+		e := resp.Estimates[0]
+		if e.Lower > e.Upper || e.Expected < float64(e.Lower) || e.Expected > float64(e.Upper) {
+			return fmt.Errorf("support %v: sandwich violated: %+v", op.Itemset, e)
+		}
+		return nil
+	case load.OpReconstruct:
+		req, err := json.Marshal(ReconstructRequest{Samples: op.Samples, Seed: op.Seed})
+		if err != nil {
+			return err
+		}
+		status, raw, err := soakDo(client, "POST", base+"/reconstruct", string(req))
+		if err != nil {
+			return err
+		}
+		if status != http.StatusOK && status != http.StatusNotFound {
+			return fmt.Errorf("reconstruct: status %d, body %s", status, raw)
+		}
+		return nil
+	case load.OpPublish:
+		// Vary the seed so each republish swaps in a genuinely different
+		// snapshot (new forest, new index, fresh empty cache).
+		seed := 1 + pubSeq.Add(1)%5
+		url := fmt.Sprintf("%s?k=3&m=2&seed=%d&replace=1", base, seed)
+		status, raw, err := soakDo(client, "POST", url, body)
+		if err != nil {
+			return err
+		}
+		if status != http.StatusCreated {
+			return fmt.Errorf("publish: status %d, body %s", status, raw)
+		}
+		return nil
+	case load.OpDelete:
+		status, raw, err := soakDo(client, "DELETE", base, "")
+		if err != nil {
+			return err
+		}
+		if status != http.StatusNoContent && status != http.StatusNotFound {
+			return fmt.Errorf("delete: status %d, body %s", status, raw)
+		}
+		return nil
+	}
+	return fmt.Errorf("unknown op kind %v", op.Kind)
+}
+
+// soakDo issues one request, returning status and body; any 5xx is an
+// immediate error.
+func soakDo(client *http.Client, method, url, body string) (int, []byte, error) {
+	req, err := http.NewRequest(method, url, bytes.NewReader([]byte(body)))
+	if err != nil {
+		return 0, nil, err
+	}
+	resp, err := client.Do(req)
+	if err != nil {
+		return 0, nil, err
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return 0, nil, err
+	}
+	if resp.StatusCode >= 500 {
+		return resp.StatusCode, raw, fmt.Errorf("%s %s: server error %d: %s", method, url, resp.StatusCode, raw)
+	}
+	return resp.StatusCode, raw, nil
+}

@@ -37,7 +37,7 @@ func main() {
 	}
 }
 
-func run(typ string, n, domain int, avgLen float64, scale int, seed uint64, out string, stats bool) error {
+func run(typ string, n, domain int, avgLen float64, scale int, seed uint64, out string, stats bool) (retErr error) {
 	var d *dataset.Dataset
 	switch strings.ToLower(typ) {
 	case "quest":
@@ -71,12 +71,18 @@ func run(typ string, n, domain int, avgLen float64, scale int, seed uint64, out 
 
 	w := os.Stdout
 	if out != "" {
-		var err error
-		w, err = os.Create(out)
+		f, err := os.Create(out)
 		if err != nil {
 			return err
 		}
-		defer w.Close()
+		w = f
+		// A full disk often surfaces only at close time; swallowing it here
+		// would exit 0 with truncated output (the PR 4 -reconstruct bug).
+		defer func() {
+			if cerr := f.Close(); cerr != nil && retErr == nil {
+				retErr = cerr
+			}
+		}()
 	}
 	if stats {
 		st := d.ComputeStats()

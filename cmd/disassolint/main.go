@@ -1,0 +1,64 @@
+// Command disassolint runs the project's invariant analyzers (detorder,
+// densedomain, closecheck, hookpair — see internal/lint) over the packages
+// matched by its arguments and exits non-zero if any finding survives the
+// suppression rules. It complements `go vet` and staticcheck in the CI lint
+// job:
+//
+//	go run ./cmd/disassolint ./...
+//
+// With -list, it prints the suite and each analyzer's scope instead.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"disasso/internal/lint"
+)
+
+func main() {
+	list := flag.Bool("list", false, "print the analyzer suite and exit")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: disassolint [-list] packages...\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	analyzers := lint.All()
+	if *list {
+		for _, a := range analyzers {
+			scope := "all packages"
+			if len(a.Scope) > 0 {
+				scope = strings.Join(a.Scope, ", ")
+			}
+			fmt.Printf("%-12s %s\n%14s scope: %s\n", a.Name, a.Doc, "", scope)
+		}
+		return
+	}
+	if flag.NArg() == 0 {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	pkgs, err := lint.Load("", flag.Args()...)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "disassolint: %v\n", err)
+		os.Exit(2)
+	}
+
+	exit := 0
+	for _, pkg := range pkgs {
+		diags, err := lint.RunAnalyzers(pkg, analyzers)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "disassolint: %v\n", err)
+			os.Exit(2)
+		}
+		for _, d := range diags {
+			fmt.Println(d)
+			exit = 1
+		}
+	}
+	os.Exit(exit)
+}

@@ -18,6 +18,7 @@
 package main
 
 import (
+	"bytes"
 	"flag"
 	"fmt"
 	"os"
@@ -60,24 +61,37 @@ func main() {
 	}
 }
 
-func run(cfg experiments.Config, fig, cpuProfile, memProfile, traceFile string) error {
+func run(cfg experiments.Config, fig, cpuProfile, memProfile, traceFile string) (retErr error) {
+	// Profile files are closed after StopCPUProfile/trace.Stop (defers run
+	// LIFO) and the close error is propagated: a truncated profile that
+	// still "succeeded" is exactly the failure mode the lint suite exists
+	// to prevent.
+	closeKeeping := func(f *os.File) {
+		if cerr := f.Close(); cerr != nil && retErr == nil {
+			retErr = cerr
+		}
+	}
 	if cpuProfile != "" {
-		f, err := os.Create(cpuProfile)
-		if err != nil {
+		// Buffered for the same reason as the heap profile below: pprof
+		// reports no write errors, so the checked write happens here. The
+		// defer still runs on a failing figure, keeping the profile.
+		var buf bytes.Buffer
+		if err := pprof.StartCPUProfile(&buf); err != nil {
 			return err
 		}
-		defer f.Close()
-		if err := pprof.StartCPUProfile(f); err != nil {
-			return err
-		}
-		defer pprof.StopCPUProfile()
+		defer func() {
+			pprof.StopCPUProfile()
+			if werr := os.WriteFile(cpuProfile, buf.Bytes(), 0o644); werr != nil && retErr == nil {
+				retErr = werr
+			}
+		}()
 	}
 	if traceFile != "" {
 		f, err := os.Create(traceFile)
 		if err != nil {
 			return err
 		}
-		defer f.Close()
+		defer closeKeeping(f)
 		if err := trace.Start(f); err != nil {
 			return err
 		}
@@ -101,13 +115,15 @@ func run(cfg experiments.Config, fig, cpuProfile, memProfile, traceFile string) 
 	}
 
 	if memProfile != "" {
-		f, err := os.Create(memProfile)
-		if err != nil {
+		runtime.GC() // materialize the live heap before snapshotting
+		// runtime/pprof's proto writer swallows downstream write errors
+		// (the gzip close error never reaches WriteHeapProfile's return),
+		// so snapshot to memory and do the one checked write ourselves.
+		var buf bytes.Buffer
+		if err := pprof.WriteHeapProfile(&buf); err != nil {
 			return err
 		}
-		defer f.Close()
-		runtime.GC() // materialize the live heap before snapshotting
-		if err := pprof.WriteHeapProfile(f); err != nil {
+		if err := os.WriteFile(memProfile, buf.Bytes(), 0o644); err != nil {
 			return err
 		}
 	}

@@ -41,6 +41,7 @@ type Options struct {
 	// (Section 5): they are ignored during horizontal partitioning and always
 	// placed in term chunks, so they associate with any record of a cluster
 	// with probability at most 1/|P|.
+	//lint:ignore densedomain boundary API: callers pass global terms; SensitiveBits densifies them once per run
 	Sensitive map[dataset.Term]bool
 	// Parallel sets the number of workers for the per-cluster vertical
 	// partitioning (Section 3 notes clusters anonymize independently).
@@ -191,6 +192,7 @@ func ShardOptions(opts Options) (Options, error) {
 func SensitiveBits(opts Options, dom *dataset.DenseDomain) (exclude, sensitive []bool) {
 	exclude = make([]bool, dom.Len())
 	sensitive = make([]bool, dom.Len())
+	//lint:deterministic order-independent scatter into dense boolean tables
 	for t, v := range opts.Sensitive {
 		if id, ok := dom.ID(t); ok {
 			exclude[id] = true

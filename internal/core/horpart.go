@@ -34,6 +34,7 @@ func HorPartN(d *dataset.Dataset, maxClusterSize int, exclude map[dataset.Term]b
 	dom := dataset.NewDenseDomain(d.Records)
 	dense := dom.RemapAll(d.Records)
 	excludeBits := make([]bool, dom.Len())
+	//lint:deterministic order-independent scatter into a dense exclusion table
 	for t := range exclude {
 		if id, ok := dom.ID(t); ok {
 			excludeBits[id] = true

@@ -134,6 +134,7 @@ func (c *kmChecker) tryAddSlow(t dataset.Term, lt uint32) bool {
 			})
 		}
 	}
+	//lint:deterministic order-independent forall-threshold reduction over counts
 	for _, n := range c.counts {
 		if n < c.k {
 			return false
@@ -308,6 +309,7 @@ func isChunkKMAnonymousSlow(domain dataset.Record, subrecords []dataset.Record, 
 			})
 		}
 	}
+	//lint:deterministic order-independent forall-threshold reduction over counts
 	for _, n := range counts {
 		if n < k {
 			return false

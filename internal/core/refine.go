@@ -112,7 +112,9 @@ func (n *refNode) leaves(dst []*leafState) []*leafState {
 
 // recordAndSharedDomains collects T^r: every term appearing in a record
 // chunk of a descendant leaf or in a shared chunk of a descendant joint.
-func (n *refNode) recordAndSharedDomains(into map[dataset.Term]bool) {
+// into is a dense presence table indexed by term id (the pipeline runs in
+// rank space), sized by the caller to at least maxNodeTerm()+1.
+func (n *refNode) recordAndSharedDomains(into []bool) {
 	if n.leaf != nil {
 		for _, c := range n.leaf.cluster.RecordChunks {
 			for _, t := range c.Domain {
@@ -151,13 +153,14 @@ func (n *refNode) initDerived() {
 	}
 	n.refreshVirtualTC()
 	n.refreshSupTC()
-	tr := make(map[dataset.Term]bool)
+	tr := make([]bool, n.maxNodeTerm()+1)
 	n.recordAndSharedDomains(tr)
-	terms := make(dataset.Record, 0, len(tr))
-	for t := range tr {
-		terms = append(terms, t)
+	var terms dataset.Record
+	for t, present := range tr {
+		if present {
+			terms = append(terms, dataset.Term(t))
+		}
 	}
-	slices.Sort(terms)
 	n.trDomains = terms
 }
 
@@ -239,12 +242,14 @@ func sensitiveBitsFor(nodes []*refNode, sensitive map[dataset.Term]bool) ([]bool
 			maxT = mt
 		}
 	}
+	//lint:deterministic order-independent max reduction
 	for t := range sensitive {
 		if int(t) > maxT {
 			maxT = int(t)
 		}
 	}
 	bits := make([]bool, maxT+1)
+	//lint:deterministic order-independent scatter into a dense boolean table
 	for t, v := range sensitive {
 		if v {
 			bits[t] = true

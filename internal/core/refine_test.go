@@ -180,7 +180,8 @@ func TestRefinePropertyOneConflict(t *testing.T) {
 	if j2 == nil {
 		t.Skip("second join rejected by Equation 1 — conflict path not exercised")
 	}
-	tr := make(map[dataset.Term]bool)
+	trSize := max(j.maxNodeTerm(), a.maxNodeTerm()) + 1
+	tr := make([]bool, trSize)
 	j.recordAndSharedDomains(tr)
 	a.recordAndSharedDomains(tr)
 	for _, sc := range j2.shared {

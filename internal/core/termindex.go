@@ -281,6 +281,7 @@ func (c *comboCounter) allAtLeast(k int32) bool {
 		}
 		return true
 	}
+	//lint:deterministic order-independent forall-threshold reduction over counts
 	for _, n := range c.m {
 		if n < k {
 			return false

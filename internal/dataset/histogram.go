@@ -113,12 +113,14 @@ func (d *Dataset) RecordLengths() []int {
 	return out
 }
 
-// SupportValues returns every term's support, for histogramming.
+// SupportValues returns every term's support in ascending order, for
+// histogramming.
 func (d *Dataset) SupportValues() []int {
 	s := d.Supports()
 	out := make([]int, 0, len(s))
 	for _, v := range s {
 		out = append(out, v)
 	}
+	sort.Ints(out)
 	return out
 }

@@ -97,3 +97,38 @@ func TestRecordLengthsAndSupportValues(t *testing.T) {
 		t.Errorf("support total = %d, want 4", total)
 	}
 }
+
+// SupportValues is built by ranging the support map, which iterates in a
+// different order every run; the datagen summary prints derived quantiles,
+// so the slice must be sorted rather than left in map order (detorder).
+func TestSupportValuesDeterministic(t *testing.T) {
+	rng := rand.New(rand.NewPCG(42, 7))
+	recs := make([]Record, 200)
+	for i := range recs {
+		terms := make([]Term, 1+rng.IntN(8))
+		for j := range terms {
+			terms[j] = Term(rng.IntN(500))
+		}
+		recs[i] = NewRecord(terms...)
+	}
+	d := FromRecords(recs)
+
+	first := d.SupportValues()
+	for i := 1; i < len(first); i++ {
+		if first[i-1] > first[i] {
+			t.Fatalf("SupportValues not ascending at %d: %d > %d", i, first[i-1], first[i])
+		}
+	}
+	for trial := 0; trial < 5; trial++ {
+		again := d.SupportValues()
+		if len(again) != len(first) {
+			t.Fatalf("trial %d: length %d, want %d", trial, len(again), len(first))
+		}
+		for i := range first {
+			if again[i] != first[i] {
+				t.Fatalf("trial %d: SupportValues[%d] = %d, want %d (map-order leak)",
+					trial, i, again[i], first[i])
+			}
+		}
+	}
+}

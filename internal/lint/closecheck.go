@@ -1,0 +1,237 @@
+package lint
+
+import (
+	"bytes"
+	"go/ast"
+	"go/printer"
+	"go/token"
+	"go/types"
+)
+
+// CloseCheck flags dropped errors from Close, Flush, and Sync on writers —
+// the exact class of the PR 4 -reconstruct bug, where `defer out.Close()`
+// swallowed short writes on a full disk and the CLI exited 0 with truncated
+// output. A buffered writer in particular reports most write failures only
+// at Flush/Close time, so dropping that error drops the only failure signal.
+//
+// Flagged, when the receiver implements io.Writer and the method returns an
+// error:
+//   - a bare call statement `w.Close()` / `w.Flush()` / `w.Sync()`;
+//   - `defer w.Close()`, unless the same receiver's Close/Flush error is
+//     checked elsewhere in the function (the house pattern: a deferred
+//     close as the error-path safety net plus an explicit checked close on
+//     the success path — double Close on *os.File is defined and returns
+//     ErrClosed, which the safety net intentionally ignores).
+//
+// An explicit `_ = w.Close()` is not flagged: the discard is visible at the
+// call site and greppable, which is the auditability this analyzer wants.
+// Readers (receivers not implementing io.Writer) are exempt — closing a
+// read-only file can fail only in exotic ways that don't corrupt output.
+var CloseCheck = &Analyzer{
+	Name: "closecheck",
+	Doc: "flags dropped Close/Flush/Sync errors on writers, including " +
+		"deferred closes whose error is never propagated",
+	Run: runCloseCheck,
+}
+
+var closeMethods = map[string]bool{"Close": true, "Flush": true, "Sync": true}
+
+func runCloseCheck(pass *Pass) error {
+	writer := ioWriterType()
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkCloseInFunc(pass, writer, fd.Body)
+		}
+	}
+	return nil
+}
+
+type closeSite struct {
+	pos     token.Pos
+	method  string
+	recv    string // printed receiver expression, e.g. "e.spill.f"
+	isDefer bool
+}
+
+func checkCloseInFunc(pass *Pass, writer *types.Interface, body *ast.BlockStmt) {
+	var dropped []closeSite
+	checked := make(map[string]bool)      // receiver exprs whose close error is consumed
+	readonly := readOnlyFiles(pass, body) // objects assigned from os.Open
+
+	// Track which call expressions appear in dropped positions so the
+	// general walk below can classify every other occurrence as checked.
+	droppedCalls := make(map[*ast.CallExpr]bool)
+
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch st := n.(type) {
+		case *ast.ExprStmt:
+			if call, ok := st.X.(*ast.CallExpr); ok {
+				if site, ok := closeSiteOf(pass, writer, call, readonly); ok {
+					site.isDefer = false
+					dropped = append(dropped, site)
+					droppedCalls[call] = true
+				}
+			}
+		case *ast.DeferStmt:
+			if site, ok := closeSiteOf(pass, writer, st.Call, readonly); ok {
+				site.isDefer = true
+				dropped = append(dropped, site)
+				droppedCalls[st.Call] = true
+			}
+		case *ast.AssignStmt:
+			// `_ = w.Close()` with every LHS blank: explicit discard.
+			allBlank := true
+			for _, lhs := range st.Lhs {
+				if id, ok := lhs.(*ast.Ident); !ok || id.Name != "_" {
+					allBlank = false
+					break
+				}
+			}
+			if allBlank {
+				for _, rhs := range st.Rhs {
+					if call, ok := rhs.(*ast.CallExpr); ok {
+						droppedCalls[call] = true // neither flagged nor "checked"
+					}
+				}
+			}
+		}
+		return true
+	})
+
+	// Any close call NOT in a dropped/blank position has its error consumed
+	// (assigned, returned, compared, passed to errors.Join, ...).
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || droppedCalls[call] {
+			return true
+		}
+		if site, ok := closeSiteOf(pass, writer, call, readonly); ok {
+			checked[site.recv] = true
+		}
+		return true
+	})
+
+	for _, site := range dropped {
+		if site.isDefer {
+			if checked[site.recv] {
+				continue // safety-net defer paired with a checked close
+			}
+			pass.Reportf(site.pos,
+				"deferred %s.%s discards its error: propagate it (named return + closure) or add a checked %s on the success path",
+				site.recv, site.method, site.method)
+			continue
+		}
+		pass.Reportf(site.pos,
+			"error from %s.%s is dropped: a buffered writer reports write failures here; propagate it or make the discard explicit with `_ =`",
+			site.recv, site.method)
+	}
+}
+
+// closeSiteOf reports whether call is Close/Flush/Sync returning error on a
+// receiver that implements io.Writer and was not opened read-only.
+func closeSiteOf(pass *Pass, writer *types.Interface, call *ast.CallExpr, readonly map[types.Object]bool) (closeSite, bool) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || !closeMethods[sel.Sel.Name] {
+		return closeSite{}, false
+	}
+	fn, ok := pass.Info.Uses[sel.Sel].(*types.Func)
+	if !ok {
+		return closeSite{}, false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return closeSite{}, false
+	}
+	if sig.Results().Len() != 1 || !isErrorType(sig.Results().At(0).Type()) {
+		return closeSite{}, false
+	}
+	recvType := pass.Info.TypeOf(sel.X)
+	if recvType == nil || !implementsWriter(recvType, writer) {
+		return closeSite{}, false
+	}
+	if id, ok := sel.X.(*ast.Ident); ok && readonly[pass.Info.ObjectOf(id)] {
+		return closeSite{}, false
+	}
+	return closeSite{
+		pos:    call.Pos(),
+		method: sel.Sel.Name,
+		recv:   exprString(sel.X),
+	}, true
+}
+
+// readOnlyFiles collects variables assigned from os.Open within body.
+// *os.File satisfies io.Writer whatever mode it was opened in, so without
+// this a `defer f.Close()` on a read-only input file would be flagged; a
+// failed close of a file that was only read cannot lose data.
+func readOnlyFiles(pass *Pass, body *ast.BlockStmt) map[types.Object]bool {
+	out := make(map[types.Object]bool)
+	ast.Inspect(body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || len(as.Rhs) != 1 {
+			return true
+		}
+		call, ok := as.Rhs[0].(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok || sel.Sel.Name != "Open" {
+			return true
+		}
+		fn, ok := pass.Info.Uses[sel.Sel].(*types.Func)
+		if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "os" {
+			return true
+		}
+		if id, ok := as.Lhs[0].(*ast.Ident); ok {
+			if obj := pass.Info.ObjectOf(id); obj != nil {
+				out[obj] = true
+			}
+		}
+		return true
+	})
+	return out
+}
+
+func implementsWriter(t types.Type, writer *types.Interface) bool {
+	if types.Implements(t, writer) {
+		return true
+	}
+	if _, isPtr := t.Underlying().(*types.Pointer); !isPtr {
+		if types.Implements(types.NewPointer(t), writer) {
+			return true
+		}
+	}
+	return false
+}
+
+func isErrorType(t types.Type) bool {
+	return types.Identical(t, types.Universe.Lookup("error").Type())
+}
+
+// ioWriterType constructs the io.Writer interface shape without importing
+// io's export data (the analyzed package may not depend on io).
+func ioWriterType() *types.Interface {
+	byteSlice := types.NewSlice(types.Typ[types.Byte])
+	params := types.NewTuple(types.NewVar(token.NoPos, nil, "p", byteSlice))
+	results := types.NewTuple(
+		types.NewVar(token.NoPos, nil, "n", types.Typ[types.Int]),
+		types.NewVar(token.NoPos, nil, "err", types.Universe.Lookup("error").Type()),
+	)
+	sig := types.NewSignatureType(nil, nil, nil, params, results, false)
+	iface := types.NewInterfaceType(
+		[]*types.Func{types.NewFunc(token.NoPos, nil, "Write", sig)}, nil)
+	iface.Complete()
+	return iface
+}
+
+func exprString(e ast.Expr) string {
+	var buf bytes.Buffer
+	if err := printer.Fprint(&buf, token.NewFileSet(), e); err != nil {
+		return "<expr>"
+	}
+	return buf.String()
+}

@@ -1,0 +1,107 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// DenseDomain guards the PR 2 dense-domain refactor: the hot-path packages
+// run entirely in rank space (dataset.DenseDomain maps Term -> contiguous
+// rank once per pipeline; every per-term table is a flat slice indexed by
+// rank). Building new Term-keyed map state inside those packages reintroduces
+// hashing, pointer-chasing, and nondeterministic iteration on the hot path.
+//
+// Flagged: composite literals, make() calls, and struct field declarations
+// whose type is (or contains) a map keyed by dataset.Term, in the scoped
+// packages. Accepting or returning a caller's map[Term] in a signature is
+// boundary conversion and allowed; creating or storing one is not.
+var DenseDomain = &Analyzer{
+	Name: "densedomain",
+	Doc: "flags construction or storage of map[dataset.Term] state in " +
+		"rank-space hot-path packages",
+	Scope: []string{
+		"internal/core",
+		"internal/qindex",
+		"internal/query",
+	},
+	Run: runDenseDomain,
+}
+
+func runDenseDomain(pass *Pass) error {
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch x := n.(type) {
+			case *ast.CallExpr:
+				// make(map[Term]V, ...)
+				if id, ok := x.Fun.(*ast.Ident); ok && id.Name == "make" {
+					if b, ok := pass.Info.Uses[id].(*types.Builtin); ok && b.Name() == "make" && len(x.Args) > 0 {
+						if mt := termMapIn(pass.Info.TypeOf(x.Args[0])); mt != nil {
+							pass.Reportf(x.Pos(),
+								"building %s in a rank-space package: use a flat slice indexed by DenseDomain rank (//lint:ignore densedomain <reason> if this is boundary conversion)",
+								typeString(pass, mt))
+						}
+					}
+				}
+			case *ast.CompositeLit:
+				if mt := termMapIn(pass.Info.TypeOf(x)); mt != nil {
+					pass.Reportf(x.Pos(),
+						"literal of %s in a rank-space package: use a flat slice indexed by DenseDomain rank",
+						typeString(pass, mt))
+					return false // one report per literal tree
+				}
+			case *ast.StructType:
+				for _, field := range x.Fields.List {
+					if mt := termMapIn(pass.Info.TypeOf(field.Type)); mt != nil {
+						pass.Reportf(field.Pos(),
+							"struct field stores %s in a rank-space package: store a flat rank-indexed slice instead",
+							typeString(pass, mt))
+					}
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// termMapIn returns the first map-keyed-by-Term type found inside t
+// (directly, or as a map value / slice element / pointer target), or nil.
+func termMapIn(t types.Type) *types.Map {
+	seen := make(map[types.Type]bool)
+	var walk func(types.Type) *types.Map
+	walk = func(t types.Type) *types.Map {
+		if t == nil || seen[t] {
+			return nil
+		}
+		seen[t] = true
+		switch u := t.Underlying().(type) {
+		case *types.Map:
+			if isTermType(u.Key()) {
+				return u
+			}
+			if m := walk(u.Elem()); m != nil {
+				return m
+			}
+		case *types.Slice:
+			return walk(u.Elem())
+		case *types.Array:
+			return walk(u.Elem())
+		case *types.Pointer:
+			return walk(u.Elem())
+		}
+		return nil
+	}
+	return walk(t)
+}
+
+// isTermType reports whether t is the dataset.Term rank type (matched by
+// package name + type name so lint fixtures with a local dataset package
+// behave like the real one).
+func isTermType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj != nil && obj.Name() == "Term" && obj.Pkg() != nil && obj.Pkg().Name() == "dataset"
+}

@@ -1,0 +1,249 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// DetOrder enforces deterministic output in the packages whose results reach
+// published bytes or experiment reports. The published form is proven
+// byte-identical across worker counts and shard budgets; a single
+// map-iteration-order dependency or wall-clock/global-PRNG call silently
+// voids that guarantee.
+//
+// Flagged:
+//   - `for range` over a map value, unless a slice accumulated in the loop
+//     body is passed to sort.*/slices.Sort* later in the same function, or
+//     the site carries a //lint:deterministic justification;
+//   - calls to time.Now;
+//   - calls to package-level math/rand or math/rand/v2 functions (PRNGs must
+//     be seed-threaded *rand.Rand values, per the shard-keyed stream design).
+var DetOrder = &Analyzer{
+	Name: "detorder",
+	Doc: "flags map iteration, time.Now, and global PRNG use in " +
+		"output-affecting packages unless sorted or justified",
+	Scope: []string{
+		"internal/core",
+		"internal/shard",
+		"internal/qindex",
+		"internal/dataset",
+		"internal/experiments",
+		"internal/anonymity",
+	},
+	Run: runDetOrder,
+}
+
+func runDetOrder(pass *Pass) error {
+	for _, file := range pass.Files {
+		var funcs []*ast.FuncDecl
+		for _, decl := range file.Decls {
+			if fd, ok := decl.(*ast.FuncDecl); ok && fd.Body != nil {
+				funcs = append(funcs, fd)
+			}
+		}
+		// Package-level var initializers can also range/call; inspect the
+		// whole file for calls, but resolve the sorted-after heuristic only
+		// within function bodies (the only place a RangeStmt can appear).
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			checkDetCall(pass, call)
+			return true
+		})
+		for _, fd := range funcs {
+			checkDetRanges(pass, fd)
+		}
+	}
+	return nil
+}
+
+// checkDetCall flags time.Now and global math/rand calls.
+func checkDetCall(pass *Pass, call *ast.CallExpr) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return
+	}
+	ident, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return
+	}
+	if _, isPkg := pass.Info.Uses[ident].(*types.PkgName); !isPkg {
+		return
+	}
+	fn, ok := pass.Info.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil {
+		return
+	}
+	switch fn.Pkg().Path() {
+	case "time":
+		if fn.Name() == "Now" {
+			pass.Reportf(call.Pos(),
+				"time.Now in an output-affecting package: wall-clock values must not influence published bytes")
+		}
+	case "math/rand", "math/rand/v2":
+		// Constructors (New, NewPCG, NewSource, NewZipf, ...) build the
+		// seed-threaded *rand.Rand values the design requires; everything
+		// else at package level draws from the unseeded global source.
+		if strings.HasPrefix(fn.Name(), "New") {
+			return
+		}
+		pass.Reportf(call.Pos(),
+			"global %s.%s draws from the shared unseeded source: use a seed-threaded *rand.Rand (shard-keyed stream) so output is reproducible",
+			ident.Name, fn.Name())
+	}
+}
+
+// checkDetRanges flags `for range` over maps in fd unless a slice the loop
+// accumulates into is sorted later in the same function.
+func checkDetRanges(pass *Pass, fd *ast.FuncDecl) {
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		rs, ok := n.(*ast.RangeStmt)
+		if !ok {
+			return true
+		}
+		t := pass.Info.TypeOf(rs.X)
+		if t == nil {
+			return true
+		}
+		if _, isMap := t.Underlying().(*types.Map); !isMap {
+			return true
+		}
+		if sortedAfter(pass, fd, rs) {
+			return true
+		}
+		pass.Reportf(rs.Pos(),
+			"iteration over map %s has nondeterministic order: sort the accumulated result before use, or justify with //lint:deterministic",
+			typeString(pass, t))
+		return true
+	})
+}
+
+func typeString(pass *Pass, t types.Type) string {
+	return types.TypeString(t, types.RelativeTo(pass.Pkg))
+}
+
+// sortedAfter reports whether an object assigned inside the range body is
+// later (positionally after the loop, in the same function) passed to a
+// sort.* or slices.Sort* call, or is the receiver of a .Sort() method call.
+// This recognizes the canonical deterministic pattern:
+//
+//	keys := make([]K, 0, len(m))
+//	for k := range m { keys = append(keys, k) }
+//	sort.Slice(keys, ...)
+func sortedAfter(pass *Pass, fd *ast.FuncDecl, rs *ast.RangeStmt) bool {
+	sinks := make(map[types.Object]bool)
+	ast.Inspect(rs.Body, func(n ast.Node) bool {
+		switch st := n.(type) {
+		case *ast.AssignStmt:
+			for _, lhs := range st.Lhs {
+				if obj := assignRoot(pass, lhs); obj != nil {
+					sinks[obj] = true
+				}
+			}
+		case *ast.IncDecStmt:
+			if obj := assignRoot(pass, st.X); obj != nil {
+				sinks[obj] = true
+			}
+		}
+		return true
+	})
+	if len(sinks) == 0 {
+		return false
+	}
+
+	sorted := false
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if sorted {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() < rs.End() {
+			return true
+		}
+		if !isSortCall(pass, call) {
+			return true
+		}
+		// Does any argument (or a .Sort() receiver) mention a sink object?
+		for _, arg := range call.Args {
+			if mentionsAny(pass, arg, sinks) {
+				sorted = true
+				return false
+			}
+		}
+		if sel, ok := call.Fun.(*ast.SelectorExpr); ok && mentionsAny(pass, sel.X, sinks) {
+			sorted = true
+			return false
+		}
+		return true
+	})
+	return sorted
+}
+
+// assignRoot resolves the variable object ultimately written by an
+// assignment LHS: the ident itself, or the root ident of an index/selector
+// chain (writing m[i] or s.f mutates the root).
+func assignRoot(pass *Pass, e ast.Expr) types.Object {
+	for {
+		switch x := e.(type) {
+		case *ast.Ident:
+			if obj := pass.Info.ObjectOf(x); obj != nil {
+				if _, isVar := obj.(*types.Var); isVar {
+					return obj
+				}
+			}
+			return nil
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		case *ast.ParenExpr:
+			e = x.X
+		default:
+			return nil
+		}
+	}
+}
+
+func isSortCall(pass *Pass, call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	fn, ok := pass.Info.Uses[sel.Sel].(*types.Func)
+	if !ok {
+		return false
+	}
+	if pkg := fn.Pkg(); pkg != nil {
+		switch pkg.Path() {
+		case "sort", "slices":
+			return true
+		}
+	}
+	// Method call x.Sort() on any receiver counts (sort.Interface impls).
+	if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil && fn.Name() == "Sort" {
+		return true
+	}
+	return false
+}
+
+func mentionsAny(pass *Pass, e ast.Expr, objs map[types.Object]bool) bool {
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		if id, ok := n.(*ast.Ident); ok {
+			if obj := pass.Info.ObjectOf(id); obj != nil && objs[obj] {
+				found = true
+				return false
+			}
+		}
+		return true
+	})
+	return found
+}

@@ -1,0 +1,70 @@
+package lint
+
+import (
+	"go/parser"
+	"go/token"
+	"strings"
+	"testing"
+)
+
+func parseForDirectives(t *testing.T, src string) ([]directiveDiag, *suppressionIndex) {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "d.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	idx := newSuppressionIndex()
+	return indexSuppressions(fset, f, idx), idx
+}
+
+func TestDeterministicDirectiveRequiresJustification(t *testing.T) {
+	diags, idx := parseForDirectives(t, `package d
+
+func f(m map[string]int) {
+	//lint:deterministic
+	for range m {
+	}
+}
+`)
+	if len(diags) != 1 || !strings.Contains(diags[0].msg, "requires a justification") {
+		t.Fatalf("want one missing-justification diagnostic, got %v", diags)
+	}
+	if idx.covers("detorder", token.Position{Filename: "d.go", Line: 5}) {
+		t.Fatalf("bare //lint:deterministic must not suppress anything")
+	}
+}
+
+func TestIgnoreDirectiveRequiresNameAndReason(t *testing.T) {
+	diags, _ := parseForDirectives(t, `package d
+
+//lint:ignore closecheck
+var x int
+`)
+	if len(diags) != 1 || !strings.Contains(diags[0].msg, "analyzer name and a justification") {
+		t.Fatalf("want one malformed-ignore diagnostic, got %v", diags)
+	}
+}
+
+func TestJustifiedDirectivesSuppress(t *testing.T) {
+	diags, idx := parseForDirectives(t, `package d
+
+//lint:deterministic order-independent reduction
+var a int
+
+//lint:ignore densedomain boundary conversion
+var b int
+`)
+	if len(diags) != 0 {
+		t.Fatalf("well-formed directives reported: %v", diags)
+	}
+	if !idx.covers("detorder", token.Position{Filename: "d.go", Line: 4}) {
+		t.Fatalf("deterministic directive should cover the following line")
+	}
+	if !idx.covers("densedomain", token.Position{Filename: "d.go", Line: 7}) {
+		t.Fatalf("ignore directive should cover the following line")
+	}
+	if idx.covers("closecheck", token.Position{Filename: "d.go", Line: 4}) {
+		t.Fatalf("directives must only silence the analyzer they name")
+	}
+}

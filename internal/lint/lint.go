@@ -1,0 +1,264 @@
+// Package lint is a self-contained static-analysis framework plus the
+// project-specific analyzers that enforce this repository's invariants:
+// deterministic published output, the dense rank-space domain in hot-path
+// packages, propagated writer Close/Flush errors, and paired build-tag
+// reference hooks.
+//
+// The framework mirrors a small subset of golang.org/x/tools/go/analysis
+// (Analyzer, Pass, Report) but is built only on the standard library:
+// packages are loaded with `go list -export -deps -json` and type-checked
+// with go/types against compiler export data, so the suite needs no
+// third-party modules. cmd/disassolint is the multichecker front end.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// An Analyzer describes one invariant check. Run is invoked once per loaded
+// package with a Pass describing that package.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and in //lint:ignore
+	// suppression comments. Lower-case, no spaces.
+	Name string
+
+	// Doc is a one-paragraph description of the invariant enforced.
+	Doc string
+
+	// Scope restricts the analyzer to packages whose import path ends with
+	// one of these suffixes. Empty means every package. The scope is applied
+	// by Run (and therefore by cmd/disassolint); fixture tests invoke
+	// analyzers directly and bypass it.
+	Scope []string
+
+	// Run performs the check and reports findings via pass.Report.
+	Run func(pass *Pass) error
+}
+
+// AppliesTo reports whether the analyzer's scope admits the import path.
+func (a *Analyzer) AppliesTo(path string) bool {
+	if len(a.Scope) == 0 {
+		return true
+	}
+	for _, suf := range a.Scope {
+		if path == suf || strings.HasSuffix(path, "/"+suf) {
+			return true
+		}
+	}
+	return false
+}
+
+// A Diagnostic is one finding, positioned in the loaded file set.
+type Diagnostic struct {
+	Pos      token.Position
+	Analyzer string
+	Message  string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s: %s (%s)", d.Pos, d.Message, d.Analyzer)
+}
+
+// A Pass carries one package's syntax and type information to an analyzer.
+type Pass struct {
+	Analyzer *Analyzer
+
+	Fset  *token.FileSet
+	Files []*ast.File // parsed GoFiles, with comments
+
+	Path         string // import path
+	Dir          string // package directory on disk
+	GoFiles      []string
+	OtherGoFiles []string // .go files excluded by build constraints (hook tag-on files)
+
+	Pkg  *types.Package
+	Info *types.Info
+
+	suppress *suppressionIndex
+	sink     *[]Diagnostic
+}
+
+// Reportf records a finding at pos unless a suppression comment covers it.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	position := p.Fset.Position(pos)
+	if p.suppress.covers(p.Analyzer.Name, position) {
+		return
+	}
+	*p.sink = append(*p.sink, Diagnostic{
+		Pos:      position,
+		Analyzer: p.Analyzer.Name,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// suppressionIndex records, per file and line, which analyzers are silenced
+// by //lint: directives. A directive on line N covers findings on line N
+// (trailing comment) and on line N+1 (comment above the statement).
+//
+// Two directive forms are honored:
+//
+//	//lint:deterministic <justification>   — silences detorder only; the
+//	    justification is mandatory (the whole point is an auditable reason).
+//	//lint:ignore <analyzer> <justification> — silences the named analyzer.
+type suppressionIndex struct {
+	// byLine maps file name -> line -> analyzer names silenced there.
+	// The wildcard name "*" is not supported on purpose: every suppression
+	// names the check it mutes.
+	byLine map[string]map[int][]string
+}
+
+func newSuppressionIndex() *suppressionIndex {
+	return &suppressionIndex{byLine: make(map[string]map[int][]string)}
+}
+
+func (s *suppressionIndex) add(file string, line int, analyzer string) {
+	m := s.byLine[file]
+	if m == nil {
+		m = make(map[int][]string)
+		s.byLine[file] = m
+	}
+	m[line] = append(m[line], analyzer)
+}
+
+func (s *suppressionIndex) covers(analyzer string, pos token.Position) bool {
+	m := s.byLine[pos.Filename]
+	if m == nil {
+		return false
+	}
+	for _, l := range [2]int{pos.Line, pos.Line - 1} {
+		for _, name := range m[l] {
+			if name == analyzer {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// directiveDiag is a malformed-directive finding produced while indexing.
+type directiveDiag struct {
+	pos token.Pos
+	msg string
+}
+
+// indexSuppressions scans a file's comments for //lint: directives. It
+// returns the indexed suppressions (added into idx) and diagnostics for
+// malformed directives (missing justification, unknown form).
+func indexSuppressions(fset *token.FileSet, file *ast.File, idx *suppressionIndex) []directiveDiag {
+	var diags []directiveDiag
+	for _, cg := range file.Comments {
+		for _, c := range cg.List {
+			text, ok := strings.CutPrefix(c.Text, "//lint:")
+			if !ok {
+				continue
+			}
+			pos := fset.Position(c.Pos())
+			fields := strings.Fields(text)
+			if len(fields) == 0 {
+				diags = append(diags, directiveDiag{c.Pos(), "empty //lint: directive"})
+				continue
+			}
+			switch fields[0] {
+			case "deterministic":
+				if len(fields) < 2 {
+					diags = append(diags, directiveDiag{c.Pos(),
+						"//lint:deterministic requires a justification (why is this iteration order safe?)"})
+					continue
+				}
+				idx.add(pos.Filename, pos.Line, "detorder")
+			case "ignore":
+				if len(fields) < 3 {
+					diags = append(diags, directiveDiag{c.Pos(),
+						"//lint:ignore requires an analyzer name and a justification"})
+					continue
+				}
+				idx.add(pos.Filename, pos.Line, fields[1])
+			default:
+				diags = append(diags, directiveDiag{c.Pos(),
+					fmt.Sprintf("unknown //lint: directive %q (want deterministic or ignore)", fields[0])})
+			}
+		}
+	}
+	return diags
+}
+
+// RunAnalyzers executes every analyzer whose scope admits the package and
+// returns the collected diagnostics sorted by position.
+func RunAnalyzers(pkg *Package, analyzers []*Analyzer) ([]Diagnostic, error) {
+	return runAnalyzers(pkg, analyzers, true)
+}
+
+// RunAnalyzersUnscoped executes the analyzers regardless of their package
+// scope. Fixture tests (linttest) use it: fixtures live under testdata, so
+// their import paths never match the production scopes.
+func RunAnalyzersUnscoped(pkg *Package, analyzers []*Analyzer) ([]Diagnostic, error) {
+	return runAnalyzers(pkg, analyzers, false)
+}
+
+func runAnalyzers(pkg *Package, analyzers []*Analyzer, applyScope bool) ([]Diagnostic, error) {
+	idx := newSuppressionIndex()
+	var directiveDiags []directiveDiag
+	for _, f := range pkg.Syntax {
+		directiveDiags = append(directiveDiags, indexSuppressions(pkg.Fset, f, idx)...)
+	}
+
+	var out []Diagnostic
+	for _, d := range directiveDiags {
+		out = append(out, Diagnostic{
+			Pos:      pkg.Fset.Position(d.pos),
+			Analyzer: "lintdirective",
+			Message:  d.msg,
+		})
+	}
+
+	for _, a := range analyzers {
+		if applyScope && !a.AppliesTo(pkg.Path) {
+			continue
+		}
+		pass := &Pass{
+			Analyzer:     a,
+			Fset:         pkg.Fset,
+			Files:        pkg.Syntax,
+			Path:         pkg.Path,
+			Dir:          pkg.Dir,
+			GoFiles:      pkg.GoFiles,
+			OtherGoFiles: pkg.OtherGoFiles,
+			Pkg:          pkg.Types,
+			Info:         pkg.Info,
+			suppress:     idx,
+			sink:         &out,
+		}
+		if err := a.Run(pass); err != nil {
+			return nil, fmt.Errorf("%s: %s: %w", a.Name, pkg.Path, err)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return out, nil
+}
+
+// All returns the full disassolint suite in a stable order.
+func All() []*Analyzer {
+	return []*Analyzer{
+		DetOrder,
+		DenseDomain,
+		CloseCheck,
+		HookPair,
+	}
+}

@@ -1,0 +1,92 @@
+// Package linttest runs lint analyzers over fixture packages and compares
+// the diagnostics against `// want "regexp"` comments, in the style of
+// golang.org/x/tools/go/analysis/analysistest (which this repo cannot
+// depend on). A fixture line may carry several want comments; every
+// diagnostic must match a want on its exact file:line and every want must
+// be matched by at least one diagnostic.
+package linttest
+
+import (
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+
+	"disasso/internal/lint"
+)
+
+var wantRE = regexp.MustCompile(`// want "((?:[^"\\]|\\.)*)"`)
+
+type want struct {
+	file string
+	line int
+	re   *regexp.Regexp
+	hit  bool
+}
+
+// Run loads each fixture package under testdataDir/src and applies the
+// analyzer (ignoring its production package scope), then checks the
+// diagnostics against the fixtures' want comments.
+func Run(t *testing.T, testdataDir string, a *lint.Analyzer, fixtures ...string) {
+	t.Helper()
+	patterns := make([]string, len(fixtures))
+	for i, fx := range fixtures {
+		patterns[i] = "./" + filepath.ToSlash(filepath.Join("src", fx))
+	}
+	pkgs, err := lint.Load(testdataDir, patterns...)
+	if err != nil {
+		t.Fatalf("loading fixtures %v: %v", fixtures, err)
+	}
+	for _, pkg := range pkgs {
+		diags, err := lint.RunAnalyzersUnscoped(pkg, []*lint.Analyzer{a})
+		if err != nil {
+			t.Fatalf("%s on %s: %v", a.Name, pkg.Path, err)
+		}
+		wants := collectWants(t, append(append([]string{}, pkg.GoFiles...), pkg.OtherGoFiles...))
+
+		for _, d := range diags {
+			matched := false
+			for _, w := range wants {
+				if w.hit || w.file != d.Pos.Filename || w.line != d.Pos.Line {
+					continue
+				}
+				if w.re.MatchString(d.Message) {
+					w.hit = true
+					matched = true
+					break
+				}
+			}
+			if !matched {
+				t.Errorf("%s: unexpected diagnostic: %s", a.Name, d)
+			}
+		}
+		for _, w := range wants {
+			if !w.hit {
+				t.Errorf("%s: missing diagnostic at %s:%d matching %q",
+					a.Name, w.file, w.line, w.re)
+			}
+		}
+	}
+}
+
+func collectWants(t *testing.T, files []string) []*want {
+	t.Helper()
+	var wants []*want
+	for _, path := range files {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatalf("reading fixture %s: %v", path, err)
+		}
+		for i, line := range strings.Split(string(data), "\n") {
+			for _, m := range wantRE.FindAllStringSubmatch(line, -1) {
+				re, err := regexp.Compile(m[1])
+				if err != nil {
+					t.Fatalf("%s:%d: bad want regexp %q: %v", path, i+1, m[1], err)
+				}
+				wants = append(wants, &want{file: path, line: i + 1, re: re})
+			}
+		}
+	}
+	return wants
+}

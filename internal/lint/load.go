@@ -1,0 +1,170 @@
+package lint
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"runtime"
+)
+
+// A Package is one loaded, parsed, and type-checked package.
+type Package struct {
+	Fset  *token.FileSet
+	Path  string
+	Dir   string
+	Types *types.Package
+	Info  *types.Info
+
+	Syntax       []*ast.File
+	GoFiles      []string // absolute paths of the files in Syntax
+	OtherGoFiles []string // absolute paths of constraint-excluded .go files
+}
+
+// listedPackage is the subset of `go list -json` output the loader needs.
+type listedPackage struct {
+	Dir            string
+	ImportPath     string
+	Name           string
+	GoFiles        []string
+	IgnoredGoFiles []string
+	Export         string
+	DepOnly        bool
+	Standard       bool
+	Error          *struct {
+		Err string
+	}
+}
+
+// Load resolves patterns with the go command and returns the matched
+// packages (dependencies are type-checked from compiler export data, not
+// returned). Patterns are anything `go list` accepts: ./..., explicit
+// directories, or import paths. dir is the working directory for the go
+// invocation ("" means the current directory).
+//
+// Only GoFiles are analyzed — _test.go files and constraint-excluded files
+// are not type-checked (excluded files are still surfaced to analyzers via
+// Package.OtherGoFiles so file-level checks like hookpair can see both
+// sides of a build-tag pair).
+func Load(dir string, patterns ...string) ([]*Package, error) {
+	if len(patterns) == 0 {
+		return nil, fmt.Errorf("lint.Load: no patterns")
+	}
+	listed, err := goList(dir, patterns)
+	if err != nil {
+		return nil, err
+	}
+
+	byPath := make(map[string]*listedPackage, len(listed))
+	for _, lp := range listed {
+		byPath[lp.ImportPath] = lp
+	}
+
+	fset := token.NewFileSet()
+	imp := importer.ForCompiler(fset, "gc", func(path string) (io.ReadCloser, error) {
+		lp := byPath[path]
+		if lp == nil {
+			return nil, fmt.Errorf("no listed package for import path %q", path)
+		}
+		if lp.Export == "" {
+			return nil, fmt.Errorf("no export data for %q (compile error?)", path)
+		}
+		return os.Open(lp.Export)
+	})
+
+	var pkgs []*Package
+	for _, lp := range listed {
+		if lp.DepOnly {
+			continue
+		}
+		if lp.Error != nil {
+			return nil, fmt.Errorf("go list: %s: %s", lp.ImportPath, lp.Error.Err)
+		}
+		pkg, err := typecheck(fset, imp, lp)
+		if err != nil {
+			return nil, err
+		}
+		pkgs = append(pkgs, pkg)
+	}
+	return pkgs, nil
+}
+
+func goList(dir string, patterns []string) ([]*listedPackage, error) {
+	args := append([]string{
+		"list", "-deps", "-export",
+		"-json=Dir,ImportPath,Name,GoFiles,IgnoredGoFiles,Export,DepOnly,Standard,Error",
+	}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("go list %v: %v\n%s", patterns, err, stderr.Bytes())
+	}
+	var listed []*listedPackage
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		lp := new(listedPackage)
+		if err := dec.Decode(lp); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("decoding go list output: %v", err)
+		}
+		listed = append(listed, lp)
+	}
+	return listed, nil
+}
+
+func typecheck(fset *token.FileSet, imp types.Importer, lp *listedPackage) (*Package, error) {
+	files := make([]*ast.File, 0, len(lp.GoFiles))
+	goFiles := make([]string, 0, len(lp.GoFiles))
+	for _, name := range lp.GoFiles {
+		path := filepath.Join(lp.Dir, name)
+		f, err := parser.ParseFile(fset, path, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, fmt.Errorf("parsing %s: %v", path, err)
+		}
+		files = append(files, f)
+		goFiles = append(goFiles, path)
+	}
+
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+	conf := types.Config{
+		Importer: imp,
+		Sizes:    types.SizesFor("gc", runtime.GOARCH),
+	}
+	tpkg, err := conf.Check(lp.ImportPath, fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("type-checking %s: %v", lp.ImportPath, err)
+	}
+
+	other := make([]string, 0, len(lp.IgnoredGoFiles))
+	for _, name := range lp.IgnoredGoFiles {
+		other = append(other, filepath.Join(lp.Dir, name))
+	}
+	return &Package{
+		Fset:         fset,
+		Path:         lp.ImportPath,
+		Dir:          lp.Dir,
+		Types:        tpkg,
+		Info:         info,
+		Syntax:       files,
+		GoFiles:      goFiles,
+		OtherGoFiles: other,
+	}, nil
+}

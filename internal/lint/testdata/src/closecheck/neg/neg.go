@@ -1,0 +1,52 @@
+// Package neg holds closecheck negative fixtures: nothing here may be
+// flagged.
+package neg
+
+import (
+	"bufio"
+	"io"
+	"os"
+)
+
+// Propagated returns the flush error.
+func Propagated(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	return bw.Flush()
+}
+
+// Explicit discards visibly; `_ =` is greppable and allowed.
+func Explicit(w io.Writer) {
+	bw := bufio.NewWriter(w)
+	_ = bw.Flush()
+}
+
+// SafetyNet is the house pattern: a deferred close as the error-path
+// safety net plus a checked close on the success path.
+func SafetyNet(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if _, err := f.WriteString("x"); err != nil {
+		return err
+	}
+	return f.Close()
+}
+
+// Reader closes a read-only file; nothing written, nothing lost.
+func Reader(path string) ([]byte, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return io.ReadAll(f)
+}
+
+// Justified suppresses with a reason.
+func Justified(w io.Writer) {
+	bw := bufio.NewWriter(w)
+	//lint:ignore closecheck fixture demonstrates an intentional drop
+	bw.Flush()
+}

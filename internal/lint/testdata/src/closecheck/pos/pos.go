@@ -1,0 +1,27 @@
+// Package pos holds closecheck positive fixtures: every site below must
+// be flagged.
+package pos
+
+import (
+	"bufio"
+	"io"
+	"os"
+)
+
+// DroppedFlush loses the only failure signal a buffered writer emits.
+func DroppedFlush(w io.Writer) {
+	bw := bufio.NewWriter(w)
+	bw.Flush() // want "error from bw.Flush is dropped"
+}
+
+// DeferredClose swallows short writes that surface only at close time —
+// the PR 4 -reconstruct bug shape.
+func DeferredClose(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close() // want "deferred f.Close discards its error"
+	_, err = f.WriteString("x")
+	return err
+}

@@ -1,0 +1,7 @@
+// Package dataset mirrors the real dataset package's Term rank type so
+// densedomain fixtures exercise the same package-name + type-name match
+// the analyzer uses against the production tree.
+package dataset
+
+// Term is a fixture stand-in for the production term identifier.
+type Term uint32

@@ -1,0 +1,30 @@
+// Package neg holds densedomain negative fixtures: nothing here may be
+// flagged.
+package neg
+
+import "disasso/internal/lint/testdata/src/dataset"
+
+// Boundary signatures may accept a caller's Term-keyed map.
+func Boundary(m map[dataset.Term]int) int {
+	return m[7]
+}
+
+// Dense state is the approved flat rank-indexed form.
+func Dense(n int) []uint32 {
+	return make([]uint32, n)
+}
+
+// OtherKeys is a map, but not keyed by dataset.Term.
+func OtherKeys() map[string]int {
+	return make(map[string]int)
+}
+
+// Convert is annotated boundary conversion at the package edge.
+func Convert(terms []dataset.Term) map[dataset.Term]bool {
+	//lint:ignore densedomain boundary conversion for a public API
+	out := make(map[dataset.Term]bool, len(terms))
+	for _, t := range terms {
+		out[t] = true
+	}
+	return out
+}

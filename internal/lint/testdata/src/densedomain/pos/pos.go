@@ -1,0 +1,20 @@
+// Package pos holds densedomain positive fixtures: every site below must
+// be flagged.
+package pos
+
+import "disasso/internal/lint/testdata/src/dataset"
+
+// holder stores per-term state as a hash map instead of a rank slice.
+type holder struct {
+	supports map[dataset.Term]int // want "struct field stores"
+}
+
+// Make builds a fresh Term-keyed map.
+func Make(n int) map[dataset.Term]int {
+	return make(map[dataset.Term]int, n) // want "building map"
+}
+
+// Lit builds one as a literal, nested inside a slice element.
+func Lit() []map[dataset.Term]bool {
+	return []map[dataset.Term]bool{{1: true}} // want "literal of"
+}

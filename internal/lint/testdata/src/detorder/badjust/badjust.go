@@ -1,0 +1,13 @@
+// Package badjust checks that a typo'd //lint: directive is itself
+// reported and does not silence the finding it sits above.
+package badjust
+
+// Count mistypes the directive name.
+func Count(m map[string]int) int {
+	n := 0
+	//lint:wibble order does not matter // want "unknown //lint: directive"
+	for range m { // want "iteration over map"
+		n++
+	}
+	return n
+}

@@ -1,0 +1,45 @@
+// Package neg holds detorder negative fixtures: nothing here may be
+// flagged.
+package neg
+
+import (
+	"math/rand/v2"
+	"sort"
+)
+
+// SortedKeys is the canonical collect-then-sort pattern the analyzer must
+// recognize.
+func SortedKeys(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// Justified carries an auditable justification for an order-independent
+// reduction.
+func Justified(m map[string]int) int {
+	n := 0
+	//lint:deterministic order-independent count
+	for range m {
+		n++
+	}
+	return n
+}
+
+// SliceRange iterates a slice, which is ordered and fine.
+func SliceRange(s []int) int {
+	total := 0
+	for _, v := range s {
+		total += v
+	}
+	return total
+}
+
+// SeededRand threads an explicit seed, the approved PRNG pattern.
+func SeededRand(seed uint64) int {
+	rng := rand.New(rand.NewPCG(seed, 1))
+	return rng.IntN(10)
+}

@@ -1,0 +1,27 @@
+// Package pos holds detorder positive fixtures: every site below must be
+// flagged.
+package pos
+
+import (
+	"math/rand"
+	"time"
+)
+
+// MapRange ranges a map with no sort afterwards and no justification.
+func MapRange(m map[string]int) []string {
+	var keys []string
+	for k := range m { // want "iteration over map"
+		keys = append(keys, k)
+	}
+	return keys
+}
+
+// Wallclock lets the current time influence a returned value.
+func Wallclock() int64 {
+	return time.Now().UnixNano() // want "time.Now in an output-affecting package"
+}
+
+// GlobalRand draws from the shared unseeded source.
+func GlobalRand() int {
+	return rand.Intn(10) // want "global rand.Intn"
+}

@@ -1,0 +1,6 @@
+//go:build !goodtag
+
+package good
+
+// fancyPathDefault routes through the production path by default.
+const fancyPathDefault = false

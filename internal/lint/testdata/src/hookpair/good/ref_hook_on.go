@@ -1,0 +1,6 @@
+//go:build goodtag
+
+package good
+
+// fancyPathDefault routes through the reference path under the tag build.
+const fancyPathDefault = true

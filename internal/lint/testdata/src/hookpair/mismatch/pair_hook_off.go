@@ -1,0 +1,5 @@
+//go:build !mtagB
+
+package mismatch
+
+const pairedPathDefault = false // want "mismatched build tags"

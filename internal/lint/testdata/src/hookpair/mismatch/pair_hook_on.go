@@ -1,0 +1,5 @@
+//go:build mtagA
+
+package mismatch
+
+const pairedPathDefault = true

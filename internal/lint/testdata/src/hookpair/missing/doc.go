@@ -1,0 +1,2 @@
+// Package missing has an orphaned hook: only the tag-on side exists.
+package missing

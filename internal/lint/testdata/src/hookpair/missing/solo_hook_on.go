@@ -1,0 +1,5 @@
+//go:build solotag
+
+package missing
+
+const soloPathDefault = true // want "declared in 1 tag file"

@@ -1,0 +1,3 @@
+// Package sameside declares both halves of a hook under the same
+// constraint, so flipping the tag never swaps the implementation.
+package sameside

@@ -1,0 +1,5 @@
+//go:build sstag
+
+package sameside
+
+const samePathDefault = true

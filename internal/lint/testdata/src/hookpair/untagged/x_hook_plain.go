@@ -1,0 +1,3 @@
+package untagged // want "needs a //go:build line"
+
+const plainPathDefault = true

@@ -1,0 +1,3 @@
+//go:build sometag
+
+package untagged // want "declares no .Default hook constant"

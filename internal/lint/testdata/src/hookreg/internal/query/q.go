@@ -1,0 +1,1 @@
+package query // want "supportViaScanDefault is missing"

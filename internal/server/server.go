@@ -393,8 +393,10 @@ func (s *Server) publishStreamed(name string, body io.Reader, opts core.Options,
 		return nil, internalError{err}
 	}
 	defer func() {
-		spill.Close()
-		os.Remove(spill.Name())
+		// Cleanup of a temp file whose bytes were already consumed by
+		// ReadBinary; a close failure here cannot lose published data.
+		_ = spill.Close()
+		_ = os.Remove(spill.Name())
 	}()
 	bw := bufio.NewWriter(spill)
 	st, err := shard.Anonymize(body, bw, shard.Options{

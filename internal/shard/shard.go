@@ -238,7 +238,9 @@ func (e *engine) tmpPath(kind string) string {
 
 func (e *engine) cleanup() {
 	if e.spill != nil && e.spill.f != nil {
-		e.spill.f.Close()
+		// Error-path cleanup: the run already failed (or the spill was
+		// fully read back); the close result cannot change the outcome.
+		_ = e.spill.f.Close()
 	}
 	if e.dir != "" {
 		os.RemoveAll(e.dir)

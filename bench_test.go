@@ -275,6 +275,73 @@ func BenchmarkAnonymizeStream(b *testing.B) {
 	b.ReportMetric(float64(peak)/(1<<20), "peak-MiB")
 }
 
+// --- Delta republish: incremental vs from-scratch ---
+
+// BenchmarkDeltaRepublish measures republish latency as a function of delta
+// size: balanced churn deltas of 0.1%, 1% and 10% of the records against the
+// full-republish baseline over the same dataset. Each delta removes a spread
+// of resident records and appends fresh copies drawn from the same
+// distribution — the steady state of the loadbench append/remove mix, where
+// every append is eventually retired by a remove. Small shards keep the
+// dirty fraction proportional to churn; dirty-shards/total-shards is
+// attached so the scaling is visible in the BENCH record, not just implied
+// by ns/op.
+func BenchmarkDeltaRepublish(b *testing.B) {
+	d := benchDataset(b)
+	opts := core.Options{K: 3, M: 2, MaxClusterSize: 8, MaxShardRecords: 12, Seed: 1}
+	_, st, err := core.AnonymizeWithState(d, opts)
+	if err != nil {
+		b.Fatal(err)
+	}
+	records := st.Records()
+	n := len(records)
+	for _, size := range []struct {
+		name string
+		frac float64
+	}{
+		{"0.1pct", 0.001},
+		{"1pct", 0.01},
+		{"10pct", 0.10},
+	} {
+		b.Run("delta="+size.name, func(b *testing.B) {
+			c := int(float64(n)*size.frac + 0.5)
+			if c < 1 {
+				c = 1
+			}
+			var delta core.Delta
+			stride := n / c
+			for i := 0; i < c; i++ {
+				r := records[i*stride]
+				delta.Remove = append(delta.Remove, r)
+				delta.Append = append(delta.Append, r)
+			}
+			var stats core.RepublishStats
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				_, _, s, err := st.Apply(delta)
+				if err != nil {
+					b.Fatal(err)
+				}
+				stats = s
+			}
+			b.ReportMetric(float64(stats.DirtyShards), "dirty-shards")
+			b.ReportMetric(float64(stats.TotalShards), "total-shards")
+			if stats.FullRepublish {
+				b.ReportMetric(1, "fallback")
+			}
+		})
+	}
+	b.Run("full", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := core.Anonymize(d, opts); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
 // --- Query-serving benchmarks: scan vs inverted index ---
 
 // benchQueryWorkload publishes a many-cluster dataset and draws a fixed mix

@@ -14,13 +14,20 @@
 //
 //	GET    /healthz
 //	GET    /v1/datasets
-//	POST   /v1/datasets/{name}?k=5&m=2[&stream=1&membudget=256M]
+//	POST   /v1/datasets/{name}?k=5&m=2[&shardrecords=N][&stream=1&membudget=256M]
 //	DELETE /v1/datasets/{name}
+//	POST   /v1/datasets/{name}/append         body: records, one per line
+//	POST   /v1/datasets/{name}/remove         body: records, one per line
 //	GET    /v1/datasets/{name}/stats
 //	POST   /v1/datasets/{name}/support        {"itemsets": [[3,17],[42]]}
 //	GET    /v1/datasets/{name}/support?itemset=3,17
 //	POST   /v1/datasets/{name}/reconstruct    {"samples": 2, "seed": 7}
 //	GET    /v1/datasets/{name}/metrics
+//
+// Append and remove are incremental delta republishes: each produces a new
+// immutable snapshot version whose bytes are identical to a from-scratch
+// publish of the updated records, but only the shards the delta touches are
+// re-anonymized (publish with shardrecords > 0 to enable sharding).
 package main
 
 import (

@@ -16,10 +16,13 @@
 // then runs N closed-loop clients — or open-loop at a fixed aggregate
 // -rate — until -duration or -requests is exhausted. Churn ops republish
 // and delete a scratch "<dataset>-churn" name so the measured query target
-// stays resident.
+// stays resident; append/remove ops drive the incremental delta-republish
+// endpoints against the measured dataset itself (publish with
+// -shard-records > 0 so deltas re-anonymize only dirty shards), each client
+// removing batches it previously appended.
 //
 // With -bench the results are printed as `go test -bench`-style lines, so
-// CI pipes them through cmd/benchjson into the archived BENCH_PR5.json:
+// CI pipes them through cmd/benchjson into the archived BENCH_PR7.json:
 //
 //	loadbench -data web.txt -inprocess -bench | benchjson > bench.json
 package main
@@ -52,6 +55,7 @@ type config struct {
 	name      string        // dataset name to publish and query
 	k, m      int           // anonymization parameters
 	maxClu    int           // MaxClusterSize
+	shardRecs int           // MaxShardRecords (shard cut for delta republish)
 	seed      uint64        // anonymization + workload seed
 	specFile  string        // mix spec file
 	mix       string        // inline mix spec (overrides specFile)
@@ -75,6 +79,7 @@ func main() {
 	flag.IntVar(&cfg.k, "k", 5, "anonymity parameter k")
 	flag.IntVar(&cfg.m, "m", 2, "anonymity parameter m")
 	flag.IntVar(&cfg.maxClu, "maxcluster", 0, "maximum cluster size (0 = library default)")
+	flag.IntVar(&cfg.shardRecs, "shard-records", 0, "shard cut in records (0 = one global shard; set > 0 so append/remove deltas republish incrementally)")
 	flag.Uint64Var(&cfg.seed, "seed", 1, "anonymization and workload PRNG seed")
 	flag.StringVar(&cfg.specFile, "spec", "", "workload mix spec file (default: built-in mixed read-heavy spec)")
 	flag.StringVar(&cfg.mix, "mix", "", "inline workload mix spec, ';' separates entries (overrides -spec)")
@@ -141,7 +146,7 @@ func run(cfg config, out, logw io.Writer) error {
 	if err != nil {
 		return err
 	}
-	opts := core.Options{K: cfg.k, M: cfg.m, MaxClusterSize: cfg.maxClu, Seed: cfg.seed}
+	opts := core.Options{K: cfg.k, M: cfg.m, MaxClusterSize: cfg.maxClu, MaxShardRecords: cfg.shardRecs, Seed: cfg.seed}
 	fmt.Fprintf(logw, "loadbench: anonymizing %d records (k=%d m=%d) for the workload model\n", len(d.Records), cfg.k, cfg.m)
 	a, err := core.Anonymize(d, opts)
 	if err != nil {
@@ -268,6 +273,7 @@ func (dr *driver) drive(entries int) runStats {
 // issues back to back.
 func (dr *driver) clientLoop(id int, stats []endpointStats, deadline time.Time) {
 	st := dr.model.Stream(id)
+	cs := &clientState{}
 	var interval time.Duration
 	if dr.cfg.rate > 0 {
 		interval = time.Duration(float64(time.Second) * float64(dr.cfg.clients) / dr.cfg.rate)
@@ -338,7 +344,7 @@ func (dr *driver) clientLoop(id int, stats []endpointStats, deadline time.Time) 
 		if itemsets != nil {
 			ok = dr.doSupport(itemsets)
 		} else {
-			ok = dr.doOp(op)
+			ok = dr.doOp(cs, op)
 		}
 		stats[op.Entry].hist.Observe(time.Since(began))
 		if !ok {
@@ -369,10 +375,17 @@ func (dr *driver) doSupport(itemsets []dataset.Record) bool {
 	return err == nil && status == http.StatusOK
 }
 
+// clientState is one client goroutine's delta bookkeeping: the batches it
+// appended and has not yet removed, oldest first, so OpRemove always targets
+// records that were genuinely resident when appended.
+type clientState struct {
+	pending []string // rendered append batches
+}
+
 // doOp issues one operation, reporting whether it succeeded. Expected churn
-// outcomes (404 after a delete, 409 where replace races) count as success;
-// transport errors and every other non-2xx count as failures.
-func (dr *driver) doOp(op load.Op) bool {
+// outcomes (404 after a delete, 409 where replace or a delta races) count as
+// success; transport errors and every other non-2xx count as failures.
+func (dr *driver) doOp(cs *clientState, op load.Op) bool {
 	churn := dr.dataURL(dr.cfg.name + "-churn")
 	switch op.Kind {
 	case load.OpSupport:
@@ -393,8 +406,45 @@ func (dr *driver) doOp(op load.Op) bool {
 		}
 		status, err := dr.do(req)
 		return err == nil && (status == http.StatusNoContent || status == http.StatusNotFound)
+	case load.OpAppend:
+		batch := renderBatch(op.Batch)
+		status, err := dr.post(dr.dataURL(dr.cfg.name)+"/append", batch)
+		if err != nil {
+			return false
+		}
+		if status == http.StatusOK {
+			cs.pending = append(cs.pending, batch)
+		}
+		return status == http.StatusOK || status == http.StatusNotFound || status == http.StatusConflict
+	case load.OpRemove:
+		if len(cs.pending) == 0 {
+			return true // nothing appended yet; pacing op, not a failure
+		}
+		batch := cs.pending[0]
+		cs.pending = cs.pending[1:]
+		status, err := dr.post(dr.dataURL(dr.cfg.name)+"/remove", batch)
+		if err != nil {
+			return false
+		}
+		// 409: another client's replace or remove raced this batch away.
+		return status == http.StatusOK || status == http.StatusNotFound || status == http.StatusConflict
 	}
 	return false
+}
+
+// renderBatch writes a delta batch in the endpoints' text body format.
+func renderBatch(records []dataset.Record) string {
+	var sb strings.Builder
+	for _, r := range records {
+		for j, t := range r {
+			if j > 0 {
+				sb.WriteByte(' ')
+			}
+			fmt.Fprintf(&sb, "%d", t)
+		}
+		sb.WriteByte('\n')
+	}
+	return sb.String()
 }
 
 func (dr *driver) post(url, body string) (int, error) {
@@ -419,7 +469,8 @@ func (dr *driver) do(req *http.Request) (int, error) {
 
 // publish uploads the dataset under the given URL.
 func (dr *driver) publish(url string, replace bool) error {
-	full := fmt.Sprintf("%s?k=%d&m=%d&maxcluster=%d&seed=%d", url, dr.cfg.k, dr.cfg.m, dr.cfg.maxClu, dr.cfg.seed)
+	full := fmt.Sprintf("%s?k=%d&m=%d&maxcluster=%d&shardrecords=%d&seed=%d",
+		url, dr.cfg.k, dr.cfg.m, dr.cfg.maxClu, dr.cfg.shardRecs, dr.cfg.seed)
 	if replace {
 		full += "&replace=1"
 	}

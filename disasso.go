@@ -106,6 +106,34 @@ func Anonymize(d *Dataset, opts Options) (*Anonymized, error) {
 	return core.Anonymize(d, opts)
 }
 
+// Incremental delta republish: a publish that retains its shard-plan state
+// can absorb batches of appended and removed records at a cost proportional
+// to the churn, not the dataset — only the shards the delta touches are
+// re-anonymized, and the published bytes are exactly what a from-scratch
+// Anonymize over the updated records would produce.
+type (
+	// RepublishState is the retained state of AnonymizeWithState. Immutable:
+	// ApplyDelta returns a successor state and leaves the receiver valid.
+	RepublishState = core.RepubState
+	// RepublishDelta is one batch of removals and appends.
+	RepublishDelta = core.Delta
+	// RepublishStats reports what a delta republish recomputed.
+	RepublishStats = core.RepublishStats
+)
+
+// ErrRecordNotFound reports a delta removal of a record not present in the
+// dataset; the delta is rejected as a whole.
+var ErrRecordNotFound = core.ErrRecordNotFound
+
+// AnonymizeWithState is Anonymize plus retained delta-republish state: the
+// publication is byte-identical to Anonymize(d, opts), and the returned state
+// accepts RepublishState.Apply calls for incremental republishes. Publish
+// with Options.MaxShardRecords > 0 — a single global shard makes every delta
+// a full republish.
+func AnonymizeWithState(d *Dataset, opts Options) (*Anonymized, *RepublishState, error) {
+	return core.AnonymizeWithState(d, opts)
+}
+
 // StreamOptions configures AnonymizeStream: the core anonymization
 // parameters plus the memory budget, spill directory and output format of
 // the sharded streaming engine.
@@ -234,6 +262,8 @@ type (
 	ServerReconstructResponse = server.ReconstructResponse
 	// ServerMetricsResponse answers GET .../metrics.
 	ServerMetricsResponse = server.MetricsResponse
+	// ServerDeltaResponse answers POST .../append and .../remove.
+	ServerDeltaResponse = server.DeltaResponse
 	// ServerErrorResponse is the body of every non-2xx answer.
 	ServerErrorResponse = server.ErrorResponse
 )
@@ -251,9 +281,9 @@ func NewServer(opts ServerOptions) http.Handler {
 // Workload modeling (cmd/loadbench): seeded deterministic query streams
 // drawn from a published snapshot's own term domain — Zipf-skewed singleton
 // supports, correlated itemsets from co-occurring cluster terms,
-// reconstruction calls and publish/delete churn — described by a small text
-// mix spec. The same machinery drives load benchmarks and the
-// correctness-under-concurrency soak tests.
+// reconstruction calls, publish/delete churn and append/remove delta
+// batches — described by a small text mix spec. The same machinery drives
+// load benchmarks and the correctness-under-concurrency soak tests.
 type (
 	// WorkloadSpec is a parsed workload mix (see ParseWorkloadSpec).
 	WorkloadSpec = load.Spec
@@ -280,12 +310,14 @@ const (
 	WorkloadReconstruct = load.OpReconstruct
 	WorkloadPublish     = load.OpPublish
 	WorkloadDelete      = load.OpDelete
+	WorkloadAppend      = load.OpAppend
+	WorkloadRemove      = load.OpRemove
 )
 
 // ParseWorkloadSpec parses the workload mix text format: one entry per
 // line or ';'-separated, `kind key=value ...` with '#' comments, kinds
-// singleton/itemset/reconstruct/publish/delete. See load.ParseSpec for the
-// per-kind parameters.
+// singleton/itemset/reconstruct/publish/delete/append/remove. See
+// load.ParseSpec for the per-kind parameters.
 func ParseWorkloadSpec(text string) (*WorkloadSpec, error) {
 	return load.ParseSpec(text)
 }

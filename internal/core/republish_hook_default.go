@@ -1,0 +1,10 @@
+//go:build !republish_scratch
+
+package core
+
+// republishScratchDefault selects the incremental delta-republish engine:
+// Apply routes the delta through the retained shard plan and re-anonymizes
+// dirty shards only. Build with -tags republish_scratch to default to the
+// reference from-scratch path instead (used to cross-check byte-identical
+// output).
+const republishScratchDefault = false

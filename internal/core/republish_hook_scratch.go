@@ -1,0 +1,8 @@
+//go:build republish_scratch
+
+package core
+
+// republishScratchDefault under the republish_scratch build tag forces the
+// reference path: every Apply rebuilds the plan and re-anonymizes every shard
+// from scratch. Output must be byte-identical to the incremental engine.
+const republishScratchDefault = true

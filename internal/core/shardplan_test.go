@@ -83,6 +83,90 @@ func TestShardCut(t *testing.T) {
 	}
 }
 
+// TestShardPlanNeverStrandsBelowK is the guard delta routing relies on: no
+// planned shard may hold fewer than k records (MergeUndersized repairs within
+// a shard only), however small maxShard is pushed relative to the dataset.
+func TestShardPlanNeverStrandsBelowK(t *testing.T) {
+	for seed := uint64(0); seed < 6; seed++ {
+		d := genDataset(seed, seed+41, 150+int(seed)*30)
+		dom := dataset.NewDenseDomain(d.Records)
+		dense := dom.RemapAll(d.Records)
+		exclude := make([]bool, dom.Len())
+		for _, k := range []int{2, 4, 7} {
+			for _, S := range []int{10, 25, 60} {
+				shards := planShards(dense, dom.Len(), exclude, S, k)
+				for _, sh := range shards {
+					if len(sh.Records) < k && len(shards) > 1 {
+						t.Fatalf("seed %d k=%d S=%d: shard %d stranded with %d < k records",
+							seed, k, S, sh.Index, len(sh.Records))
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestShardPlanMaxClusterClamp pins the withDefaults interaction: a
+// MaxShardRecords below MaxClusterSize is raised to it (a smaller cut could
+// land inside a node HORPART would emit as one cluster), so both settings
+// publish identical bytes.
+func TestShardPlanMaxClusterClamp(t *testing.T) {
+	opts, err := ShardOptions(Options{K: 3, M: 2, MaxClusterSize: 25, MaxShardRecords: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if opts.MaxShardRecords != 25 {
+		t.Fatalf("MaxShardRecords clamped to %d, want MaxClusterSize=25", opts.MaxShardRecords)
+	}
+
+	d := genDataset(9, 2, 200)
+	below := Options{K: 3, M: 2, MaxClusterSize: 25, MaxShardRecords: 5, Seed: 3, Parallel: 1}
+	at := below
+	at.MaxShardRecords = 25
+	a1, err := Anonymize(d, below)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a2, err := Anonymize(d, at)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(encodeAnonymized(t, a1), encodeAnonymized(t, a2)) {
+		t.Error("clamped MaxShardRecords publishes different bytes than the clamp target")
+	}
+}
+
+// TestShardCutAllRecordsOneTerm covers the degenerate split: when one term
+// appears in every record, splitting on it would strand an empty without-side,
+// and every other term is too rare — the node must stay one (oversized) shard.
+func TestShardCutAllRecordsOneTerm(t *testing.T) {
+	const n = 40
+	ignore := make([]bool, 2)
+	term, sup, split := ShardCut(n, []int32{n, 1}, ignore, 10, 2)
+	if split {
+		t.Errorf("split on a term present in all records: term=%d sup=%d", term, sup)
+	}
+	if term != 0 || sup != n {
+		t.Errorf("argmax should still report the dominant term: got term=%d sup=%d", term, sup)
+	}
+
+	// End to end: records {shared, unique_i} — the shared term's without-side
+	// is empty, each unique term's with-side is 1 < k.
+	records := make([]dataset.Record, n)
+	for i := range records {
+		records[i] = dataset.NewRecord(0, dataset.Term(i+1))
+	}
+	dom := dataset.NewDenseDomain(records)
+	dense := dom.RemapAll(records)
+	shards := planShards(dense, dom.Len(), make([]bool, dom.Len()), 10, 2)
+	if len(shards) != 1 {
+		t.Fatalf("degenerate dataset split into %d shards, want 1", len(shards))
+	}
+	if len(shards[0].Records) != n {
+		t.Fatalf("single shard holds %d of %d records", len(shards[0].Records), n)
+	}
+}
+
 // TestAnonymizeShardedValid checks that sharded runs still publish a valid,
 // record-complete dataset, that shard 0 output is stable against the
 // unsharded path's prefix semantics (MaxShardRecords=0 ≡ historical bytes),

@@ -22,6 +22,13 @@ const (
 	OpPublish
 	// OpDelete asks the driver to delete a snapshot.
 	OpDelete
+	// OpAppend asks the driver to append Op.Batch through the incremental
+	// delta-republish endpoint.
+	OpAppend
+	// OpRemove asks the driver to remove the oldest batch it previously
+	// appended (the driver owns the bookkeeping of what is resident; the
+	// model only paces the churn).
+	OpRemove
 )
 
 // String names the kind with its spec-line vocabulary (support ops report
@@ -36,6 +43,10 @@ func (k OpKind) String() string {
 		return KindPublish
 	case OpDelete:
 		return KindDelete
+	case OpAppend:
+		return KindAppend
+	case OpRemove:
+		return KindRemove
 	}
 	return fmt.Sprintf("OpKind(%d)", uint8(k))
 }
@@ -52,6 +63,10 @@ type Op struct {
 	// Samples and Seed parameterize an OpReconstruct.
 	Samples int
 	Seed    uint64
+	// Batch is the records of an OpAppend (each normalized, non-empty),
+	// drawn from the publication's cluster pools so appended data correlates
+	// with the resident domain the way organic growth does.
+	Batch []dataset.Record
 }
 
 // Model compiles a Spec against one publication: the term domain ranked by
@@ -118,6 +133,10 @@ func NewModel(a *core.Anonymized, spec *Spec, seed uint64) (*Model, error) {
 			}
 			m.universes[i] = m.drawUniverse(&spec.Entries[i], uint64(i))
 			m.zipf[i] = zipfTable(len(m.universes[i]), e.Zipf)
+		case KindAppend:
+			if len(m.pools) == 0 {
+				return nil, fmt.Errorf("load: append entry %d: publication has no non-empty clusters", i)
+			}
 		}
 	}
 	return m, nil
@@ -194,6 +213,14 @@ func (s *Stream) Next() Op {
 		op.Kind = OpPublish
 	case KindDelete:
 		op.Kind = OpDelete
+	case KindAppend:
+		op.Kind = OpAppend
+		op.Batch = make([]dataset.Record, e.Count)
+		for j := range op.Batch {
+			op.Batch[j] = drawItemset(s.rng, m, e)
+		}
+	case KindRemove:
+		op.Kind = OpRemove
 	}
 	return op
 }

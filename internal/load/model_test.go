@@ -90,6 +90,8 @@ func TestStreamOpsWellFormed(t *testing.T) {
 		reconstruct weight=1 samples=3
 		publish weight=1
 		delete weight=1
+		append weight=1 count=5 min=1 max=3
+		remove weight=1
 	`)
 	if err != nil {
 		t.Fatal(err)
@@ -135,13 +137,31 @@ func TestStreamOpsWellFormed(t *testing.T) {
 			if op.Samples != 3 {
 				t.Fatalf("op %d: samples = %d", i, op.Samples)
 			}
-		case OpPublish, OpDelete:
+		case OpPublish, OpDelete, OpRemove:
 			// carry no payload
+			if op.Batch != nil {
+				t.Fatalf("op %d: kind %v carries a batch", i, op.Kind)
+			}
+		case OpAppend:
+			if len(op.Batch) != e.Count {
+				t.Fatalf("op %d: append batch has %d records, want count=%d", i, len(op.Batch), e.Count)
+			}
+			for _, r := range op.Batch {
+				if len(r) == 0 || !r.IsNormalized() {
+					t.Fatalf("op %d: bad append record %v", i, r)
+				}
+				if len(r) > e.MaxSize {
+					t.Fatalf("op %d: append record %v exceeds max=%d", i, r, e.MaxSize)
+				}
+				if !domain.ContainsAll(r) {
+					t.Fatalf("op %d: append record %v outside the published domain", i, r)
+				}
+			}
 		default:
 			t.Fatalf("op %d: unknown kind %v", i, op.Kind)
 		}
 	}
-	for _, k := range []OpKind{OpSupport, OpReconstruct, OpPublish, OpDelete} {
+	for _, k := range []OpKind{OpSupport, OpReconstruct, OpPublish, OpDelete, OpAppend, OpRemove} {
 		if seen[k] == 0 {
 			t.Errorf("4000 ops never drew kind %v (mix %+v)", k, seen)
 		}

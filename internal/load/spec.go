@@ -38,6 +38,14 @@ const (
 	KindPublish = "publish"
 	// KindDelete issues deletion churn, the other half of snapshot swap.
 	KindDelete = "delete"
+	// KindAppend issues incremental republish churn: a batch of Count fresh
+	// records (sized by min/max, drawn from the publication's cluster pools so
+	// they look like resident data) appended through the delta endpoint.
+	KindAppend = "append"
+	// KindRemove issues the other half of delta churn: the driver removes the
+	// oldest batch it previously appended (the model cannot know what is
+	// resident, so the op carries no records of its own).
+	KindRemove = "remove"
 )
 
 // Validation caps of the spec parser. They bound what a hostile or fuzzed
@@ -51,6 +59,7 @@ const (
 	maxSamples      = 64
 	maxSpecLine     = 1024
 	maxUniverseSize = 65_536
+	maxDeltaCount   = 4096
 )
 
 // Entry is one parsed mix line: an op kind, its relative weight and its
@@ -72,6 +81,8 @@ type Entry struct {
 	Universe int
 	// Samples is the per-reconstruction-call sample count.
 	Samples int
+	// Count is the records-per-delta batch size of append/remove entries.
+	Count int
 }
 
 // Spec is a parsed workload mix: a weighted set of op kinds.
@@ -105,11 +116,14 @@ func DefaultSpec() *Spec {
 //	reconstruct [weight=N] [samples=N]
 //	publish     [weight=N]
 //	delete      [weight=N]
+//	append      [weight=N] [count=N] [min=N] [max=N]
+//	remove      [weight=N]
 //
 // Weights default to 1; zipf defaults to 1.1 (0 means uniform); itemset
 // sizes default to min=2 max=3 over a universe of 1024 pre-drawn itemsets;
-// samples defaults to 1. The same kind may appear several times (e.g. two
-// singleton entries with different skews). At least one entry is required.
+// samples defaults to 1; delta batches default to count=8 records of min=2
+// max=3 terms. The same kind may appear several times (e.g. two singleton
+// entries with different skews). At least one entry is required.
 func ParseSpec(text string) (*Spec, error) {
 	spec := &Spec{}
 	lineNo := 0
@@ -154,9 +168,11 @@ func parseEntry(fields []string) (Entry, error) {
 		MinSize: 2, MaxSize: 3,
 		Universe: 1024,
 		Samples:  1,
+		Count:    8,
 	}
 	switch e.Kind {
-	case KindSingleton, KindItemset, KindReconstruct, KindPublish, KindDelete:
+	case KindSingleton, KindItemset, KindReconstruct, KindPublish, KindDelete,
+		KindAppend, KindRemove:
 	default:
 		return Entry{}, fmt.Errorf("unknown op kind %q", e.Kind)
 	}
@@ -204,7 +220,7 @@ func setParam(e *Entry, key, val string) error {
 		e.Zipf = s
 		return nil
 	case "min":
-		if e.Kind != KindItemset {
+		if e.Kind != KindItemset && e.Kind != KindAppend {
 			break
 		}
 		n, err := intIn(1, maxItemsetSize)
@@ -214,7 +230,7 @@ func setParam(e *Entry, key, val string) error {
 		e.MinSize = n
 		return nil
 	case "max":
-		if e.Kind != KindItemset {
+		if e.Kind != KindItemset && e.Kind != KindAppend {
 			break
 		}
 		n, err := intIn(1, maxItemsetSize)
@@ -222,6 +238,16 @@ func setParam(e *Entry, key, val string) error {
 			return err
 		}
 		e.MaxSize = n
+		return nil
+	case "count":
+		if e.Kind != KindAppend {
+			break
+		}
+		n, err := intIn(1, maxDeltaCount)
+		if err != nil {
+			return err
+		}
+		e.Count = n
 		return nil
 	case "universe":
 		if e.Kind != KindItemset {
@@ -262,6 +288,8 @@ func (s *Spec) String() string {
 				e.MinSize, e.MaxSize, e.Universe, strconv.FormatFloat(e.Zipf, 'g', -1, 64))
 		case KindReconstruct:
 			fmt.Fprintf(&b, " samples=%d", e.Samples)
+		case KindAppend:
+			fmt.Fprintf(&b, " count=%d min=%d max=%d", e.Count, e.MinSize, e.MaxSize)
 		}
 		b.WriteByte('\n')
 	}

@@ -92,6 +92,7 @@ func TestSpecStringRoundTrip(t *testing.T) {
 	for _, in := range []string{
 		"singleton\n",
 		"singleton weight=3 zipf=0\nitemset min=1 max=16\nreconstruct samples=64\npublish weight=1000000\ndelete\n",
+		"append count=100 min=1 max=5\nremove weight=2\n",
 		DefaultSpec().String(),
 	} {
 		s, err := ParseSpec(in)

@@ -1,0 +1,80 @@
+package qindex
+
+import (
+	"slices"
+
+	"disasso/internal/core"
+	"disasso/internal/dataset"
+)
+
+// Merge assembles the index of a full publication from per-segment part
+// indexes: parts[i] must index an Anonymized whose Clusters slice is the i-th
+// contiguous segment of a.Clusters, in order (the delta-republish engine's
+// shards are exactly such segments). Term lists are unioned, postings are
+// concatenated with cumulative cluster-id offsets — each part's lists are
+// already sorted and each part's offset clusters precede the next part's, so
+// every merged list stays sorted — and stats are summed. The result is
+// structurally identical to Build(a), at the cost of only the parts' sizes,
+// which is what lets a delta republish reindex only its dirty shards.
+func Merge(a *core.Anonymized, parts []*Index) *Index {
+	total := 0
+	for _, p := range parts {
+		total += len(p.a.Clusters)
+	}
+	if total != len(a.Clusters) {
+		panic("qindex: Merge parts do not cover the publication")
+	}
+
+	all := make([]dataset.Term, 0, total)
+	for _, p := range parts {
+		all = append(all, p.terms...)
+	}
+	slices.Sort(all)
+	all = slices.Compact(all)
+	ix := &Index{a: a, terms: all}
+	n := len(all)
+	ix.stats = make([]TermStats, n)
+
+	// Per-term posting counts and summed stats. Part and merged term lists
+	// are both ascending, so each part needs one forward walk of the merged
+	// list, not a search per term.
+	counts := make([]int32, n)
+	for _, p := range parts {
+		g := int32(0)
+		for lr, t := range p.terms {
+			for all[g] != t {
+				g++
+			}
+			s := p.stats[lr]
+			counts[g] += int32(s.Clusters)
+			ix.stats[g].SubrecordOcc += s.SubrecordOcc
+			ix.stats[g].TermChunkOcc += s.TermChunkOcc
+			ix.stats[g].Clusters += s.Clusters
+		}
+	}
+
+	ix.postOff = make([]int32, n+1)
+	run := int32(0)
+	for r, c := range counts {
+		ix.postOff[r] = run
+		run += c
+	}
+	ix.postOff[n] = run
+	ix.post = make([]Posting, run)
+	next := slices.Clone(ix.postOff[:n])
+	base := int32(0)
+	for _, p := range parts {
+		g := int32(0)
+		for lr, t := range p.terms {
+			for all[g] != t {
+				g++
+			}
+			for _, po := range p.Postings(int32(lr)) {
+				ix.post[next[g]] = Posting{Cluster: po.Cluster + base, Bits: po.Bits}
+				next[g]++
+			}
+		}
+		base += int32(len(p.a.Clusters))
+	}
+	return ix
+}

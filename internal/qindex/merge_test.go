@@ -1,0 +1,75 @@
+package qindex
+
+import (
+	"math/rand/v2"
+	"slices"
+	"testing"
+
+	"disasso/internal/core"
+)
+
+// segment splits the publication's top-level clusters into contiguous parts
+// at the given cut points and builds an index over each.
+func segment(a *core.Anonymized, cuts []int) []*Index {
+	var parts []*Index
+	prev := 0
+	for _, c := range append(slices.Clone(cuts), len(a.Clusters)) {
+		if c <= prev {
+			continue
+		}
+		parts = append(parts, Build(&core.Anonymized{K: a.K, M: a.M, Clusters: a.Clusters[prev:c]}))
+		prev = c
+	}
+	return parts
+}
+
+// TestMergeMatchesBuild proves Merge over arbitrary contiguous segmentations
+// is structurally identical to a one-shot Build: same rank space, same
+// posting slab, same stats.
+func TestMergeMatchesBuild(t *testing.T) {
+	for seed := uint64(1); seed <= 3; seed++ {
+		a := randomAnonymized(t, seed, 300, 60, 3, 2)
+		want := Build(a)
+		rng := rand.New(rand.NewPCG(seed, 77))
+		cutsets := [][]int{
+			nil, // single part
+			{len(a.Clusters) / 2},
+			{1, 2, 3}, // tiny head parts
+		}
+		var random []int
+		for c := rng.IntN(3) + 1; c < len(a.Clusters); c += rng.IntN(4) + 1 {
+			random = append(random, c)
+		}
+		cutsets = append(cutsets, random)
+		for wi, cuts := range cutsets {
+			got := Merge(a, segment(a, cuts))
+			if !slices.Equal(got.terms, want.terms) {
+				t.Fatalf("seed %d cuts %d: term lists differ", seed, wi)
+			}
+			if !slices.Equal(got.postOff, want.postOff) {
+				t.Fatalf("seed %d cuts %d: posting offsets differ", seed, wi)
+			}
+			if !slices.Equal(got.post, want.post) {
+				t.Fatalf("seed %d cuts %d: posting slabs differ", seed, wi)
+			}
+			if !slices.Equal(got.stats, want.stats) {
+				t.Fatalf("seed %d cuts %d: stats differ", seed, wi)
+			}
+			if got.a != a {
+				t.Fatalf("seed %d cuts %d: merged index not bound to the full publication", seed, wi)
+			}
+		}
+	}
+}
+
+// TestMergeCoverageGuard checks the cluster-count invariant is enforced.
+func TestMergeCoverageGuard(t *testing.T) {
+	a := randomAnonymized(t, 9, 120, 40, 3, 2)
+	parts := segment(a, []int{len(a.Clusters) / 2})
+	defer func() {
+		if recover() == nil {
+			t.Error("Merge accepted parts that do not cover the publication")
+		}
+	}()
+	Merge(a, parts[:1])
+}

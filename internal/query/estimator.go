@@ -98,8 +98,7 @@ type sharedEntry struct {
 // accumulators are epoch-stamped by cluster id so nothing is cleared between
 // clusters.
 type singlesPass struct {
-	ix      *qindex.Index
-	singles []Estimate
+	ix *qindex.Index
 
 	// Node-scoped accumulators, valid where nodeStamp matches the cluster.
 	lower, upper []int
@@ -127,10 +126,29 @@ type singlesPass struct {
 // estimateNode's clamps in leaf-major accumulation order, and at the end it
 // applies Support's final sandwich clamp.
 func computeSingles(a *core.Anonymized, ix *qindex.Index) []Estimate {
+	singles := make([]Estimate, ix.NumTerms())
+	forEachClusterContribution(a, ix, func(r int32, o Estimate) {
+		singles[r].Lower += o.Lower
+		singles[r].Upper += o.Upper
+		singles[r].Expected += o.Expected
+	})
+	for r := range singles {
+		singles[r] = clampEstimate(singles[r])
+	}
+	return singles
+}
+
+// forEachClusterContribution walks the forest cluster by cluster and emits
+// each touched rank's per-cluster clamped estimate, in cluster order — the
+// exact contribution sequence computeSingles folds. The delta-republish path
+// captures these per shard and re-folds them globally; keeping the fold
+// left-to-right in cluster order is what makes the Expected float of an
+// incrementally assembled estimator bit-identical to a full build (float
+// addition is not associative, so per-part partial sums would not be).
+func forEachClusterContribution(a *core.Anonymized, ix *qindex.Index, emit func(r int32, o Estimate)) {
 	n := ix.NumTerms()
 	p := &singlesPass{
 		ix:        ix,
-		singles:   make([]Estimate, n),
 		lower:     make([]int, n),
 		upper:     make([]int, n),
 		expected:  make([]float64, n),
@@ -147,18 +165,11 @@ func computeSingles(a *core.Anonymized, ix *qindex.Index) []Estimate {
 	for ci, node := range a.Clusters {
 		p.touched = p.touched[:0]
 		p.walk(node, int32(ci))
-		// estimateNode's node-level clamps, then fold into the totals.
+		// estimateNode's node-level clamps, then hand off to the fold.
 		for _, r := range p.touched {
-			o := clampEstimate(Estimate{Lower: p.lower[r], Upper: p.upper[r], Expected: p.expected[r]})
-			p.singles[r].Lower += o.Lower
-			p.singles[r].Upper += o.Upper
-			p.singles[r].Expected += o.Expected
+			emit(r, clampEstimate(Estimate{Lower: p.lower[r], Upper: p.upper[r], Expected: p.expected[r]}))
 		}
 	}
-	for r := range p.singles {
-		p.singles[r] = clampEstimate(p.singles[r])
-	}
-	return p.singles
 }
 
 // touch readies the node-scoped accumulators of a rank for the cluster.

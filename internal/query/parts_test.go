@@ -1,0 +1,74 @@
+package query
+
+import (
+	"math/rand/v2"
+	"reflect"
+	"slices"
+	"testing"
+
+	"disasso/internal/core"
+	"disasso/internal/dataset"
+)
+
+// partition splits the publication's clusters into contiguous parts at the
+// cut points and builds an EstimatorPart over each.
+func partition(a *core.Anonymized, cuts []int) []*EstimatorPart {
+	var parts []*EstimatorPart
+	prev := 0
+	for _, c := range append(slices.Clone(cuts), len(a.Clusters)) {
+		if c <= prev {
+			continue
+		}
+		parts = append(parts, BuildEstimatorPart(a.K, a.M, a.Clusters[prev:c]))
+		prev = c
+	}
+	return parts
+}
+
+// TestEstimatorFromPartsExact proves the part-assembled estimator is
+// indistinguishable from a full build: identical precomputed singles
+// (including Expected bits) and identical answers for a battery of queries.
+func TestEstimatorFromPartsExact(t *testing.T) {
+	for _, seed := range []uint64{1, 2, 5} {
+		rng := rand.New(rand.NewPCG(seed, 31))
+		d := randomDataset(rng, 400, 40, 5)
+		a, err := core.Anonymize(d, core.Options{K: 3, M: 2, MaxClusterSize: 10, Seed: seed})
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := NewEstimator(a)
+		cutsets := [][]int{nil, {len(a.Clusters) / 3, 2 * len(a.Clusters) / 3}}
+		var random []int
+		for c := rng.IntN(4) + 1; c < len(a.Clusters); c += rng.IntN(5) + 1 {
+			random = append(random, c)
+		}
+		cutsets = append(cutsets, random)
+		for wi, cuts := range cutsets {
+			got := NewEstimatorFromParts(a, partition(a, cuts))
+			if !reflect.DeepEqual(got.singles, want.singles) {
+				t.Fatalf("seed %d cuts %d: precomputed singles differ", seed, wi)
+			}
+			if got.numRecords != want.numRecords {
+				t.Fatalf("seed %d cuts %d: record counts differ: %d vs %d", seed, wi, got.numRecords, want.numRecords)
+			}
+			forceIndexed(t, func() {
+				for term := dataset.Term(0); term < 44; term++ {
+					s := dataset.NewRecord(term)
+					if g, w := got.Support(s), want.Support(s); g != w {
+						t.Fatalf("seed %d cuts %d term %d: %+v != %+v", seed, wi, term, g, w)
+					}
+				}
+				for q := 0; q < 60; q++ {
+					s := make(dataset.Record, 0, 3)
+					for len(s) < 2+q%2 {
+						s = append(s, dataset.Term(rng.IntN(40)))
+					}
+					s = s.Normalize()
+					if g, w := got.Support(s), want.Support(s); g != w {
+						t.Fatalf("seed %d cuts %d itemset %v: %+v != %+v", seed, wi, s, g, w)
+					}
+				}
+			})
+		}
+	}
+}

@@ -63,16 +63,30 @@ type Server struct {
 
 	mu        sync.RWMutex
 	snapshots map[string]*snapshot
+	// locks serializes mutations (publish install, delta republish, delete)
+	// per dataset name, so a delta's read-modify-write of the snapshot
+	// pointer is atomic against concurrent mutators. Reads never touch these.
+	// Entries are retained for the server's lifetime — names are operator
+	// vocabulary, not unbounded client input.
+	locks map[string]*sync.Mutex
 }
 
 // snapshot is one published dataset with everything needed to serve reads.
-// It is immutable after construction.
+// It is immutable after construction. A delta republish builds a complete
+// successor snapshot (version+1) and swaps the registry pointer; in-flight
+// readers of the old version are never disturbed.
 type snapshot struct {
 	info     DatasetInfo
 	anon     *core.Anonymized
 	est      *query.Estimator
 	summary  core.Summary
 	original *dataset.Dataset // nil for streamed publishes
+	// state is the retained delta-republish state; nil for streamed publishes
+	// (the streaming engine does not keep records, so such snapshots cannot
+	// accept deltas). parts are the per-shard estimator segments the next
+	// delta splices clean shards from.
+	state *core.RepubState
+	parts []*query.EstimatorPart
 	// cache memoizes support estimates for this snapshot only (nil when
 	// disabled). It is the one mutable field, internally synchronized, and
 	// provably transparent: estimates are a pure function of the immutable
@@ -89,6 +103,11 @@ type DatasetInfo struct {
 	Terms    int    `json:"terms"`
 	Clusters int    `json:"clusters"` // top-level cluster nodes
 	Streamed bool   `json:"streamed"` // published via the streaming engine
+	// Version counts the publications behind this name: 1 for the initial
+	// publish, +1 for every replace and every delta republish. Each version is
+	// an immutable snapshot; a reader that saw version v keeps serving from it
+	// even while v+1 is being installed.
+	Version int `json:"version"`
 	// ShardRecords is the effective shard cut the publication was produced
 	// with — the explicit shardrecords parameter, or the cut a streamed
 	// publish derived from its budget. 0 means one global shard. Together
@@ -156,6 +175,22 @@ type MetricsResponse struct {
 	RelativeErrorLB float64 `json:"re_lower_bound"`
 }
 
+// DeltaResponse is the body answering a successful append or remove: the new
+// snapshot's info plus what the republish actually recomputed. DirtyShards out
+// of TotalShards were re-anonymized (and had their index/estimator segments
+// rebuilt); ReplannedShards of those had their plan subtree rebuilt in place
+// because the delta flipped a shard-boundary decision; FullRepublish reports
+// the fallback for boundary shifts replanning could not absorb.
+type DeltaResponse struct {
+	DatasetInfo
+	Appended        int  `json:"appended"`
+	Removed         int  `json:"removed"`
+	DirtyShards     int  `json:"dirty_shards"`
+	TotalShards     int  `json:"total_shards"`
+	ReplannedShards int  `json:"replanned_shards"`
+	FullRepublish   bool `json:"full_republish"`
+}
+
 // ErrorResponse is the body of every non-2xx answer.
 type ErrorResponse struct {
 	Error string `json:"error"`
@@ -185,12 +220,18 @@ func New(opts Options) *Server {
 	if opts.SupportCacheEntries == 0 {
 		opts.SupportCacheEntries = defaultCacheEntries
 	}
-	s := &Server{opts: opts, snapshots: make(map[string]*snapshot)}
+	s := &Server{
+		opts:      opts,
+		snapshots: make(map[string]*snapshot),
+		locks:     make(map[string]*sync.Mutex),
+	}
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /healthz", s.handleHealth)
 	mux.HandleFunc("GET /v1/datasets", s.handleList)
 	mux.HandleFunc("POST /v1/datasets/{name}", s.handlePublish)
 	mux.HandleFunc("DELETE /v1/datasets/{name}", s.handleDelete)
+	mux.HandleFunc("POST /v1/datasets/{name}/append", s.handleAppend)
+	mux.HandleFunc("POST /v1/datasets/{name}/remove", s.handleRemove)
 	mux.HandleFunc("GET /v1/datasets/{name}/stats", s.handleStats)
 	mux.HandleFunc("POST /v1/datasets/{name}/support", s.handleSupport)
 	mux.HandleFunc("GET /v1/datasets/{name}/support", s.handleSupportGet)
@@ -212,6 +253,20 @@ func (s *Server) lookup(name string) (*snapshot, bool) {
 	defer s.mu.RUnlock()
 	sn, ok := s.snapshots[name]
 	return sn, ok
+}
+
+// nameLock returns the mutation mutex of a dataset name, creating it on first
+// use. Lock ordering: the name lock is always taken before s.mu and never
+// while holding it.
+func (s *Server) nameLock(name string) *sync.Mutex {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	l, ok := s.locks[name]
+	if !ok {
+		l = &sync.Mutex{}
+		s.locks[name] = l
+	}
+	return l
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {
@@ -327,12 +382,24 @@ func (s *Server) handlePublish(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
+	// The expensive anonymization above needed no lock (it reads nothing
+	// shared); only the install is a mutation, serialized per name so the
+	// version counter is a clean chain even under concurrent publishes and
+	// deltas.
+	lock := s.nameLock(name)
+	lock.Lock()
+	defer lock.Unlock()
 	s.mu.Lock()
-	_, exists := s.snapshots[name]
+	old, exists := s.snapshots[name]
 	if exists && !replace {
 		s.mu.Unlock()
 		writeError(w, http.StatusConflict, "dataset %q already exists (republish with replace=1)", name)
 		return
+	}
+	if exists {
+		sn.info.Version = old.info.Version + 1
+	} else {
+		sn.info.Version = 1
 	}
 	s.snapshots[name] = sn
 	s.mu.Unlock()
@@ -363,20 +430,48 @@ func publishError(w http.ResponseWriter, err error) {
 	writeError(w, http.StatusBadRequest, "%v", err)
 }
 
-// publishInMemory runs the standard pipeline, retaining the original for the
-// metrics endpoint.
+// publishInMemory runs the standard pipeline with retained delta-republish
+// state (the published bytes are identical to a plain Anonymize), keeping the
+// original for the metrics endpoint and the per-shard estimator parts for the
+// next delta to splice from.
 func (s *Server) publishInMemory(name string, body io.Reader, opts core.Options) (*snapshot, error) {
 	d, err := dataset.ReadIDs(body)
 	if err != nil {
 		return nil, err
 	}
-	a, err := core.Anonymize(d, opts)
+	a, st, err := core.AnonymizeWithState(d, opts)
 	if err != nil {
 		return nil, err
 	}
-	sn := newSnapshot(name, a, d, false, s.opts.SupportCacheEntries)
+	parts := make([]*query.EstimatorPart, st.NumShards())
+	for i := range parts {
+		parts[i] = query.BuildEstimatorPart(a.K, a.M, st.ShardClusters(i))
+	}
+	sn := newStateSnapshot(name, a, st, parts, d, s.opts.SupportCacheEntries)
 	sn.info.ShardRecords = opts.MaxShardRecords
 	return sn, nil
+}
+
+// newStateSnapshot builds a snapshot whose estimator is assembled from
+// per-shard parts — bit-identical to a full build — and that carries the
+// delta-republish state for append/remove to continue from.
+func newStateSnapshot(name string, a *core.Anonymized, st *core.RepubState, parts []*query.EstimatorPart, original *dataset.Dataset, cacheEntries int) *snapshot {
+	sum := a.Stats()
+	return &snapshot{
+		cache: newSupportCache(cacheEntries),
+		info: DatasetInfo{
+			Name: name, K: a.K, M: a.M,
+			Records:  sum.Records,
+			Terms:    sum.DistinctTerms,
+			Clusters: len(a.Clusters),
+		},
+		anon:     a,
+		est:      query.NewEstimatorFromParts(a, parts),
+		summary:  sum,
+		original: original,
+		state:    st,
+		parts:    parts,
+	}
 }
 
 // publishStreamed runs the sharded streaming engine: the upload is
@@ -445,6 +540,9 @@ func newSnapshot(name string, a *core.Anonymized, original *dataset.Dataset, str
 
 func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
 	name := r.PathValue("name")
+	lock := s.nameLock(name)
+	lock.Lock()
+	defer lock.Unlock()
 	s.mu.Lock()
 	_, ok := s.snapshots[name]
 	delete(s.snapshots, name)
@@ -454,6 +552,99 @@ func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	w.WriteHeader(http.StatusNoContent)
+}
+
+// handleAppend republishes the dataset with the uploaded records (text
+// format, like publish) appended to the end of the logical dataset.
+func (s *Server) handleAppend(w http.ResponseWriter, r *http.Request) {
+	s.handleDelta(w, r, false)
+}
+
+// handleRemove republishes the dataset with the uploaded records removed —
+// each line removes one occurrence of that record (bag semantics); a record
+// not present fails the whole delta with 409.
+func (s *Server) handleRemove(w http.ResponseWriter, r *http.Request) {
+	s.handleDelta(w, r, true)
+}
+
+// handleDelta is the shared append/remove implementation: an incremental
+// republish that re-anonymizes only the shards the delta touches, rebuilds
+// the index/estimator segments of those shards alone, and installs the result
+// as a new immutable snapshot version. Reads racing the delta keep serving
+// the old version; the per-name lock only serializes mutators.
+func (s *Server) handleDelta(w http.ResponseWriter, r *http.Request, remove bool) {
+	name := r.PathValue("name")
+	body := http.MaxBytesReader(w, r.Body, s.opts.MaxBodyBytes)
+	d, err := dataset.ReadIDs(body)
+	if err != nil {
+		publishError(w, err)
+		return
+	}
+	if d.Len() == 0 {
+		writeError(w, http.StatusBadRequest, "empty delta: the body must hold at least one record")
+		return
+	}
+	var delta core.Delta
+	if remove {
+		delta.Remove = d.Records
+	} else {
+		delta.Append = d.Records
+	}
+
+	lock := s.nameLock(name)
+	lock.Lock()
+	defer lock.Unlock()
+	sn, ok := s.lookup(name)
+	if !ok {
+		writeError(w, http.StatusNotFound, "no dataset %q", name)
+		return
+	}
+	if sn.state == nil {
+		writeError(w, http.StatusConflict,
+			"dataset %q was published via the streaming engine; the records needed for delta republish were not retained (republish it non-streamed to enable append/remove)", name)
+		return
+	}
+	a, st, stats, err := sn.state.Apply(delta)
+	if err != nil {
+		if errors.Is(err, core.ErrRecordNotFound) {
+			writeError(w, http.StatusConflict, "%v", err)
+			return
+		}
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+
+	// Estimator parts: rebuild only the dirty shards' segments, splice every
+	// clean shard's part straight through (clean shards share their published
+	// nodes with the old snapshot, so the old parts describe them exactly).
+	var parts []*query.EstimatorPart
+	if stats.FullRepublish {
+		parts = make([]*query.EstimatorPart, st.NumShards())
+		for i := range parts {
+			parts[i] = query.BuildEstimatorPart(a.K, a.M, st.ShardClusters(i))
+		}
+	} else {
+		parts = slices.Clone(sn.parts)
+		for _, si := range stats.Dirty {
+			parts[si] = query.BuildEstimatorPart(a.K, a.M, st.ShardClusters(si))
+		}
+	}
+	next := newStateSnapshot(name, a, st, parts, dataset.FromRecords(st.Records()), s.opts.SupportCacheEntries)
+	next.info.ShardRecords = sn.info.ShardRecords
+	next.info.Version = sn.info.Version + 1
+
+	s.mu.Lock()
+	s.snapshots[name] = next
+	s.mu.Unlock()
+	writeJSON(w, http.StatusOK, DeltaResponse{
+		DatasetInfo:     next.info,
+		Appended:        stats.Appended,
+		Removed:         stats.Removed,
+		DirtyShards:     stats.DirtyShards,
+		TotalShards:     stats.TotalShards,
+		ReplannedShards: stats.ReplannedShards,
+		FullRepublish:   stats.FullRepublish,
+	})
 }
 
 // snapshotOr404 resolves the {name} path value, answering 404 itself when

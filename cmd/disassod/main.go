@@ -55,35 +55,59 @@ func main() {
 		maxRecon = flag.Int("max-reconstructions", 0, "per-request reconstruction sample cap (default 16)")
 		tmpDir   = flag.String("tmpdir", "", "directory for streaming spill files (default system temp)")
 		supCache = flag.Int("support-cache", 0, "per-snapshot support cache entries (default 8192, negative disables)")
+		dataDir  = flag.String("data-dir", "", "directory for persistent snapshot files; publications survive restarts (default in-memory only)")
 	)
 	flag.Parse()
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
-	if err := run(ctx, *addr, *maxBody, *maxRecon, *supCache, *tmpDir, os.Stderr); err != nil {
+	if err := run(ctx, *addr, *maxBody, *maxRecon, *supCache, *tmpDir, *dataDir, os.Stderr); err != nil {
 		fmt.Fprintln(os.Stderr, "disassod:", err)
 		os.Exit(1)
 	}
 }
 
 // run starts the HTTP service and blocks until the context is canceled or
-// the listener fails; progress goes to logw.
-func run(ctx context.Context, addr, maxBody string, maxRecon, supCache int, tmpDir string, logw io.Writer) error {
+// the listener fails; progress goes to logw. With a data directory, the
+// registry is recovered from its snapshot files before the listener opens —
+// O(files), no re-anonymization — so the first request already sees every
+// surviving dataset.
+func run(ctx context.Context, addr, maxBody string, maxRecon, supCache int, tmpDir, dataDir string, logw io.Writer) error {
 	bodyCap, err := dataset.ParseByteSize(maxBody)
 	if err != nil {
 		return err
+	}
+	logger := log.New(logw, "disassod: ", log.LstdFlags)
+	if dataDir != "" {
+		if err := os.MkdirAll(dataDir, 0o755); err != nil {
+			return err
+		}
 	}
 	handler := disasso.NewServer(disasso.ServerOptions{
 		MaxBodyBytes:        bodyCap,
 		MaxReconstructions:  maxRecon,
 		TempDir:             tmpDir,
 		SupportCacheEntries: supCache,
+		DataDir:             dataDir,
+		Logf:                logger.Printf,
 	})
+	if dataDir != "" {
+		rep, err := handler.Recover()
+		if err != nil {
+			return fmt.Errorf("recovering %s: %w", dataDir, err)
+		}
+		logger.Printf("recovered %d dataset(s) from %s", len(rep.Loaded), dataDir)
+		for _, name := range rep.Loaded {
+			logger.Printf("recovered dataset %q", name)
+		}
+		for _, sk := range rep.Skipped {
+			logger.Printf("skipped %s: %s", sk.File, sk.Reason)
+		}
+	}
 
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return err
 	}
-	logger := log.New(logw, "disassod: ", log.LstdFlags)
 	srv := &http.Server{
 		Handler:           handler,
 		ReadHeaderTimeout: 10 * time.Second,

@@ -29,7 +29,6 @@ import (
 	"fmt"
 	"io"
 	"math/rand/v2"
-	"net/http"
 
 	"disasso/internal/anonymity"
 	"disasso/internal/attack"
@@ -246,6 +245,9 @@ type (
 	ServerOptions = server.Options
 	// ServerDatasetInfo describes one registered dataset.
 	ServerDatasetInfo = server.DatasetInfo
+	// ServerListEntry is one dataset in the listing: its info plus the cold
+	// (recovered-from-disk) and mapped serving-tier facts.
+	ServerListEntry = server.ListEntry
 	// ServerListResponse answers GET /v1/datasets.
 	ServerListResponse = server.ListResponse
 	// ServerStatsResponse answers GET /v1/datasets/{name}/stats.
@@ -266,15 +268,25 @@ type (
 	ServerDeltaResponse = server.DeltaResponse
 	// ServerErrorResponse is the body of every non-2xx answer.
 	ServerErrorResponse = server.ErrorResponse
+	// Server is the HTTP query service itself. It implements http.Handler;
+	// beyond serving it exposes Recover, which repopulates the registry from
+	// ServerOptions.DataDir snapshot files in O(files) — no re-anonymization,
+	// no re-indexing.
+	Server = server.Server
+	// ServerRecoveryReport says what a Recover scan loaded and skipped.
+	ServerRecoveryReport = server.RecoveryReport
+	// ServerSkippedFile is one file Recover passed over, with the reason.
+	ServerSkippedFile = server.SkippedFile
 )
 
-// NewServer returns the HTTP query service handler serving the disassod
-// API: dataset publishing (in-memory or streaming), itemset support
-// estimates over the inverted index (memoized by a bounded per-snapshot
-// support cache, ServerOptions.SupportCacheEntries), reconstruction
-// sampling, utility metrics and stats. The handler is safe for concurrent
-// use.
-func NewServer(opts ServerOptions) http.Handler {
+// NewServer returns the HTTP query service serving the disassod API:
+// dataset publishing (in-memory or streaming), itemset support estimates
+// over the inverted index (memoized by a bounded per-snapshot support cache,
+// ServerOptions.SupportCacheEntries), reconstruction sampling, utility
+// metrics and stats. With ServerOptions.DataDir set, publications persist as
+// snapshot files and (*Server).Recover restores them after a restart. The
+// server is safe for concurrent use.
+func NewServer(opts ServerOptions) *Server {
 	return server.New(opts)
 }
 

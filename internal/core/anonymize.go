@@ -4,10 +4,22 @@ import (
 	"fmt"
 	"math/rand/v2"
 	"runtime"
+	"sync/atomic"
 
 	"disasso/internal/dataset"
 	"disasso/internal/par"
 )
+
+// anonymizeWork counts entries into the per-shard anonymization kernel across
+// every pipeline variant — full runs, streamed shards and delta republishes
+// all funnel through AnonymizeShard. The snapshot-recovery tests assert the
+// counter stays flat across a restart: recovering a persisted publication
+// must do zero anonymization work.
+var anonymizeWork atomic.Int64
+
+// AnonymizeWorkCount returns the number of shard anonymizations performed by
+// this process so far.
+func AnonymizeWorkCount() int64 { return anonymizeWork.Load() }
 
 // DefaultMaxClusterSize is the horizontal-partitioning threshold used when
 // Options.MaxClusterSize is zero. Clusters of a few dozen records keep the
@@ -133,6 +145,7 @@ func Anonymize(d *dataset.Dataset, opts Options) (*Anonymized, error) {
 // concurrently with identical output; shard 0 consumes exactly the streams
 // the historical unsharded pipeline did.
 func AnonymizeShard(sh Shard, nTerms int, sensitive []bool, opts Options) []*ClusterNode {
+	anonymizeWork.Add(1)
 	isSensitive := func(t dataset.Term) bool { return sensitive[t] }
 	shardIdx := uint64(sh.Index)
 

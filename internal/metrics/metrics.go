@@ -18,6 +18,7 @@ package metrics
 
 import (
 	"math"
+	"slices"
 
 	"disasso/internal/core"
 	"disasso/internal/dataset"
@@ -104,22 +105,33 @@ func TopKDeviationML2(original, published []dataset.Record, h *hierarchy.Hierarc
 func RelativeError(original, published []dataset.Record, terms []dataset.Term) float64 {
 	so := itemset.PairSupports(original, terms)
 	sp := itemset.PairSupports(published, terms)
-	keys := make(map[uint64]bool, len(so)+len(sp))
-	for k := range so {
-		keys[k] = true
-	}
-	for k := range sp {
-		keys[k] = true
-	}
+	keys := pairKeys(so, sp)
 	if len(keys) == 0 {
 		return 0
 	}
 	total := 0.0
-	for k := range keys {
+	for _, k := range keys {
 		a, b := float64(so[k]), float64(sp[k])
 		total += math.Abs(a-b) / ((a + b) / 2)
 	}
 	return total / float64(len(keys))
+}
+
+// pairKeys returns the union of both support maps' keys in sorted order, so
+// the float summations above visit pairs deterministically — map iteration
+// order would perturb the last bits of the reported metric run to run.
+func pairKeys[V1, V2 any](so map[uint64]V1, sp map[uint64]V2) []uint64 {
+	keys := make([]uint64, 0, len(so)+len(sp))
+	for k := range so {
+		keys = append(keys, k)
+	}
+	for k := range sp {
+		if _, ok := so[k]; !ok {
+			keys = append(keys, k)
+		}
+	}
+	slices.Sort(keys)
+	return keys
 }
 
 // RelativeErrorAveraged computes re with published supports averaged across
@@ -137,18 +149,12 @@ func RelativeErrorAveraged(original []dataset.Record, reconstructions []*dataset
 		}
 	}
 	n := float64(len(reconstructions))
-	keys := make(map[uint64]bool, len(so)+len(avg))
-	for k := range so {
-		keys[k] = true
-	}
-	for k := range avg {
-		keys[k] = true
-	}
+	keys := pairKeys(so, avg)
 	if len(keys) == 0 {
 		return 0
 	}
 	total := 0.0
-	for k := range keys {
+	for _, k := range keys {
 		a := float64(so[k])
 		b := avg[k] / n
 		total += math.Abs(a-b) / ((a + b) / 2)

@@ -142,6 +142,36 @@ func TestRelativeErrorNoPairs(t *testing.T) {
 	}
 }
 
+// TestRelativeErrorDeterministic pins the bit-exactness of the float
+// summation: before pairKeys sorted the pair universe, map iteration order
+// perturbed the last bits of re run to run (caught by the PR 8 restart
+// byte-identity test under the query_scan tag).
+func TestRelativeErrorDeterministic(t *testing.T) {
+	rng := rand.New(rand.NewPCG(42, 99))
+	gen := func() []dataset.Record {
+		records := make([]dataset.Record, 200)
+		for i := range records {
+			terms := make([]dataset.Term, 2+rng.IntN(5))
+			for j := range terms {
+				terms[j] = dataset.Term(rng.IntN(40))
+			}
+			records[i] = dataset.NewRecord(terms...)
+		}
+		return records
+	}
+	orig, pub := gen(), gen()
+	terms := make([]dataset.Term, 40)
+	for i := range terms {
+		terms[i] = dataset.Term(i)
+	}
+	want := RelativeError(orig, pub, terms)
+	for i := 0; i < 50; i++ {
+		if got := RelativeError(orig, pub, terms); got != want {
+			t.Fatalf("run %d: re = %v, first run %v (summation order leak)", i, got, want)
+		}
+	}
+}
+
 func TestRelativeErrorEmptyTermRange(t *testing.T) {
 	// No terms at all (e.g. RangeTerms clipping emptied the range): no pair
 	// keys exist, so the metric is 0, not NaN from a 0/0 average.

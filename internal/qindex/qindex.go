@@ -68,6 +68,30 @@ type Index struct {
 	postOff []int32   // rank -> offset into post; len == len(terms)+1
 
 	stats []TermStats // rank -> aggregate occurrence counts
+
+	// retain pins a backing resource (a snapshot-file mapping) whose
+	// lifetime must cover the index's: the slabs above may be views into it.
+	retain any
+}
+
+// Slabs exposes the index's flat backing arrays — the sorted term domain,
+// the posting slab, its per-rank prefix-sum offsets and the per-term
+// aggregate stats — for serialization (internal/snapfile persists exactly
+// these four slabs). Callers must not modify the returned slices.
+func (ix *Index) Slabs() (terms []dataset.Term, post []Posting, postOff []int32, stats []TermStats) {
+	return ix.terms, ix.post, ix.postOff, ix.stats
+}
+
+// FromSlabs assembles an Index directly over pre-built backing arrays — the
+// inverse of Slabs, used by internal/snapfile to reconstruct an index as
+// zero-copy views over a memory-mapped snapshot file. The slabs must satisfy
+// the Build invariants (terms strictly ascending; postOff a monotone prefix
+// sum with postOff[len(terms)] == len(post); every posting list sorted by
+// cluster id, ids valid for a); snapfile's reader validates them before
+// calling. retain, when non-nil, is stored in the index solely to keep a
+// backing resource (the file mapping) reachable for as long as the index is.
+func FromSlabs(a *core.Anonymized, terms []dataset.Term, post []Posting, postOff []int32, stats []TermStats, retain any) *Index {
+	return &Index{a: a, terms: terms, post: post, postOff: postOff, stats: stats, retain: retain}
 }
 
 // Build scans the published forest once and returns its inverted index.

@@ -1,6 +1,8 @@
 package query
 
 import (
+	"sync"
+
 	"disasso/internal/core"
 	"disasso/internal/dataset"
 	"disasso/internal/qindex"
@@ -30,6 +32,14 @@ type Estimator struct {
 	nodes      []*nodeIndex // per top-level cluster: spans + chunk postings
 	singles    []Estimate   // rank -> Support(a, {term})
 	numRecords int
+
+	// lazyNodes defers building nodes until the first multi-term query — the
+	// snapshot-recovery mode, where the index slabs and singleton table come
+	// straight off the snapshot file and rebuilding per-cluster chunk postings
+	// up front would turn an O(1) restart back into an O(dataset) reindex.
+	// Singleton queries (the common case) never trigger the build.
+	lazyNodes bool
+	nodesOnce sync.Once
 }
 
 // NewEstimator builds the inverted index over the published dataset and the
@@ -54,8 +64,50 @@ func NewEstimatorWithIndex(a *core.Anonymized, ix *qindex.Index) *Estimator {
 	}
 }
 
+// NewRecoveredEstimator builds an estimator over serving state recovered
+// from a persisted snapshot: a decoded publication, an index whose slabs may
+// be zero-copy views over a file mapping, and the persisted singleton
+// estimate table (rank order, as Singles returns). The per-cluster chunk
+// postings are rebuilt lazily on the first multi-term query, so recovery
+// itself performs no index construction. The estimates are identical to
+// NewEstimator(a)'s: the singleton table is the one the original estimator
+// computed, and the multi-term path runs the same indexed evaluation over
+// the same forest.
+func NewRecoveredEstimator(a *core.Anonymized, ix *qindex.Index, singles []Estimate) *Estimator {
+	return &Estimator{
+		a:          a,
+		ix:         ix,
+		singles:    singles,
+		numRecords: a.NumRecords(),
+		lazyNodes:  true,
+	}
+}
+
+// nodeIndexes returns the per-cluster chunk postings, building them on first
+// use for recovered estimators. Safe for concurrent callers.
+func (e *Estimator) nodeIndexes() []*nodeIndex {
+	if e.lazyNodes {
+		e.nodesOnce.Do(func() {
+			nodes := make([]*nodeIndex, len(e.a.Clusters))
+			for i, n := range e.a.Clusters {
+				nodes[i] = buildNodeIndex(n)
+			}
+			e.nodes = nodes
+		})
+	}
+	return e.nodes
+}
+
 // Index returns the underlying inverted index.
 func (e *Estimator) Index() *qindex.Index { return e.ix }
+
+// Singles returns the precomputed singleton estimate table, indexed by the
+// underlying index's term ranks — the slab internal/snapfile persists.
+// Callers must not modify the returned slice.
+func (e *Estimator) Singles() []Estimate { return e.singles }
+
+// Publication returns the published dataset the estimator answers for.
+func (e *Estimator) Publication() *core.Anonymized { return e.a }
 
 // Support estimates the support of the normalized itemset s, returning the
 // same Estimate as Support(a, s).
@@ -76,8 +128,9 @@ func (e *Estimator) Support(s dataset.Record) Estimate {
 		}
 		return est
 	}
+	nodes := e.nodeIndexes()
 	for _, ci := range e.ix.IntersectClusters(nil, s) {
-		o := estimateNodeIx(e.a.Clusters[ci], e.nodes[ci], s)
+		o := estimateNodeIx(e.a.Clusters[ci], nodes[ci], s)
 		est.Lower += o.Lower
 		est.Upper += o.Upper
 		est.Expected += o.Expected

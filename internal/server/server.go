@@ -20,6 +20,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"log"
 	"net/http"
 	"os"
 	"regexp"
@@ -53,6 +54,16 @@ type Options struct {
 	// caching. Each published snapshot gets its own cache, so a republish
 	// invalidates by the same pointer swap that installs the new snapshot.
 	SupportCacheEntries int
+	// DataDir, when non-empty, makes publications durable: every publish,
+	// append, remove writes a snapshot file (atomic temp+rename, see
+	// persist.go) under this directory, delete removes it, and Recover
+	// repopulates the registry from the files without re-anonymizing or
+	// re-indexing anything. "" keeps the server fully in-memory — the
+	// historical behavior.
+	DataDir string
+	// Logf receives server-side log lines (snapshot persistence problems,
+	// response-encoding bugs). nil means log.Printf.
+	Logf func(format string, args ...any)
 }
 
 // Server is the HTTP query service. Create one with New; it implements
@@ -66,9 +77,20 @@ type Server struct {
 	// locks serializes mutations (publish install, delta republish, delete)
 	// per dataset name, so a delta's read-modify-write of the snapshot
 	// pointer is atomic against concurrent mutators. Reads never touch these.
-	// Entries are retained for the server's lifetime — names are operator
-	// vocabulary, not unbounded client input.
-	locks map[string]*sync.Mutex
+	// Entries are refcounted and dropped at zero (lockName/unlockName):
+	// without that, every name ever published — including deleted ones —
+	// would pin a mutex forever, an unbounded leak under churning names.
+	locks map[string]*nameLock
+}
+
+// nameLock is one name's mutation mutex plus the number of holders and
+// waiters currently referencing it. refs is guarded by Server.mu; the map
+// entry is removed only when refs drops to zero, so a goroutine blocked in
+// mu.Lock always holds a reference and the mutex it eventually acquires is
+// never a stale one that a third goroutine replaced in the map.
+type nameLock struct {
+	mu   sync.Mutex
+	refs int
 }
 
 // snapshot is one published dataset with everything needed to serve reads.
@@ -76,15 +98,30 @@ type Server struct {
 // successor snapshot (version+1) and swaps the registry pointer; in-flight
 // readers of the old version are never disturbed.
 type snapshot struct {
-	info     DatasetInfo
-	anon     *core.Anonymized
-	est      *query.Estimator
-	summary  core.Summary
-	original *dataset.Dataset // nil for streamed publishes
+	info    DatasetInfo
+	anon    *core.Anonymized
+	est     *query.Estimator
+	summary core.Summary
+	// opts are the effective anonymization options the publication was
+	// produced with — persisted in the snapshot file and used to rehydrate
+	// delta-republish state after a restart.
+	opts core.Options
+	// original lazily yields the original dataset; nil when the records were
+	// not retained (streamed publishes). In-memory publishes capture the
+	// dataset directly; recovered snapshots decode it from the snapshot
+	// file's original section on first use (metrics or the first delta).
+	original func() (*dataset.Dataset, error)
+	// cold marks a snapshot recovered from disk rather than built by a
+	// publish in this process; mapped additionally reports that its index
+	// slabs are zero-copy views over a file mapping (false on platforms
+	// where the reader fell back to a heap read).
+	cold   bool
+	mapped bool
 	// state is the retained delta-republish state; nil for streamed publishes
 	// (the streaming engine does not keep records, so such snapshots cannot
-	// accept deltas). parts are the per-shard estimator segments the next
-	// delta splices clean shards from.
+	// accept deltas) and for recovered snapshots, which rehydrate it from the
+	// persisted original on their first delta. parts are the per-shard
+	// estimator segments the next delta splices clean shards from.
 	state *core.RepubState
 	parts []*query.EstimatorPart
 	// cache memoizes support estimates for this snapshot only (nil when
@@ -116,9 +153,23 @@ type DatasetInfo struct {
 	ShardRecords int `json:"shard_records,omitempty"`
 }
 
+// ListEntry is one dataset in the GET /v1/datasets listing: its info plus
+// serving-tier facts that are process state rather than publication identity
+// (they are deliberately kept out of DatasetInfo so stats responses stay
+// byte-identical across a restart).
+type ListEntry struct {
+	DatasetInfo
+	// Cold reports the snapshot was recovered from its on-disk file rather
+	// than published by this process.
+	Cold bool `json:"cold"`
+	// Mapped reports a cold snapshot serving posting reads from a memory
+	// mapping of the file (false when the reader fell back to a heap copy).
+	Mapped bool `json:"mapped,omitempty"`
+}
+
 // ListResponse is the body of GET /v1/datasets.
 type ListResponse struct {
-	Datasets []DatasetInfo `json:"datasets"`
+	Datasets []ListEntry `json:"datasets"`
 }
 
 // StatsResponse is the body of GET /v1/datasets/{name}/stats.
@@ -223,7 +274,7 @@ func New(opts Options) *Server {
 	s := &Server{
 		opts:      opts,
 		snapshots: make(map[string]*snapshot),
-		locks:     make(map[string]*sync.Mutex),
+		locks:     make(map[string]*nameLock),
 	}
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /healthz", s.handleHealth)
@@ -255,45 +306,83 @@ func (s *Server) lookup(name string) (*snapshot, bool) {
 	return sn, ok
 }
 
-// nameLock returns the mutation mutex of a dataset name, creating it on first
-// use. Lock ordering: the name lock is always taken before s.mu and never
-// while holding it.
-func (s *Server) nameLock(name string) *sync.Mutex {
+// lockName acquires the mutation mutex of a dataset name, creating the entry
+// on first use and counting the reference so unlockName knows when the entry
+// is garbage. Lock ordering: the name lock is always taken before s.mu and
+// never while holding it (the registration below releases s.mu first).
+func (s *Server) lockName(name string) *nameLock {
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	l, ok := s.locks[name]
 	if !ok {
-		l = &sync.Mutex{}
+		l = &nameLock{}
 		s.locks[name] = l
 	}
+	l.refs++
+	s.mu.Unlock()
+	l.mu.Lock()
 	return l
 }
 
-func writeJSON(w http.ResponseWriter, status int, v any) {
-	w.Header().Set("Content-Type", "application/json")
-	w.WriteHeader(status)
-	enc := json.NewEncoder(w)
-	enc.SetIndent("", "  ")
-	_ = enc.Encode(v) // the status line is out; a broken client connection is its own problem
+// unlockName releases a lock acquired by lockName and drops the map entry
+// once nobody holds or waits for it.
+func (s *Server) unlockName(name string, l *nameLock) {
+	l.mu.Unlock()
+	s.mu.Lock()
+	l.refs--
+	if l.refs == 0 {
+		delete(s.locks, name)
+	}
+	s.mu.Unlock()
 }
 
-func writeError(w http.ResponseWriter, status int, format string, args ...any) {
-	writeJSON(w, status, ErrorResponse{Error: fmt.Sprintf(format, args...)})
+// logf reports a server-side problem through the configured sink.
+func (s *Server) logf(format string, args ...any) {
+	if s.opts.Logf != nil {
+		s.opts.Logf(format, args...)
+		return
+	}
+	log.Printf(format, args...)
+}
+
+// writeJSON encodes v into a buffer first, so an encoding failure — a server
+// bug, e.g. a response type the encoder rejects — turns into a logged 500
+// instead of a silent 200 with a half-written body. Only once the encode has
+// succeeded do bytes go to the client; a failed client write at that point
+// is the client's problem and is deliberately ignored (the status line is
+// already out, nothing can be repaired).
+func (s *Server) writeJSON(w http.ResponseWriter, status int, v any) {
+	var buf bytes.Buffer
+	enc := json.NewEncoder(&buf)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(v); err != nil {
+		s.logf("disassod: encoding %T response: %v", v, err)
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusInternalServerError)
+		_, _ = io.WriteString(w, "{\n  \"error\": \"internal: response encoding failed\"\n}\n")
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_, _ = w.Write(buf.Bytes())
+}
+
+func (s *Server) writeError(w http.ResponseWriter, status int, format string, args ...any) {
+	s.writeJSON(w, status, ErrorResponse{Error: fmt.Sprintf(format, args...)})
 }
 
 func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	s.writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 }
 
 func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
 	s.mu.RLock()
-	list := make([]DatasetInfo, 0, len(s.snapshots))
+	list := make([]ListEntry, 0, len(s.snapshots))
 	for _, sn := range s.snapshots {
-		list = append(list, sn.info)
+		list = append(list, ListEntry{DatasetInfo: sn.info, Cold: sn.cold, Mapped: sn.mapped})
 	}
 	s.mu.RUnlock()
-	slices.SortFunc(list, func(a, b DatasetInfo) int { return strings.Compare(a.Name, b.Name) })
-	writeJSON(w, http.StatusOK, ListResponse{Datasets: list})
+	slices.SortFunc(list, func(a, b ListEntry) int { return strings.Compare(a.Name, b.Name) })
+	s.writeJSON(w, http.StatusOK, ListResponse{Datasets: list})
 }
 
 // queryInt parses an integer query parameter with a default.
@@ -333,7 +422,7 @@ func queryUint64(r *http.Request, key string, def uint64) (uint64, error) {
 func (s *Server) handlePublish(w http.ResponseWriter, r *http.Request) {
 	name := r.PathValue("name")
 	if !nameRe.MatchString(name) {
-		writeError(w, http.StatusBadRequest, "bad dataset name %q", name)
+		s.writeError(w, http.StatusBadRequest, "bad dataset name %q", name)
 		return
 	}
 	q := r.URL.Query()
@@ -343,7 +432,7 @@ func (s *Server) handlePublish(w http.ResponseWriter, r *http.Request) {
 	shardRecords, err4 := queryInt(r, "shardrecords", 0)
 	seed, err5 := queryUint64(r, "seed", 1)
 	if err := errors.Join(err1, err2, err3, err4, err5); err != nil {
-		writeError(w, http.StatusBadRequest, "%v", err)
+		s.writeError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
 	opts := core.Options{
@@ -356,7 +445,7 @@ func (s *Server) handlePublish(w http.ResponseWriter, r *http.Request) {
 		// Fast pre-check so a conflicting upload fails before the expensive
 		// anonymization; the insert below re-checks under the write lock.
 		if _, exists := s.lookup(name); exists {
-			writeError(w, http.StatusConflict, "dataset %q already exists (republish with replace=1)", name)
+			s.writeError(w, http.StatusConflict, "dataset %q already exists (republish with replace=1)", name)
 			return
 		}
 	}
@@ -370,7 +459,7 @@ func (s *Server) handlePublish(w http.ResponseWriter, r *http.Request) {
 		var budget int64
 		budget, err = dataset.ParseByteSize(q.Get("membudget"))
 		if err != nil {
-			writeError(w, http.StatusBadRequest, "%v", err)
+			s.writeError(w, http.StatusBadRequest, "%v", err)
 			return
 		}
 		sn, err = s.publishStreamed(name, body, opts, budget)
@@ -378,22 +467,21 @@ func (s *Server) handlePublish(w http.ResponseWriter, r *http.Request) {
 		sn, err = s.publishInMemory(name, body, opts)
 	}
 	if err != nil {
-		publishError(w, err)
+		s.publishError(w, err)
 		return
 	}
 
 	// The expensive anonymization above needed no lock (it reads nothing
 	// shared); only the install is a mutation, serialized per name so the
 	// version counter is a clean chain even under concurrent publishes and
-	// deltas.
-	lock := s.nameLock(name)
-	lock.Lock()
-	defer lock.Unlock()
-	s.mu.Lock()
-	old, exists := s.snapshots[name]
+	// deltas. The snapshot is persisted before the registry swap: a snapshot
+	// the server ever served must already be on disk, so a crash cannot
+	// forget a publication it acknowledged.
+	lock := s.lockName(name)
+	defer s.unlockName(name, lock)
+	old, exists := s.lookup(name)
 	if exists && !replace {
-		s.mu.Unlock()
-		writeError(w, http.StatusConflict, "dataset %q already exists (republish with replace=1)", name)
+		s.writeError(w, http.StatusConflict, "dataset %q already exists (republish with replace=1)", name)
 		return
 	}
 	if exists {
@@ -401,9 +489,15 @@ func (s *Server) handlePublish(w http.ResponseWriter, r *http.Request) {
 	} else {
 		sn.info.Version = 1
 	}
+	if err := s.persist(sn); err != nil {
+		s.logf("disassod: persisting %q: %v", name, err)
+		s.writeError(w, http.StatusInternalServerError, "persisting snapshot: %v", err)
+		return
+	}
+	s.mu.Lock()
 	s.snapshots[name] = sn
 	s.mu.Unlock()
-	writeJSON(w, http.StatusCreated, sn.info)
+	s.writeJSON(w, http.StatusCreated, sn.info)
 }
 
 // internalError marks a failure of the server's own machinery (spill files,
@@ -416,18 +510,18 @@ func (e internalError) Unwrap() error { return e.err }
 // publishError maps a failed publish to a status: oversized bodies are 413,
 // server-side machinery failures are 500, everything else (parse errors,
 // k/m validation) is a 400.
-func publishError(w http.ResponseWriter, err error) {
+func (s *Server) publishError(w http.ResponseWriter, err error) {
 	var tooLarge *http.MaxBytesError
 	if errors.As(err, &tooLarge) {
-		writeError(w, http.StatusRequestEntityTooLarge, "%v", err)
+		s.writeError(w, http.StatusRequestEntityTooLarge, "%v", err)
 		return
 	}
 	var internal internalError
 	if errors.As(err, &internal) {
-		writeError(w, http.StatusInternalServerError, "%v", err)
+		s.writeError(w, http.StatusInternalServerError, "%v", err)
 		return
 	}
-	writeError(w, http.StatusBadRequest, "%v", err)
+	s.writeError(w, http.StatusBadRequest, "%v", err)
 }
 
 // publishInMemory runs the standard pipeline with retained delta-republish
@@ -447,7 +541,7 @@ func (s *Server) publishInMemory(name string, body io.Reader, opts core.Options)
 	for i := range parts {
 		parts[i] = query.BuildEstimatorPart(a.K, a.M, st.ShardClusters(i))
 	}
-	sn := newStateSnapshot(name, a, st, parts, d, s.opts.SupportCacheEntries)
+	sn := newStateSnapshot(name, a, st, parts, d, opts, s.opts.SupportCacheEntries)
 	sn.info.ShardRecords = opts.MaxShardRecords
 	return sn, nil
 }
@@ -455,7 +549,7 @@ func (s *Server) publishInMemory(name string, body io.Reader, opts core.Options)
 // newStateSnapshot builds a snapshot whose estimator is assembled from
 // per-shard parts — bit-identical to a full build — and that carries the
 // delta-republish state for append/remove to continue from.
-func newStateSnapshot(name string, a *core.Anonymized, st *core.RepubState, parts []*query.EstimatorPart, original *dataset.Dataset, cacheEntries int) *snapshot {
+func newStateSnapshot(name string, a *core.Anonymized, st *core.RepubState, parts []*query.EstimatorPart, original *dataset.Dataset, opts core.Options, cacheEntries int) *snapshot {
 	sum := a.Stats()
 	return &snapshot{
 		cache: newSupportCache(cacheEntries),
@@ -468,7 +562,8 @@ func newStateSnapshot(name string, a *core.Anonymized, st *core.RepubState, part
 		anon:     a,
 		est:      query.NewEstimatorFromParts(a, parts),
 		summary:  sum,
-		original: original,
+		opts:     opts,
+		original: func() (*dataset.Dataset, error) { return original, nil },
 		state:    st,
 		parts:    parts,
 	}
@@ -512,14 +607,14 @@ func (s *Server) publishStreamed(name string, body io.Reader, opts core.Options,
 	if err != nil {
 		return nil, internalError{fmt.Errorf("re-reading streamed publication: %w", err)}
 	}
-	sn := newSnapshot(name, a, nil, true, s.opts.SupportCacheEntries)
+	sn := newSnapshot(name, a, true, opts, s.opts.SupportCacheEntries)
 	sn.info.ShardRecords = st.ShardRecords
 	return sn, nil
 }
 
 // newSnapshot builds the immutable serving state — summary, inverted index
 // and estimator — plus the snapshot's own (empty) support cache.
-func newSnapshot(name string, a *core.Anonymized, original *dataset.Dataset, streamed bool, cacheEntries int) *snapshot {
+func newSnapshot(name string, a *core.Anonymized, streamed bool, opts core.Options, cacheEntries int) *snapshot {
 	est := query.NewEstimator(a)
 	sum := a.Stats()
 	return &snapshot{
@@ -531,26 +626,32 @@ func newSnapshot(name string, a *core.Anonymized, original *dataset.Dataset, str
 			Clusters: len(a.Clusters),
 			Streamed: streamed,
 		},
-		anon:     a,
-		est:      est,
-		summary:  sum,
-		original: original,
+		anon:    a,
+		est:     est,
+		summary: sum,
+		opts:    opts,
 	}
 }
 
 func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
 	name := r.PathValue("name")
-	lock := s.nameLock(name)
-	lock.Lock()
-	defer lock.Unlock()
-	s.mu.Lock()
-	_, ok := s.snapshots[name]
-	delete(s.snapshots, name)
-	s.mu.Unlock()
-	if !ok {
-		writeError(w, http.StatusNotFound, "no dataset %q", name)
+	lock := s.lockName(name)
+	defer s.unlockName(name, lock)
+	if _, ok := s.lookup(name); !ok {
+		s.writeError(w, http.StatusNotFound, "no dataset %q", name)
 		return
 	}
+	// Artifact first, registry second: if the file refuses to go the server
+	// keeps serving the dataset (still consistent — present both on disk and
+	// in memory) rather than resurrecting it on the next restart.
+	if err := s.removeArtifact(name); err != nil {
+		s.logf("disassod: deleting snapshot file of %q: %v", name, err)
+		s.writeError(w, http.StatusInternalServerError, "deleting snapshot file: %v", err)
+		return
+	}
+	s.mu.Lock()
+	delete(s.snapshots, name)
+	s.mu.Unlock()
 	w.WriteHeader(http.StatusNoContent)
 }
 
@@ -577,11 +678,11 @@ func (s *Server) handleDelta(w http.ResponseWriter, r *http.Request, remove bool
 	body := http.MaxBytesReader(w, r.Body, s.opts.MaxBodyBytes)
 	d, err := dataset.ReadIDs(body)
 	if err != nil {
-		publishError(w, err)
+		s.publishError(w, err)
 		return
 	}
 	if d.Len() == 0 {
-		writeError(w, http.StatusBadRequest, "empty delta: the body must hold at least one record")
+		s.writeError(w, http.StatusBadRequest, "empty delta: the body must hold at least one record")
 		return
 	}
 	var delta core.Delta
@@ -591,52 +692,74 @@ func (s *Server) handleDelta(w http.ResponseWriter, r *http.Request, remove bool
 		delta.Append = d.Records
 	}
 
-	lock := s.nameLock(name)
-	lock.Lock()
-	defer lock.Unlock()
+	lock := s.lockName(name)
+	defer s.unlockName(name, lock)
 	sn, ok := s.lookup(name)
 	if !ok {
-		writeError(w, http.StatusNotFound, "no dataset %q", name)
+		s.writeError(w, http.StatusNotFound, "no dataset %q", name)
 		return
 	}
-	if sn.state == nil {
-		writeError(w, http.StatusConflict,
+	if sn.state == nil && sn.original == nil {
+		s.writeError(w, http.StatusConflict,
 			"dataset %q was published via the streaming engine; the records needed for delta republish were not retained (republish it non-streamed to enable append/remove)", name)
 		return
 	}
-	a, st, stats, err := sn.state.Apply(delta)
-	if err != nil {
-		if errors.Is(err, core.ErrRecordNotFound) {
-			writeError(w, http.StatusConflict, "%v", err)
+	state, parts := sn.state, sn.parts
+	if state == nil {
+		// A recovered snapshot carries the original records but not the live
+		// republish state (sharding plans, per-shard indexes). Rehydrate it
+		// once by re-running the stateful pipeline over the persisted
+		// original with the persisted options — byte-identical to the
+		// pre-restart publication by the delta-republish determinism
+		// guarantee — then apply the delta to it as usual. This is the one
+		// place recovery pays anonymization cost, and only on the first
+		// mutation of a recovered name, never on the read path.
+		var err error
+		state, parts, err = s.rehydrate(sn)
+		if err != nil {
+			s.logf("disassod: rehydrating republish state of %q: %v", name, err)
+			s.writeError(w, http.StatusInternalServerError, "rehydrating republish state: %v", err)
 			return
 		}
-		writeError(w, http.StatusBadRequest, "%v", err)
+	}
+	a, st, stats, err := state.Apply(delta)
+	if err != nil {
+		if errors.Is(err, core.ErrRecordNotFound) {
+			s.writeError(w, http.StatusConflict, "%v", err)
+			return
+		}
+		s.writeError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
 
 	// Estimator parts: rebuild only the dirty shards' segments, splice every
 	// clean shard's part straight through (clean shards share their published
 	// nodes with the old snapshot, so the old parts describe them exactly).
-	var parts []*query.EstimatorPart
+	var nextParts []*query.EstimatorPart
 	if stats.FullRepublish {
-		parts = make([]*query.EstimatorPart, st.NumShards())
-		for i := range parts {
-			parts[i] = query.BuildEstimatorPart(a.K, a.M, st.ShardClusters(i))
+		nextParts = make([]*query.EstimatorPart, st.NumShards())
+		for i := range nextParts {
+			nextParts[i] = query.BuildEstimatorPart(a.K, a.M, st.ShardClusters(i))
 		}
 	} else {
-		parts = slices.Clone(sn.parts)
+		nextParts = slices.Clone(parts)
 		for _, si := range stats.Dirty {
-			parts[si] = query.BuildEstimatorPart(a.K, a.M, st.ShardClusters(si))
+			nextParts[si] = query.BuildEstimatorPart(a.K, a.M, st.ShardClusters(si))
 		}
 	}
-	next := newStateSnapshot(name, a, st, parts, dataset.FromRecords(st.Records()), s.opts.SupportCacheEntries)
+	next := newStateSnapshot(name, a, st, nextParts, dataset.FromRecords(st.Records()), sn.opts, s.opts.SupportCacheEntries)
 	next.info.ShardRecords = sn.info.ShardRecords
 	next.info.Version = sn.info.Version + 1
 
+	if err := s.persist(next); err != nil {
+		s.logf("disassod: persisting %q: %v", name, err)
+		s.writeError(w, http.StatusInternalServerError, "persisting snapshot: %v", err)
+		return
+	}
 	s.mu.Lock()
 	s.snapshots[name] = next
 	s.mu.Unlock()
-	writeJSON(w, http.StatusOK, DeltaResponse{
+	s.writeJSON(w, http.StatusOK, DeltaResponse{
 		DatasetInfo:     next.info,
 		Appended:        stats.Appended,
 		Removed:         stats.Removed,
@@ -653,7 +776,7 @@ func (s *Server) snapshotOr404(w http.ResponseWriter, r *http.Request) *snapshot
 	name := r.PathValue("name")
 	sn, ok := s.lookup(name)
 	if !ok {
-		writeError(w, http.StatusNotFound, "no dataset %q", name)
+		s.writeError(w, http.StatusNotFound, "no dataset %q", name)
 		return nil
 	}
 	return sn
@@ -664,7 +787,7 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	if sn == nil {
 		return
 	}
-	writeJSON(w, http.StatusOK, StatsResponse{DatasetInfo: sn.info, Summary: sn.summary})
+	s.writeJSON(w, http.StatusOK, StatsResponse{DatasetInfo: sn.info, Summary: sn.summary})
 }
 
 func (s *Server) handleSupport(w http.ResponseWriter, r *http.Request) {
@@ -675,18 +798,18 @@ func (s *Server) handleSupport(w http.ResponseWriter, r *http.Request) {
 	var req SupportRequest
 	body := http.MaxBytesReader(w, r.Body, s.opts.MaxBodyBytes)
 	if err := json.NewDecoder(body).Decode(&req); err != nil {
-		publishError(w, err)
+		s.publishError(w, err)
 		return
 	}
 	if len(req.Itemsets) > maxItemsets {
-		writeError(w, http.StatusBadRequest, "%d itemsets exceed the per-request cap of %d", len(req.Itemsets), maxItemsets)
+		s.writeError(w, http.StatusBadRequest, "%d itemsets exceed the per-request cap of %d", len(req.Itemsets), maxItemsets)
 		return
 	}
 	resp := SupportResponse{Estimates: make([]ItemsetEstimate, len(req.Itemsets))}
 	for i, terms := range req.Itemsets {
 		resp.Estimates[i] = estimateOne(sn, dataset.NewRecord(terms...))
 	}
-	writeJSON(w, http.StatusOK, resp)
+	s.writeJSON(w, http.StatusOK, resp)
 }
 
 // handleSupportGet answers a single itemset given as a comma-separated term
@@ -701,19 +824,19 @@ func (s *Server) handleSupportGet(w http.ResponseWriter, r *http.Request) {
 		// A missing/mistyped parameter must not silently degrade into the
 		// empty itemset (whose "estimate" is the total record count); the
 		// batch POST endpoint serves empty itemsets for callers who mean it.
-		writeError(w, http.StatusBadRequest, "missing itemset parameter (e.g. ?itemset=3,17)")
+		s.writeError(w, http.StatusBadRequest, "missing itemset parameter (e.g. ?itemset=3,17)")
 		return
 	}
 	var terms []dataset.Term
 	for _, f := range strings.Split(raw, ",") {
 		n, err := strconv.ParseInt(strings.TrimSpace(f), 10, 32)
 		if err != nil {
-			writeError(w, http.StatusBadRequest, "bad itemset term %q", f)
+			s.writeError(w, http.StatusBadRequest, "bad itemset term %q", f)
 			return
 		}
 		terms = append(terms, dataset.Term(n))
 	}
-	writeJSON(w, http.StatusOK, estimateOne(sn, dataset.NewRecord(terms...)))
+	s.writeJSON(w, http.StatusOK, estimateOne(sn, dataset.NewRecord(terms...)))
 }
 
 // estimateOne runs one itemset through the snapshot's support cache (backed
@@ -737,17 +860,17 @@ func (s *Server) handleReconstruct(w http.ResponseWriter, r *http.Request) {
 	body := http.MaxBytesReader(w, r.Body, s.opts.MaxBodyBytes)
 	raw, err := io.ReadAll(body)
 	if err != nil {
-		publishError(w, err)
+		s.publishError(w, err)
 		return
 	}
 	if len(bytes.TrimSpace(raw)) > 0 {
 		if err := json.Unmarshal(raw, &req); err != nil {
-			writeError(w, http.StatusBadRequest, "%v", err)
+			s.writeError(w, http.StatusBadRequest, "%v", err)
 			return
 		}
 	}
 	if req.Samples < 1 || req.Samples > s.opts.MaxReconstructions {
-		writeError(w, http.StatusBadRequest, "samples must be in [1, %d]", s.opts.MaxReconstructions)
+		s.writeError(w, http.StatusBadRequest, "samples must be in [1, %d]", s.opts.MaxReconstructions)
 		return
 	}
 	rng := rand.New(rand.NewPCG(req.Seed, 0x5EED))
@@ -759,7 +882,7 @@ func (s *Server) handleReconstruct(w http.ResponseWriter, r *http.Request) {
 		}
 		resp.Datasets[i] = recs
 	}
-	writeJSON(w, http.StatusOK, resp)
+	s.writeJSON(w, http.StatusOK, resp)
 }
 
 // handleMetrics computes the utility metrics of the publication against the
@@ -771,8 +894,14 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if sn.original == nil {
-		writeError(w, http.StatusConflict,
+		s.writeError(w, http.StatusConflict,
 			"dataset %q was published via the streaming engine; the original records were not retained, so original-vs-published metrics are unavailable", sn.info.Name)
+		return
+	}
+	original, err := sn.original()
+	if err != nil {
+		s.logf("disassod: decoding original records of %q: %v", sn.info.Name, err)
+		s.writeError(w, http.StatusInternalServerError, "decoding retained original records: %v", err)
 		return
 	}
 	k, err1 := queryInt(r, "k", sn.info.K)
@@ -781,7 +910,7 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	lo, err4 := queryInt(r, "lo", 200)
 	hi, err5 := queryInt(r, "hi", 220)
 	if err := errors.Join(err1, err2, err3, err4, err5); err != nil {
-		writeError(w, http.StatusBadRequest, "%v", err)
+		s.writeError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
 	// Bound per-request mining work like every other endpoint bounds its
@@ -789,28 +918,28 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	// size and the top-K threshold drops toward support 1 as K grows.
 	switch {
 	case k < 1:
-		writeError(w, http.StatusBadRequest, "k must be ≥ 1")
+		s.writeError(w, http.StatusBadRequest, "k must be ≥ 1")
 		return
 	case topK < 1 || topK > maxMetricsTopK:
-		writeError(w, http.StatusBadRequest, "topk must be in [1, %d]", maxMetricsTopK)
+		s.writeError(w, http.StatusBadRequest, "topk must be in [1, %d]", maxMetricsTopK)
 		return
 	case maxSize < 1 || maxSize > maxMetricsItemsetSize:
-		writeError(w, http.StatusBadRequest, "size must be in [1, %d]", maxMetricsItemsetSize)
+		s.writeError(w, http.StatusBadRequest, "size must be in [1, %d]", maxMetricsItemsetSize)
 		return
 	case lo < 0 || hi < lo:
 		// Ordered non-negative bounds first, so the width subtraction below
 		// cannot wrap around and slip past the cap.
-		writeError(w, http.StatusBadRequest, "term range [%d, %d) must satisfy 0 ≤ lo ≤ hi", lo, hi)
+		s.writeError(w, http.StatusBadRequest, "term range [%d, %d) must satisfy 0 ≤ lo ≤ hi", lo, hi)
 		return
 	case hi-lo > maxMetricsRangeWidth:
-		writeError(w, http.StatusBadRequest, "term range wider than %d", maxMetricsRangeWidth)
+		s.writeError(w, http.StatusBadRequest, "term range wider than %d", maxMetricsRangeWidth)
 		return
 	}
-	terms := metrics.RangeTerms(sn.original, lo, hi)
-	writeJSON(w, http.StatusOK, MetricsResponse{
+	terms := metrics.RangeTerms(original, lo, hi)
+	s.writeJSON(w, http.StatusOK, MetricsResponse{
 		K: k, TopK: topK, MaxItemsetSize: maxSize, RangeLo: lo, RangeHi: hi,
-		TermsLost:       metrics.TermsLost(sn.original, sn.anon, k),
-		TopKDeviationLB: metrics.TopKDeviationLowerBound(sn.original.Records, sn.anon, topK, maxSize),
-		RelativeErrorLB: metrics.RelativeErrorLowerBound(sn.original.Records, sn.anon, terms),
+		TermsLost:       metrics.TermsLost(original, sn.anon, k),
+		TopKDeviationLB: metrics.TopKDeviationLowerBound(original.Records, sn.anon, topK, maxSize),
+		RelativeErrorLB: metrics.RelativeErrorLowerBound(original.Records, sn.anon, terms),
 	})
 }

@@ -1,0 +1,11 @@
+//go:build !unix
+
+package snapfile
+
+import "os"
+
+// mmapFile always refuses on platforms without the unix mmap syscalls; Open
+// falls back to reading the file into the heap.
+func mmapFile(f *os.File, size int64) ([]byte, bool) { return nil, false }
+
+func munmapBytes(data []byte) error { return nil }

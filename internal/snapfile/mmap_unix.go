@@ -1,0 +1,29 @@
+//go:build unix
+
+package snapfile
+
+import (
+	"os"
+	"syscall"
+)
+
+// mmapFile maps size bytes of f read-only. It reports ok=false when the
+// platform refuses (e.g. an empty file or an exotic filesystem), in which
+// case the caller falls back to a heap read.
+func mmapFile(f *os.File, size int64) ([]byte, bool) {
+	if size <= 0 || size != int64(int(size)) {
+		return nil, false
+	}
+	data, err := syscall.Mmap(int(f.Fd()), 0, int(size), syscall.PROT_READ, syscall.MAP_SHARED)
+	if err != nil {
+		return nil, false
+	}
+	return data, true
+}
+
+func munmapBytes(data []byte) error {
+	if data == nil {
+		return nil
+	}
+	return syscall.Munmap(data)
+}

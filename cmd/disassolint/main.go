@@ -1,15 +1,20 @@
-// Command disassolint runs the project's invariant analyzers (detorder,
-// densedomain, closecheck, hookpair — see internal/lint) over the packages
+// Command disassolint runs the project's invariant analyzers — the AST
+// checks (detorder, densedomain, closecheck, hookpair) and the dataflow
+// checks (immutsnap, lockscope, atomicwrite, unsafeslab) — over the packages
 // matched by its arguments and exits non-zero if any finding survives the
 // suppression rules. It complements `go vet` and staticcheck in the CI lint
 // job:
 //
 //	go run ./cmd/disassolint ./...
 //
-// With -list, it prints the suite and each analyzer's scope instead.
+// With -list, it prints the suite and each analyzer's scope instead. With
+// -json, findings are emitted as one JSON object per line (file, line,
+// column, analyzer, message) for machine consumers — CI turns them into
+// GitHub annotations.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -18,10 +23,20 @@ import (
 	"disasso/internal/lint"
 )
 
+// finding is the machine-readable form of one diagnostic.
+type finding struct {
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Column   int    `json:"column"`
+	Analyzer string `json:"analyzer"`
+	Message  string `json:"message"`
+}
+
 func main() {
 	list := flag.Bool("list", false, "print the analyzer suite and exit")
+	jsonOut := flag.Bool("json", false, "emit findings as JSON lines instead of text")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: disassolint [-list] packages...\n")
+		fmt.Fprintf(os.Stderr, "usage: disassolint [-list] [-json] packages...\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -48,6 +63,7 @@ func main() {
 		os.Exit(2)
 	}
 
+	enc := json.NewEncoder(os.Stdout)
 	exit := 0
 	for _, pkg := range pkgs {
 		diags, err := lint.RunAnalyzers(pkg, analyzers)
@@ -56,8 +72,21 @@ func main() {
 			os.Exit(2)
 		}
 		for _, d := range diags {
-			fmt.Println(d)
 			exit = 1
+			if !*jsonOut {
+				fmt.Println(d)
+				continue
+			}
+			if err := enc.Encode(finding{
+				File:     d.Pos.Filename,
+				Line:     d.Pos.Line,
+				Column:   d.Pos.Column,
+				Analyzer: d.Analyzer,
+				Message:  d.Message,
+			}); err != nil {
+				fmt.Fprintf(os.Stderr, "disassolint: encoding finding: %v\n", err)
+				os.Exit(2)
+			}
 		}
 	}
 	os.Exit(exit)

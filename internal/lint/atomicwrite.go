@@ -1,0 +1,207 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// AtomicWrite enforces the persistence ritual that makes restarts safe
+// (PR 8): bytes go to a fresh temp file in the target directory, the temp
+// file is fsynced, THEN renamed over the servable name, and the directory is
+// fsynced after the rename. A crash at any point leaves either the old
+// artifact or the new one — never a torn file under a servable name.
+//
+// The analyzer tracks, per function, which variables hold CreateTemp files,
+// which hold their Name() strings, and which files have seen a Sync. Every
+// os.Rename must then satisfy three clauses:
+//
+//   - the source traces back to a temp file created in the same function;
+//   - a Sync on that temp file may-reaches the rename (deleting the Sync
+//     breaks the fact chain and fails lint — mutation (b) of the issue);
+//   - a directory sync (a call to a function named syncDir, directly or
+//     deferred) is reachable after the rename.
+//
+// Direct os.Create / os.WriteFile in the persistence packages is a finding
+// outright: there is no way to write-then-rename-atomically through them, so
+// any use is either a torn-write bug or belongs behind the temp-file ritual.
+var AtomicWrite = &Analyzer{
+	Name: "atomicwrite",
+	Doc: "enforces the temp-file + fsync + rename + dir-sync persistence " +
+		"ritual; flags direct creates/writes into persisted paths",
+	Scope: []string{
+		"internal/server",
+		"cmd/disassod",
+	},
+	Run: runAtomicWrite,
+}
+
+// tempFileFact marks a variable holding an os.CreateTemp result.
+type tempFileFact struct{ obj types.Object }
+
+// tempNameFact links a string variable to the temp file whose Name() it is.
+type tempNameFact struct{ name, file types.Object }
+
+// syncedFact marks a temp file that has seen a Sync call.
+type syncedFact struct{ file types.Object }
+
+func runAtomicWrite(pass *Pass) error {
+	forEachFuncBody(pass, func(decl *ast.FuncDecl, body *ast.BlockStmt) {
+		checkAtomicWrite(pass, body)
+	})
+	return nil
+}
+
+func checkAtomicWrite(pass *Pass, body *ast.BlockStmt) {
+	g := buildCFG(body)
+
+	step := func(n ast.Node, f facts) {
+		if as, ok := n.(*ast.AssignStmt); ok && len(as.Rhs) == 1 {
+			if call, ok := ast.Unparen(as.Rhs[0]).(*ast.CallExpr); ok {
+				// f, err := os.CreateTemp(dir, pattern)
+				if isOsCall(pass, call, "CreateTemp") && len(as.Lhs) > 0 {
+					if obj := identObj(pass, as.Lhs[0]); obj != nil {
+						f[tempFileFact{obj}] = true
+					}
+				}
+				// tmp := f.Name()
+				if fileObj := tempFileMethodRecv(pass, call, "Name", f); fileObj != nil {
+					for _, lhs := range as.Lhs {
+						if obj := identObj(pass, lhs); obj != nil {
+							f[tempNameFact{name: obj, file: fileObj}] = true
+						}
+					}
+				}
+			}
+		}
+		inspectShallow(n, func(m ast.Node) bool {
+			call, ok := m.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if fileObj := tempFileMethodRecv(pass, call, "Sync", f); fileObj != nil {
+				f[syncedFact{fileObj}] = true
+			}
+			return true
+		})
+	}
+
+	in := forwardMay(g, facts{}, step)
+
+	// Reporting pass, block by block so rename sites know their position for
+	// the "dir sync reachable after" query.
+	for _, b := range g.blocks {
+		f := in[b].clone()
+		for i, n := range b.nodes {
+			visitAtomicNode(pass, g, b, i, n, f)
+			step(n, f)
+		}
+	}
+}
+
+func visitAtomicNode(pass *Pass, g *cfg, b *cfgBlock, i int, n ast.Node, before facts) {
+	inspectShallow(n, func(m ast.Node) bool {
+		call, ok := m.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		switch {
+		case isOsCall(pass, call, "Create"), isOsCall(pass, call, "WriteFile"):
+			pass.Reportf(call.Pos(),
+				"direct file create/write in a persistence package: write to an os.CreateTemp file, Sync it, and os.Rename it into place so a crash never leaves a torn artifact")
+		case isOsCall(pass, call, "Rename") && len(call.Args) == 2:
+			checkRename(pass, g, b, i, call, before)
+		}
+		return true
+	})
+}
+
+// checkRename verifies the three clauses of the ritual at one os.Rename.
+func checkRename(pass *Pass, g *cfg, b *cfgBlock, i int, call *ast.CallExpr, before facts) {
+	src := ast.Unparen(call.Args[0])
+
+	// Clause 1: the source traces to a temp file created here.
+	var fileObj types.Object
+	if srcObj := identObj(pass, src); srcObj != nil {
+		for k := range before {
+			if tn, ok := k.(tempNameFact); ok && tn.name == srcObj {
+				fileObj = tn.file
+				break
+			}
+		}
+	} else if inner, ok := src.(*ast.CallExpr); ok {
+		// os.Rename(f.Name(), dst) — inline Name() on a tracked file.
+		fileObj = tempFileMethodRecv(pass, inner, "Name", before)
+	}
+	if fileObj == nil {
+		pass.Reportf(call.Pos(),
+			"os.Rename source does not trace to an os.CreateTemp file from this function: persisted artifacts must be written temp-first and renamed into place")
+		return
+	}
+
+	// Clause 2: the temp file was synced on some path reaching the rename.
+	if !before[syncedFact{fileObj}] {
+		pass.Reportf(call.Pos(),
+			"os.Rename is not preceded by Sync on the temp file: without the fsync a crash after the rename can expose an empty or torn artifact under the servable name")
+	}
+
+	// Clause 3: a directory sync is reachable after the rename (or deferred).
+	found := reachableFrom(g, b, i+1, func(n ast.Node) bool {
+		return containsSyncDirCall(pass, n)
+	})
+	if !found {
+		for _, d := range g.defers {
+			if containsSyncDirCall(pass, d) {
+				found = true
+				break
+			}
+		}
+	}
+	if !found {
+		pass.Reportf(call.Pos(),
+			"os.Rename is not followed by a directory sync: call syncDir on the target directory so the new directory entry is durable")
+	}
+}
+
+func containsSyncDirCall(pass *Pass, n ast.Node) bool {
+	found := false
+	inspectShallow(n, func(m ast.Node) bool {
+		if call, ok := m.(*ast.CallExpr); ok {
+			if fn := calleeFunc(pass, call); fn != nil && fn.Name() == "syncDir" {
+				found = true
+				return false
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// isOsCall reports whether call invokes os.<name>.
+func isOsCall(pass *Pass, call *ast.CallExpr, name string) bool {
+	fn := calleeFunc(pass, call)
+	return fn != nil && fn.Pkg() != nil && fn.Pkg().Path() == "os" && fn.Name() == name
+}
+
+// tempFileMethodRecv resolves calls of the form f.<method>() where f is a
+// tracked temp file, returning the file object (nil otherwise).
+func tempFileMethodRecv(pass *Pass, call *ast.CallExpr, method string, f facts) types.Object {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != method {
+		return nil
+	}
+	obj := rootIdentObj(pass, sel.X)
+	if obj == nil || !f[tempFileFact{obj}] {
+		return nil
+	}
+	return obj
+}
+
+// identObj resolves a plain identifier expression to its object (blank and
+// non-identifiers resolve to nil).
+func identObj(pass *Pass, e ast.Expr) types.Object {
+	id, ok := ast.Unparen(e).(*ast.Ident)
+	if !ok || id.Name == "_" {
+		return nil
+	}
+	return pass.Info.ObjectOf(id)
+}

@@ -1,0 +1,36 @@
+package lint_test
+
+import (
+	"path/filepath"
+	"testing"
+
+	"disasso/internal/lint"
+)
+
+// BenchmarkLintModule measures a full disassolint run — go list, type
+// checking, and all eight analyzers over every package in the module — which
+// is the wall time the CI lint job pays on each push. The dataflow analyzers
+// (CFGs, fixpoints, call-graph summaries) dominate the analysis share, so a
+// regression here usually means a summary or fixpoint stopped converging
+// quickly.
+func BenchmarkLintModule(b *testing.B) {
+	root, err := filepath.Abs(filepath.Join("..", ".."))
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < b.N; i++ {
+		pkgs, err := lint.Load(root, "./...")
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, pkg := range pkgs {
+			diags, err := lint.RunAnalyzers(pkg, lint.All())
+			if err != nil {
+				b.Fatal(err)
+			}
+			if len(diags) != 0 {
+				b.Fatalf("module should lint clean, got: %v", diags)
+			}
+		}
+	}
+}

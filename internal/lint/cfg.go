@@ -1,0 +1,330 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+)
+
+// This file is the flow layer of the framework: a per-function control-flow
+// graph built from syntax alone. The PR 6 analyzers were AST-local — they
+// could say "this call exists" but not "this call happens after that lock is
+// taken and before it is released". The CFG (plus the forward dataflow engine
+// in dataflow.go and the call-graph summaries in summary.go) is what lets
+// immutsnap, lockscope and atomicwrite reason about order: escape-then-store,
+// lock-then-block, sync-then-rename.
+//
+// The graph is deliberately simple: basic blocks hold statements (and the
+// condition/tag expressions of the control statements that end them) in
+// execution order, edges are the possible successors. Infeasible paths are
+// not pruned (the graph has no notion of branch conditions being mutually
+// exclusive), so analyses built on it must be phrased as may-analyses —
+// "some path reaches" — rather than path-sensitive must-claims.
+
+// cfgBlock is one basic block: nodes in execution order plus successor edges.
+// Nodes are statements, except that branching statements contribute their
+// Init/Cond/Tag parts as individual nodes so transfer functions see the calls
+// inside them.
+type cfgBlock struct {
+	nodes []ast.Node
+	succs []*cfgBlock
+}
+
+// cfg is one function body's control-flow graph. exit is a synthetic empty
+// block every return (and the fall-off end) leads to; defers collects the
+// function's defer statements in source order, since their calls execute at
+// exit rather than at their syntactic position.
+type cfg struct {
+	entry  *cfgBlock
+	exit   *cfgBlock
+	blocks []*cfgBlock
+	defers []*ast.DeferStmt
+}
+
+// loopTarget is one entry of the builder's break/continue resolution stack.
+type loopTarget struct {
+	label    string // enclosing label, "" if none
+	brk      *cfgBlock
+	cont     *cfgBlock // nil for switch/select (break-only targets)
+	isSwitch bool
+}
+
+type cfgBuilder struct {
+	c     *cfg
+	cur   *cfgBlock
+	loops []loopTarget
+	// labels maps label names to their blocks (created eagerly on first
+	// mention, so forward gotos resolve).
+	labels map[string]*cfgBlock
+	// pendingLabel is set by a LabeledStmt so the following loop/switch
+	// registers itself under that label for labeled break/continue.
+	pendingLabel string
+	// fallTarget is the next case clause of the switch clause currently being
+	// built — the destination of a fallthrough statement. Saved and restored
+	// around nested clauses by switchLike.
+	fallTarget *cfgBlock
+}
+
+// buildCFG constructs the control-flow graph of one function body. It never
+// fails: unhandled or malformed control flow degrades to conservative
+// straight-line edges, which at worst widens a may-analysis.
+func buildCFG(body *ast.BlockStmt) *cfg {
+	b := &cfgBuilder{
+		c:      &cfg{},
+		labels: make(map[string]*cfgBlock),
+	}
+	b.c.exit = b.newBlock() // index 0; kept out of normal fallthrough order
+	b.c.entry = b.newBlock()
+	b.cur = b.c.entry
+	b.stmt(body)
+	b.edge(b.cur, b.c.exit) // fall off the end
+	return b.c
+}
+
+func (b *cfgBuilder) newBlock() *cfgBlock {
+	blk := &cfgBlock{}
+	b.c.blocks = append(b.c.blocks, blk)
+	return blk
+}
+
+func (b *cfgBuilder) edge(from, to *cfgBlock) {
+	if from == nil {
+		return
+	}
+	from.succs = append(from.succs, to)
+}
+
+// append adds a node to the current block.
+func (b *cfgBuilder) append(n ast.Node) {
+	if n == nil {
+		return
+	}
+	b.cur.nodes = append(b.cur.nodes, n)
+}
+
+// startDetached begins a new, unreachable block — the state after return,
+// break, continue, goto. Statements syntactically following them land there;
+// with no incoming edges the block's entry facts stay empty, so dead code
+// never produces findings.
+func (b *cfgBuilder) startDetached() {
+	b.cur = b.newBlock()
+}
+
+// takeLabel consumes the pending label set by an enclosing LabeledStmt.
+func (b *cfgBuilder) takeLabel() string {
+	l := b.pendingLabel
+	b.pendingLabel = ""
+	return l
+}
+
+func (b *cfgBuilder) stmt(s ast.Stmt) {
+	switch st := s.(type) {
+	case nil:
+	case *ast.BlockStmt:
+		for _, inner := range st.List {
+			b.stmt(inner)
+		}
+	case *ast.IfStmt:
+		b.stmt(st.Init)
+		b.append(st.Cond)
+		condBlock := b.cur
+		after := b.newBlock()
+		then := b.newBlock()
+		b.edge(condBlock, then)
+		b.cur = then
+		b.stmt(st.Body)
+		b.edge(b.cur, after)
+		if st.Else != nil {
+			elseB := b.newBlock()
+			b.edge(condBlock, elseB)
+			b.cur = elseB
+			b.stmt(st.Else)
+			b.edge(b.cur, after)
+		} else {
+			b.edge(condBlock, after)
+		}
+		b.cur = after
+	case *ast.ForStmt:
+		label := b.takeLabel()
+		b.stmt(st.Init)
+		head := b.newBlock()
+		b.edge(b.cur, head)
+		b.cur = head
+		b.append(st.Cond)
+		body := b.newBlock()
+		after := b.newBlock()
+		post := b.newBlock()
+		b.edge(head, body)
+		if st.Cond != nil {
+			b.edge(head, after)
+		}
+		b.loops = append(b.loops, loopTarget{label: label, brk: after, cont: post})
+		b.cur = body
+		b.stmt(st.Body)
+		b.loops = b.loops[:len(b.loops)-1]
+		b.edge(b.cur, post)
+		b.cur = post
+		b.stmt(st.Post)
+		b.edge(b.cur, head)
+		b.cur = after
+	case *ast.RangeStmt:
+		label := b.takeLabel()
+		b.append(st.X)
+		head := b.newBlock()
+		b.edge(b.cur, head)
+		body := b.newBlock()
+		after := b.newBlock()
+		b.edge(head, body)
+		b.edge(head, after) // the range may be empty
+		b.loops = append(b.loops, loopTarget{label: label, brk: after, cont: head})
+		b.cur = body
+		b.stmt(st.Body)
+		b.loops = b.loops[:len(b.loops)-1]
+		b.edge(b.cur, head)
+		b.cur = after
+	case *ast.SwitchStmt:
+		b.switchLike(st.Init, st.Tag, st.Body)
+	case *ast.TypeSwitchStmt:
+		b.switchLike(st.Init, nil, st.Body)
+		// The Assign ("x := y.(type)") was not emitted by switchLike; its
+		// effects are per-clause bindings no current analyzer tracks.
+	case *ast.SelectStmt:
+		label := b.takeLabel()
+		after := b.newBlock()
+		head := b.cur
+		b.loops = append(b.loops, loopTarget{label: label, brk: after, isSwitch: true})
+		for _, clause := range st.Body.List {
+			cc, ok := clause.(*ast.CommClause)
+			if !ok {
+				continue
+			}
+			blk := b.newBlock()
+			b.edge(head, blk)
+			b.cur = blk
+			b.stmt(cc.Comm)
+			for _, inner := range cc.Body {
+				b.stmt(inner)
+			}
+			b.edge(b.cur, after)
+		}
+		b.loops = b.loops[:len(b.loops)-1]
+		b.cur = after
+	case *ast.ReturnStmt:
+		b.append(st)
+		b.edge(b.cur, b.c.exit)
+		b.startDetached()
+	case *ast.BranchStmt:
+		b.branch(st)
+	case *ast.LabeledStmt:
+		name := st.Label.Name
+		lb := b.labels[name]
+		if lb == nil {
+			lb = b.newBlock()
+			b.labels[name] = lb
+		}
+		b.edge(b.cur, lb)
+		b.cur = lb
+		b.pendingLabel = name
+		b.stmt(st.Stmt)
+		b.pendingLabel = ""
+	case *ast.DeferStmt:
+		b.c.defers = append(b.c.defers, st)
+		b.append(st) // visible in-flow too, so analyzers see where it was set up
+	default:
+		// ExprStmt, AssignStmt, IncDecStmt, DeclStmt, SendStmt, GoStmt,
+		// EmptyStmt: plain nodes of the current block.
+		b.append(s)
+	}
+}
+
+// switchLike builds expression and type switches: every clause branches off
+// the head, falls to the join, and fallthrough chains to the next clause.
+func (b *cfgBuilder) switchLike(init ast.Stmt, tag ast.Expr, body *ast.BlockStmt) {
+	label := b.takeLabel()
+	b.stmt(init)
+	b.append(tag)
+	head := b.cur
+	after := b.newBlock()
+	b.loops = append(b.loops, loopTarget{label: label, brk: after, isSwitch: true})
+
+	var clauses []*ast.CaseClause
+	for _, clause := range body.List {
+		if cc, ok := clause.(*ast.CaseClause); ok {
+			clauses = append(clauses, cc)
+		}
+	}
+	blocks := make([]*cfgBlock, len(clauses))
+	hasDefault := false
+	for i, cc := range clauses {
+		blocks[i] = b.newBlock()
+		b.edge(head, blocks[i])
+		if cc.List == nil {
+			hasDefault = true
+		}
+	}
+	if !hasDefault {
+		b.edge(head, after) // no case may match
+	}
+	savedFall := b.fallTarget
+	for i, cc := range clauses {
+		b.cur = blocks[i]
+		if i+1 < len(blocks) {
+			b.fallTarget = blocks[i+1]
+		} else {
+			b.fallTarget = after
+		}
+		for _, inner := range cc.Body {
+			b.stmt(inner)
+		}
+		// An explicit fallthrough (handled in branch below) already wired the
+		// edge to the next clause and detached; a normal end falls to after.
+		b.edge(b.cur, after)
+	}
+	b.fallTarget = savedFall
+	b.loops = b.loops[:len(b.loops)-1]
+	b.cur = after
+}
+
+func (b *cfgBuilder) branch(st *ast.BranchStmt) {
+	label := ""
+	if st.Label != nil {
+		label = st.Label.Name
+	}
+	switch st.Tok {
+	case token.BREAK:
+		for i := len(b.loops) - 1; i >= 0; i-- {
+			t := b.loops[i]
+			if label == "" || t.label == label {
+				b.edge(b.cur, t.brk)
+				break
+			}
+		}
+		b.startDetached()
+	case token.CONTINUE:
+		for i := len(b.loops) - 1; i >= 0; i-- {
+			t := b.loops[i]
+			if t.isSwitch {
+				continue // continue skips switch/select levels
+			}
+			if label == "" || t.label == label {
+				b.edge(b.cur, t.cont)
+				break
+			}
+		}
+		b.startDetached()
+	case token.GOTO:
+		lb := b.labels[label]
+		if lb == nil {
+			lb = b.newBlock()
+			b.labels[label] = lb
+		}
+		b.edge(b.cur, lb)
+		b.startDetached()
+	case token.FALLTHROUGH:
+		// Wire to the lexically next clause of the innermost switch, tracked
+		// by switchLike while the clause body is being built.
+		if b.fallTarget != nil {
+			b.edge(b.cur, b.fallTarget)
+		}
+		b.startDetached()
+	}
+}

@@ -1,0 +1,160 @@
+package lint
+
+import "go/ast"
+
+// The forward dataflow engine: a worklist fixpoint over a cfg with
+// union-join ("may") semantics. Facts are opaque comparable keys — escaped
+// objects for immutsnap, held locks for lockscope, synced files for
+// atomicwrite — and a fact holds at a point if SOME path to that point
+// generates it without a later kill. Union join is the right polarity for
+// every check in this suite: "a store may happen after the value escaped",
+// "a blocking call may run while the lock is held". (A must-analysis would
+// need path pruning the cfg deliberately does not do — see cfg.go.)
+
+// facts is a set of analyzer-defined fact keys.
+type facts map[any]bool
+
+func (f facts) clone() facts {
+	out := make(facts, len(f))
+	for k := range f {
+		out[k] = true
+	}
+	return out
+}
+
+// addAll unions other into f and reports whether f grew.
+func (f facts) addAll(other facts) bool {
+	grew := false
+	for k := range other {
+		if !f[k] {
+			f[k] = true
+			grew = true
+		}
+	}
+	return grew
+}
+
+// forwardMay runs the fixpoint and returns each block's ENTRY facts. step is
+// the per-node transfer function: it mutates the fact set in place (adding
+// generated facts, deleting killed ones) and must be deterministic in its
+// input facts. entry seeds the function's entry block (e.g. parameters that
+// are tainted at birth).
+func forwardMay(c *cfg, entry facts, step func(n ast.Node, f facts)) map[*cfgBlock]facts {
+	in := make(map[*cfgBlock]facts, len(c.blocks))
+	for _, b := range c.blocks {
+		in[b] = facts{}
+	}
+	in[c.entry] = entry.clone()
+
+	// Worklist seeded with every block (detached/unreachable blocks simply
+	// keep empty facts). Union join is monotone over finite fact sets, so
+	// this terminates.
+	work := make([]*cfgBlock, len(c.blocks))
+	copy(work, c.blocks)
+	queued := make(map[*cfgBlock]bool, len(c.blocks))
+	for _, b := range work {
+		queued[b] = true
+	}
+	for len(work) > 0 {
+		b := work[0]
+		work = work[1:]
+		queued[b] = false
+
+		out := in[b].clone()
+		for _, n := range b.nodes {
+			step(n, out)
+		}
+		for _, succ := range b.succs {
+			if in[succ].addAll(out) && !queued[succ] {
+				queued[succ] = true
+				work = append(work, succ)
+			}
+		}
+	}
+	return in
+}
+
+// walkWithFacts replays the transfer over every block from its fixpoint entry
+// facts, invoking visit on each node with the facts holding JUST BEFORE the
+// node executes. This is the reporting pass: analyzers check a node against
+// the pre-state (e.g. "is the receiver escaped here?") and the engine then
+// applies the node's own effects before moving on.
+func walkWithFacts(c *cfg, in map[*cfgBlock]facts, step func(n ast.Node, f facts), visit func(n ast.Node, before facts)) {
+	for _, b := range c.blocks {
+		f := in[b].clone()
+		for _, n := range b.nodes {
+			visit(n, f)
+			step(n, f)
+		}
+	}
+}
+
+// reachableFrom returns the set of nodes reachable from (and including) the
+// node at index i of block b: the rest of b plus every node of every
+// transitively reachable successor. atomicwrite uses it for "a directory
+// sync is reachable after the rename".
+func reachableFrom(c *cfg, b *cfgBlock, i int, visit func(n ast.Node) bool) bool {
+	for _, n := range b.nodes[i:] {
+		if visit(n) {
+			return true
+		}
+	}
+	seen := map[*cfgBlock]bool{}
+	var stack []*cfgBlock
+	stack = append(stack, b.succs...)
+	for len(stack) > 0 {
+		blk := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if seen[blk] {
+			continue
+		}
+		seen[blk] = true
+		for _, n := range blk.nodes {
+			if visit(n) {
+				return true
+			}
+		}
+		stack = append(stack, blk.succs...)
+	}
+	return false
+}
+
+// forEachFuncBody yields every function body in the file set of the pass —
+// declarations and literals — each as its own dataflow unit. Function
+// literals are separate units on purpose: their body executes at some other
+// time (goroutine, defer, callback), so facts must not leak across the
+// boundary. inspectShallow is the matching traversal that stays inside one
+// unit.
+func forEachFuncBody(pass *Pass, fn func(decl *ast.FuncDecl, body *ast.BlockStmt)) {
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch x := n.(type) {
+			case *ast.FuncDecl:
+				if x.Body != nil {
+					fn(x, x.Body)
+				}
+				return true // descend: literals inside get their own visit
+			case *ast.FuncLit:
+				fn(nil, x.Body)
+				return true
+			}
+			return true
+		})
+	}
+}
+
+// inspectShallow walks n without descending into nested function literals:
+// the per-function traversal matching forEachFuncBody's unit boundaries.
+// When n itself is a *ast.FuncLit (a unit's own body wrapper is never passed
+// here), it is skipped entirely.
+func inspectShallow(n ast.Node, visit func(ast.Node) bool) {
+	if n == nil {
+		return
+	}
+	ast.Inspect(n, func(m ast.Node) bool {
+		if _, ok := m.(*ast.FuncLit); ok {
+			return false
+		}
+		return visit(m)
+	})
+}

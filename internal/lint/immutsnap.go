@@ -1,0 +1,558 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// ImmutSnap enforces the serving layer's lock-free-read soundness argument:
+// reads serve from registry snapshots without locking ONLY because an
+// installed snapshot is never mutated again. The registry map is marked in
+// source with a //lint:immutable directive; from there the analyzer derives
+// the snapshot type and its payload types (the named types its fields point
+// to — the published forest, the estimator, the republish state, ...) and
+// runs a forward dataflow over each function's CFG tracking which values
+// have ESCAPED into shared state:
+//
+//   - a value read back out of the registry (directly, or through a helper
+//     whose summary says it returns registry values) is escaped at birth;
+//   - a value installed into the registry escapes at the install statement —
+//     stores before it (version stamping, option shims) stay legal;
+//   - a tracked value passed to an in-package constructor returning the
+//     snapshot type escapes at the call (the constructor wires it into the
+//     snapshot that will be installed);
+//   - parameters and receivers of tracked types are escaped at entry: a
+//     helper cannot know whether its argument is already installed.
+//
+// Any store through an escaped value (assignment or ++/-- whose left side is
+// a selector/index/dereference chain rooted at it) is a finding. Rebinding
+// the variable itself (sn = other) is not a store through the snapshot and
+// is allowed — it kills the escape fact.
+//
+// Internally synchronized mutable state (the support cache) stays out of
+// scope structurally: payload types are derived one level deep from the
+// snapshot struct, and the cache mutates its own shard structs behind its
+// own mutex, never through a snapshot-rooted chain.
+var ImmutSnap = &Analyzer{
+	Name: "immutsnap",
+	Doc: "flags stores through registry-installed snapshot state after it " +
+		"escapes; installed snapshots must stay immutable for lock-free reads",
+	Scope: []string{
+		"internal/server",
+	},
+	Run: runImmutSnap,
+}
+
+// immutCtx is the per-package state shared by the per-function analyses.
+type immutCtx struct {
+	pass *Pass
+	// registryFields are the //lint:immutable-marked map fields.
+	registryFields map[types.Object]bool
+	// snapshotTypes are the named types the registries' map values point to.
+	snapshotTypes map[*types.TypeName]bool
+	// payloadTypes are the named types reachable from snapshot struct fields
+	// (one level: what the snapshot owns).
+	payloadTypes map[*types.TypeName]bool
+	// returnsInstalled marks package functions that may return a value read
+	// from a registry (lookup-style helpers), to fixpoint.
+	returnsInstalled map[*types.Func]bool
+}
+
+func runImmutSnap(pass *Pass) error {
+	ctx := &immutCtx{
+		pass:             pass,
+		registryFields:   make(map[types.Object]bool),
+		snapshotTypes:    make(map[*types.TypeName]bool),
+		payloadTypes:     make(map[*types.TypeName]bool),
+		returnsInstalled: make(map[*types.Func]bool),
+	}
+	ctx.findRegistries()
+	if len(ctx.registryFields) == 0 {
+		return nil // nothing marked immutable in this package
+	}
+	ctx.derivePayloads()
+	ctx.summarizeReturnsInstalled()
+
+	forEachFuncBody(pass, func(decl *ast.FuncDecl, body *ast.BlockStmt) {
+		ctx.checkFunc(decl, body)
+	})
+	return nil
+}
+
+// findRegistries locates map-typed struct fields carrying a //lint:immutable
+// directive (same line or the line above) and records the snapshot types.
+func (c *immutCtx) findRegistries() {
+	marked := make(map[string]map[int]bool) // filename -> line -> marked
+	for _, file := range c.pass.Files {
+		for _, cg := range file.Comments {
+			for _, cm := range cg.List {
+				text, ok := strings.CutPrefix(cm.Text, "//lint:")
+				if !ok || !strings.HasPrefix(text, "immutable") {
+					continue
+				}
+				pos := c.pass.Fset.Position(cm.Pos())
+				m := marked[pos.Filename]
+				if m == nil {
+					m = make(map[int]bool)
+					marked[pos.Filename] = m
+				}
+				m[pos.Line] = true
+			}
+		}
+	}
+	for _, file := range c.pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			st, ok := n.(*ast.StructType)
+			if !ok {
+				return true
+			}
+			for _, field := range st.Fields.List {
+				pos := c.pass.Fset.Position(field.Pos())
+				m := marked[pos.Filename]
+				if m == nil || (!m[pos.Line] && !m[pos.Line-1]) {
+					continue
+				}
+				for _, name := range field.Names {
+					obj := c.pass.Info.Defs[name]
+					if obj == nil {
+						continue
+					}
+					mt, ok := obj.Type().Underlying().(*types.Map)
+					if !ok {
+						c.pass.Reportf(field.Pos(),
+							"//lint:immutable marks %s, which is not a map: the directive marks registry maps whose installed values must never be mutated", name.Name)
+						continue
+					}
+					c.registryFields[obj] = true
+					if tn := namedPointee(mt.Elem()); tn != nil {
+						c.snapshotTypes[tn] = true
+					}
+				}
+			}
+			return true
+		})
+	}
+}
+
+// namedPointee resolves *Named to its type name, nil otherwise.
+func namedPointee(t types.Type) *types.TypeName {
+	p, ok := t.(*types.Pointer)
+	if !ok {
+		return nil
+	}
+	if named, ok := p.Elem().(*types.Named); ok {
+		return named.Obj()
+	}
+	return nil
+}
+
+// derivePayloads walks each snapshot struct's fields and collects the named
+// types one pointer/slice level down — the state the snapshot owns and
+// shares with every reader.
+func (c *immutCtx) derivePayloads() {
+	for tn := range c.snapshotTypes {
+		st, ok := tn.Type().Underlying().(*types.Struct)
+		if !ok {
+			continue
+		}
+		for i := 0; i < st.NumFields(); i++ {
+			t := st.Field(i).Type()
+			if sl, ok := t.Underlying().(*types.Slice); ok {
+				t = sl.Elem()
+			}
+			if p, ok := t.Underlying().(*types.Pointer); ok {
+				t = p.Elem()
+			}
+			if named, ok := t.(*types.Named); ok {
+				if _, isStruct := named.Underlying().(*types.Struct); isStruct {
+					c.payloadTypes[named.Obj()] = true
+				}
+			}
+		}
+	}
+}
+
+// tracked reports whether values of type t are snapshot-reachable state: the
+// snapshot type or a payload type, behind a pointer or a slice (value copies
+// are private and harmless to mutate).
+func (c *immutCtx) tracked(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	if sl, ok := t.Underlying().(*types.Slice); ok {
+		t = sl.Elem()
+	}
+	tn := namedPointee(t)
+	if tn == nil {
+		return false
+	}
+	return c.snapshotTypes[tn] || c.payloadTypes[tn]
+}
+
+// summarizeReturnsInstalled computes, to fixpoint, which package functions
+// may return a registry-read value (flow-insensitively: any assignment from
+// a registry read or installed-returning call taints the variable; a tainted
+// return result taints the function).
+func (c *immutCtx) summarizeReturnsInstalled() {
+	type fnBody struct {
+		fn   *types.Func
+		body *ast.BlockStmt
+	}
+	var fns []fnBody
+	for _, file := range c.pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			if fn, ok := c.pass.Info.Defs[fd.Name].(*types.Func); ok {
+				fns = append(fns, fnBody{fn, fd.Body})
+			}
+		}
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, fb := range fns {
+			if c.returnsInstalled[fb.fn] {
+				continue
+			}
+			tainted := make(map[types.Object]bool)
+			// Two passes over the body so taint assigned below a use still
+			// registers (flow-insensitive).
+			for pass := 0; pass < 2; pass++ {
+				ast.Inspect(fb.body, func(n ast.Node) bool {
+					as, ok := n.(*ast.AssignStmt)
+					if !ok {
+						return true
+					}
+					rhsTainted := false
+					for _, rhs := range as.Rhs {
+						if c.exprInstalledStatic(rhs, tainted) {
+							rhsTainted = true
+						}
+					}
+					if !rhsTainted {
+						return true
+					}
+					for _, lhs := range as.Lhs {
+						if id, ok := lhs.(*ast.Ident); ok {
+							if obj := c.pass.Info.ObjectOf(id); obj != nil {
+								tainted[obj] = true
+							}
+						}
+					}
+					return true
+				})
+			}
+			returns := false
+			ast.Inspect(fb.body, func(n ast.Node) bool {
+				ret, ok := n.(*ast.ReturnStmt)
+				if !ok {
+					return true
+				}
+				for _, res := range ret.Results {
+					if c.exprInstalledStatic(res, tainted) {
+						returns = true
+					}
+				}
+				return true
+			})
+			if returns {
+				c.returnsInstalled[fb.fn] = true
+				changed = true
+			}
+		}
+	}
+}
+
+// exprInstalledStatic reports whether e reads registry state, given a static
+// taint set: a registry index, a call to an installed-returning function, a
+// tainted identifier, or a chain rooted at one.
+func (c *immutCtx) exprInstalledStatic(e ast.Expr, tainted map[types.Object]bool) bool {
+	switch x := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		obj := c.pass.Info.ObjectOf(x)
+		return obj != nil && tainted[obj]
+	case *ast.IndexExpr:
+		if c.isRegistryIndex(x) {
+			return true
+		}
+		return c.exprInstalledStatic(x.X, tainted)
+	case *ast.SelectorExpr:
+		return c.exprInstalledStatic(x.X, tainted)
+	case *ast.StarExpr:
+		return c.exprInstalledStatic(x.X, tainted)
+	case *ast.CallExpr:
+		fn := calleeFunc(c.pass, x)
+		return fn != nil && c.returnsInstalled[fn]
+	}
+	return false
+}
+
+// isRegistryIndex reports whether e indexes a marked registry map.
+func (c *immutCtx) isRegistryIndex(e *ast.IndexExpr) bool {
+	switch x := ast.Unparen(e.X).(type) {
+	case *ast.SelectorExpr:
+		if sel, ok := c.pass.Info.Selections[x]; ok {
+			return c.registryFields[sel.Obj()]
+		}
+	case *ast.Ident:
+		obj := c.pass.Info.ObjectOf(x)
+		return obj != nil && c.registryFields[obj]
+	}
+	return false
+}
+
+// isConstructorCall reports whether call invokes an in-package function
+// returning the snapshot type (directly among its results).
+func (c *immutCtx) isConstructorCall(call *ast.CallExpr) bool {
+	fn := calleeFunc(c.pass, call)
+	if fn == nil || fn.Pkg() != c.pass.Pkg {
+		return false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok {
+		return false
+	}
+	for i := 0; i < sig.Results().Len(); i++ {
+		if tn := namedPointee(sig.Results().At(i).Type()); tn != nil && c.snapshotTypes[tn] {
+			return true
+		}
+	}
+	return false
+}
+
+// checkFunc runs the escape dataflow over one function body and reports
+// stores through escaped values.
+func (c *immutCtx) checkFunc(decl *ast.FuncDecl, body *ast.BlockStmt) {
+	g := buildCFG(body)
+	entry := facts{}
+	if decl != nil {
+		// Parameters and receivers of tracked types: escaped at entry.
+		seed := func(fl *ast.FieldList) {
+			if fl == nil {
+				return
+			}
+			for _, field := range fl.List {
+				for _, name := range field.Names {
+					if obj := c.pass.Info.Defs[name]; obj != nil && c.tracked(obj.Type()) {
+						entry[obj] = true
+					}
+				}
+			}
+		}
+		seed(decl.Recv)
+		seed(decl.Type.Params)
+	} else {
+		// Function literal: captured tracked variables (declared outside the
+		// body) have unknown provenance — escaped at entry.
+		ast.Inspect(body, func(n ast.Node) bool {
+			id, ok := n.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			obj, ok := c.pass.Info.Uses[id].(*types.Var)
+			if !ok || !c.tracked(obj.Type()) {
+				return true
+			}
+			if obj.Pos() < body.Pos() || obj.Pos() > body.End() {
+				entry[obj] = true
+			}
+			return true
+		})
+	}
+
+	step := func(n ast.Node, f facts) { c.step(n, f) }
+	in := forwardMay(g, entry, step)
+	walkWithFacts(g, in, step, func(n ast.Node, before facts) {
+		c.visit(n, before)
+	})
+}
+
+// step is the transfer function: escape generation and kill.
+func (c *immutCtx) step(n ast.Node, f facts) {
+	switch st := n.(type) {
+	case *ast.AssignStmt:
+		c.stepAssign(st, f)
+	}
+	// Constructor and install escapes anywhere inside the node (conditions,
+	// call arguments, defer statements).
+	inspectShallow(n, func(m ast.Node) bool {
+		call, ok := m.(*ast.CallExpr)
+		if !ok || !c.isConstructorCall(call) {
+			return true
+		}
+		for _, arg := range call.Args {
+			if obj := c.rootObj(arg); obj != nil && c.tracked(obj.Type()) {
+				f[obj] = true
+			}
+		}
+		return true
+	})
+	if as, ok := n.(*ast.AssignStmt); ok {
+		for i, lhs := range as.Lhs {
+			ix, ok := ast.Unparen(lhs).(*ast.IndexExpr)
+			if !ok || !c.isRegistryIndex(ix) {
+				continue
+			}
+			// Install: the RHS value is now shared with every future reader.
+			var rhs ast.Expr
+			if len(as.Rhs) == len(as.Lhs) {
+				rhs = as.Rhs[i]
+			} else if len(as.Rhs) == 1 {
+				rhs = as.Rhs[0]
+			}
+			if rhs != nil {
+				if obj := c.rootObj(rhs); obj != nil {
+					f[obj] = true
+				}
+			}
+		}
+	}
+}
+
+// stepAssign handles escape propagation through plain assignments: x = y
+// copies y's escape status onto x; x = fresh() clears it.
+func (c *immutCtx) stepAssign(as *ast.AssignStmt, f facts) {
+	installedCall := false
+	if len(as.Rhs) == 1 {
+		if call, ok := ast.Unparen(as.Rhs[0]).(*ast.CallExpr); ok {
+			fn := calleeFunc(c.pass, call)
+			installedCall = fn != nil && c.returnsInstalled[fn]
+		}
+	}
+	for i, lhs := range as.Lhs {
+		id, ok := ast.Unparen(lhs).(*ast.Ident)
+		if !ok || id.Name == "_" {
+			continue
+		}
+		obj := c.pass.Info.ObjectOf(id)
+		if obj == nil || !c.tracked(obj.Type()) {
+			continue
+		}
+		escaped := installedCall
+		if !escaped && len(as.Rhs) == len(as.Lhs) {
+			escaped = c.exprEscaped(as.Rhs[i], f)
+		}
+		if escaped {
+			f[obj] = true
+		} else {
+			delete(f, obj)
+		}
+	}
+}
+
+// exprEscaped reports whether evaluating e yields escaped state under the
+// current facts: an escaped variable, a chain rooted at one, a registry
+// read, or a lookup-helper call.
+func (c *immutCtx) exprEscaped(e ast.Expr, f facts) bool {
+	switch x := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		obj := c.pass.Info.ObjectOf(x)
+		return obj != nil && f[obj]
+	case *ast.SelectorExpr:
+		return c.exprEscaped(x.X, f)
+	case *ast.StarExpr:
+		return c.exprEscaped(x.X, f)
+	case *ast.UnaryExpr:
+		return c.exprEscaped(x.X, f)
+	case *ast.IndexExpr:
+		if c.isRegistryIndex(x) {
+			return true
+		}
+		return c.exprEscaped(x.X, f)
+	case *ast.CallExpr:
+		fn := calleeFunc(c.pass, x)
+		return fn != nil && c.returnsInstalled[fn]
+	}
+	return false
+}
+
+// rootObj resolves the root identifier object of an expression chain.
+func (c *immutCtx) rootObj(e ast.Expr) types.Object {
+	for {
+		switch x := ast.Unparen(e).(type) {
+		case *ast.Ident:
+			return c.pass.Info.ObjectOf(x)
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		case *ast.UnaryExpr:
+			e = x.X
+		default:
+			return nil
+		}
+	}
+}
+
+// visit reports stores through escaped state, given the facts holding just
+// before the node executes.
+func (c *immutCtx) visit(n ast.Node, before facts) {
+	switch st := n.(type) {
+	case *ast.AssignStmt:
+		for _, lhs := range st.Lhs {
+			c.checkStoreTarget(lhs, before)
+		}
+	case *ast.IncDecStmt:
+		c.checkStoreTarget(st.X, before)
+	}
+}
+
+// checkStoreTarget flags an assignment target that writes THROUGH escaped
+// state: a selector/index/deref chain whose root is escaped, or that passes
+// through a registry read. A bare identifier target is a rebind, not a
+// store; the exact registry index expression is the install itself.
+func (c *immutCtx) checkStoreTarget(lhs ast.Expr, before facts) {
+	e := ast.Unparen(lhs)
+	if _, ok := e.(*ast.Ident); ok {
+		return // rebinding the variable, not mutating the pointee
+	}
+	if ix, ok := e.(*ast.IndexExpr); ok && c.isRegistryIndex(ix) {
+		return // the install statement itself
+	}
+	// Walk the chain: a registry read or helper call anywhere inside means
+	// the store goes into installed state regardless of local facts.
+	chain := e
+	for {
+		switch x := chain.(type) {
+		case *ast.Ident:
+			obj := c.pass.Info.ObjectOf(x)
+			if obj != nil && before[obj] {
+				c.reportStore(lhs, obj.Name())
+			}
+			return
+		case *ast.SelectorExpr:
+			chain = ast.Unparen(x.X)
+		case *ast.IndexExpr:
+			if c.isRegistryIndex(x) {
+				c.reportStore(lhs, "the registry")
+				return
+			}
+			chain = ast.Unparen(x.X)
+		case *ast.StarExpr:
+			chain = ast.Unparen(x.X)
+		case *ast.CallExpr:
+			fn := calleeFunc(c.pass, x)
+			if fn != nil && c.returnsInstalled[fn] {
+				c.reportStore(lhs, fn.Name()+"(...)")
+			}
+			return
+		default:
+			return
+		}
+	}
+}
+
+func (c *immutCtx) reportStore(lhs ast.Expr, root string) {
+	c.pass.Reportf(lhs.Pos(),
+		"store through %s mutates snapshot-reachable state after it escaped (installed in or read from the registry): "+
+			"readers serve lock-free from installed snapshots, so build a new snapshot and swap the pointer instead",
+		root)
+}
+
+var _ = token.NoPos // keep go/token imported if report positions change shape

@@ -100,11 +100,14 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 // by //lint: directives. A directive on line N covers findings on line N
 // (trailing comment) and on line N+1 (comment above the statement).
 //
-// Two directive forms are honored:
+// Three directive forms are honored:
 //
 //	//lint:deterministic <justification>   — silences detorder only; the
 //	    justification is mandatory (the whole point is an auditable reason).
 //	//lint:ignore <analyzer> <justification> — silences the named analyzer.
+//	//lint:immutable <justification> — not a suppression: marks a registry
+//	    map field whose installed values immutsnap must protect. The
+//	    justification states the reader-side contract being relied on.
 type suppressionIndex struct {
 	// byLine maps file name -> line -> analyzer names silenced there.
 	// The wildcard name "*" is not supported on purpose: every suppression
@@ -178,9 +181,17 @@ func indexSuppressions(fset *token.FileSet, file *ast.File, idx *suppressionInde
 					continue
 				}
 				idx.add(pos.Filename, pos.Line, fields[1])
+			case "immutable":
+				// A marker, not a suppression: immutsnap reads it off the
+				// syntax directly. Indexed here only so the justification
+				// requirement is enforced uniformly.
+				if len(fields) < 2 {
+					diags = append(diags, directiveDiag{c.Pos(),
+						"//lint:immutable requires a justification (what reader contract depends on these values never changing?)"})
+				}
 			default:
 				diags = append(diags, directiveDiag{c.Pos(),
-					fmt.Sprintf("unknown //lint: directive %q (want deterministic or ignore)", fields[0])})
+					fmt.Sprintf("unknown //lint: directive %q (want deterministic, ignore, or immutable)", fields[0])})
 			}
 		}
 	}
@@ -260,5 +271,9 @@ func All() []*Analyzer {
 		DenseDomain,
 		CloseCheck,
 		HookPair,
+		ImmutSnap,
+		LockScope,
+		AtomicWrite,
+		UnsafeSlab,
 	}
 }

@@ -28,6 +28,26 @@ func TestHookPair(t *testing.T) {
 		"hookpair/sameside", "hookpair/untagged", "hookreg/internal/query")
 }
 
+func TestImmutSnap(t *testing.T) {
+	linttest.Run(t, "testdata", lint.ImmutSnap,
+		"immutsnap/pos", "immutsnap/neg")
+}
+
+func TestLockScope(t *testing.T) {
+	linttest.Run(t, "testdata", lint.LockScope,
+		"lockscope/pos", "lockscope/neg")
+}
+
+func TestAtomicWrite(t *testing.T) {
+	linttest.Run(t, "testdata", lint.AtomicWrite,
+		"atomicwrite/pos", "atomicwrite/neg")
+}
+
+func TestUnsafeSlab(t *testing.T) {
+	linttest.Run(t, "testdata", lint.UnsafeSlab,
+		"unsafeslab/qindex", "unsafeslab/snapfile", "unsafeslab/generic")
+}
+
 // TestRepoIsClean is the self-smoke test: the scoped suite over the whole
 // module must produce zero findings, mirroring the CI gate
 // `go run ./cmd/disassolint ./...`.

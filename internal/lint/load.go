@@ -69,16 +69,7 @@ func Load(dir string, patterns ...string) ([]*Package, error) {
 	}
 
 	fset := token.NewFileSet()
-	imp := importer.ForCompiler(fset, "gc", func(path string) (io.ReadCloser, error) {
-		lp := byPath[path]
-		if lp == nil {
-			return nil, fmt.Errorf("no listed package for import path %q", path)
-		}
-		if lp.Export == "" {
-			return nil, fmt.Errorf("no export data for %q (compile error?)", path)
-		}
-		return os.Open(lp.Export)
-	})
+	imp := importer.ForCompiler(fset, "gc", exportLookup(byPath))
 
 	var pkgs []*Package
 	for _, lp := range listed {
@@ -97,6 +88,24 @@ func Load(dir string, patterns ...string) ([]*Package, error) {
 	return pkgs, nil
 }
 
+// exportLookup resolves import paths to their compiler export data, for the
+// go/importer-driven type-checking of dependencies. Both failure modes are
+// real: a path go list never mentioned (a loader bug or a stale module
+// graph) and a listed package without export data (its compile failed, so
+// the compiler never wrote any).
+func exportLookup(byPath map[string]*listedPackage) func(path string) (io.ReadCloser, error) {
+	return func(path string) (io.ReadCloser, error) {
+		lp := byPath[path]
+		if lp == nil {
+			return nil, fmt.Errorf("no listed package for import path %q", path)
+		}
+		if lp.Export == "" {
+			return nil, fmt.Errorf("no export data for %q (compile error?)", path)
+		}
+		return os.Open(lp.Export)
+	}
+}
+
 func goList(dir string, patterns []string) ([]*listedPackage, error) {
 	args := append([]string{
 		"list", "-deps", "-export",
@@ -110,6 +119,13 @@ func goList(dir string, patterns []string) ([]*listedPackage, error) {
 	if err != nil {
 		return nil, fmt.Errorf("go list %v: %v\n%s", patterns, err, stderr.Bytes())
 	}
+	return decodeGoList(out)
+}
+
+// decodeGoList parses the concatenated-JSON stream `go list -json` emits.
+// Factored out of goList so the malformed-output paths are testable without
+// invoking the go command.
+func decodeGoList(out []byte) ([]*listedPackage, error) {
 	var listed []*listedPackage
 	dec := json.NewDecoder(bytes.NewReader(out))
 	for {
@@ -143,6 +159,7 @@ func typecheck(fset *token.FileSet, imp types.Importer, lp *listedPackage) (*Pac
 		Uses:       make(map[*ast.Ident]types.Object),
 		Selections: make(map[*ast.SelectorExpr]*types.Selection),
 		Scopes:     make(map[ast.Node]*types.Scope),
+		Instances:  make(map[*ast.Ident]types.Instance),
 	}
 	conf := types.Config{
 		Importer: imp,

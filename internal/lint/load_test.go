@@ -1,0 +1,119 @@
+package lint
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestDecodeGoList(t *testing.T) {
+	t.Run("empty", func(t *testing.T) {
+		listed, err := decodeGoList(nil)
+		if err != nil || len(listed) != 0 {
+			t.Fatalf("decodeGoList(nil) = %v, %v; want empty, nil", listed, err)
+		}
+	})
+	t.Run("stream", func(t *testing.T) {
+		out := []byte(`{"ImportPath":"a","Dir":"/a"}` + "\n" + `{"ImportPath":"b","DepOnly":true}`)
+		listed, err := decodeGoList(out)
+		if err != nil {
+			t.Fatalf("decodeGoList: %v", err)
+		}
+		if len(listed) != 2 || listed[0].ImportPath != "a" || !listed[1].DepOnly {
+			t.Fatalf("decoded %+v; want packages a and b(DepOnly)", listed)
+		}
+	})
+	t.Run("malformed", func(t *testing.T) {
+		if _, err := decodeGoList([]byte(`{"ImportPath":`)); err == nil {
+			t.Fatal("decodeGoList on truncated JSON: want error, got nil")
+		}
+		if _, err := decodeGoList([]byte(`not json at all`)); err == nil {
+			t.Fatal("decodeGoList on garbage: want error, got nil")
+		}
+	})
+}
+
+func TestLoadNoPatterns(t *testing.T) {
+	if _, err := Load(""); err == nil {
+		t.Fatal("Load with no patterns: want error, got nil")
+	}
+}
+
+// writeTestModule lays out a throwaway module for loader failure tests.
+func writeTestModule(t *testing.T, files map[string]string) string {
+	t.Helper()
+	dir := t.TempDir()
+	for name, content := range files {
+		path := filepath.Join(dir, name)
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return dir
+}
+
+// TestLoadConstraintExcludedOnly covers a package whose every file is
+// excluded by build constraints: go list refuses it and Load must surface
+// that as an error, not an empty result.
+func TestLoadConstraintExcludedOnly(t *testing.T) {
+	dir := writeTestModule(t, map[string]string{
+		"go.mod":        "module probe\n\ngo 1.22\n",
+		"excluded/x.go": "//go:build never\n\npackage excluded\n",
+	})
+	_, err := Load(dir, "./excluded")
+	if err == nil {
+		t.Fatal("Load on constraint-excluded-only package: want error, got nil")
+	}
+	if !strings.Contains(err.Error(), "build constraints") {
+		t.Errorf("error should name the build-constraint cause, got: %v", err)
+	}
+}
+
+// TestLoadBrokenDependency: a dependency that fails to compile must fail the
+// whole load with the compiler's diagnosis, not a silently partial result.
+func TestLoadBrokenDependency(t *testing.T) {
+	dir := writeTestModule(t, map[string]string{
+		"go.mod":      "module probe\n\ngo 1.22\n",
+		"broken/b.go": "package broken\n\nfunc Bad() {\n", // syntax error
+		"uses/u.go":   "package uses\n\nimport \"probe/broken\"\n\nvar _ = broken.Bad\n",
+	})
+	_, err := Load(dir, "./uses")
+	if err == nil {
+		t.Fatal("Load with a broken dependency: want error, got nil")
+	}
+	if !strings.Contains(err.Error(), "syntax error") {
+		t.Errorf("error should carry the compiler diagnosis, got: %v", err)
+	}
+}
+
+// TestExportLookup covers the importer's export-data failure paths directly:
+// go list refuses most broken inputs before the importer ever runs, so these
+// branches are only reachable when the listing and the import graph disagree
+// — exactly when a clear error matters most.
+func TestExportLookup(t *testing.T) {
+	exp := filepath.Join(t.TempDir(), "pkg.a")
+	if err := os.WriteFile(exp, []byte("fake export data"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	lookup := exportLookup(map[string]*listedPackage{
+		"probe/ok":       {ImportPath: "probe/ok", Export: exp},
+		"probe/noexport": {ImportPath: "probe/noexport"},
+	})
+
+	rc, err := lookup("probe/ok")
+	if err != nil {
+		t.Fatalf("lookup(probe/ok): %v", err)
+	}
+	rc.Close()
+
+	if _, err := lookup("probe/noexport"); err == nil || !strings.Contains(err.Error(), "no export data") {
+		t.Errorf("lookup on export-less package: want 'no export data' error, got %v", err)
+	}
+	if _, err := lookup("probe/unlisted"); err == nil || !strings.Contains(err.Error(), "no listed package") {
+		t.Errorf("lookup on unlisted path: want 'no listed package' error, got %v", err)
+	}
+}

@@ -1,0 +1,312 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// LockScope enforces the serving layer's latency contract around critical
+// sections. The server's locking design is two-tier: s.mu is a short-hold
+// registry mutex (map read, pointer swap, refcount bump — microseconds), and
+// per-name locks serialize mutations without ever blocking readers. Three
+// rules keep that design honest:
+//
+//  1. While a sync.Mutex/RWMutex is held, no call may (transitively) reach
+//     blocking work — file I/O, Sync, anonymization, network. The call-graph
+//     summaries (summary.go) propagate "reaches blocking I/O" bottom-up
+//     through package-local helpers; external callees come from the fixed
+//     classification table.
+//  2. A lock acquired on some path must be released on every path out of the
+//     function (deferred unlocks count), unless the lock's owner is handed
+//     off by returning it — the lockName pattern returns the acquired
+//     per-name lock to its caller, which is the one legal escape.
+//  3. The refcounted name-lock pattern has its own discipline: the value
+//     returned by lockName is a held lock that only unlockName releases.
+//     Discarding the result orphans the refcount and wedges the name forever.
+//
+// Defer statements are handled at exit only: a deferred Unlock does not
+// release the lock at its syntactic position (the body below it still runs
+// under the lock, and blocking calls there are still findings), but it does
+// satisfy rule 2.
+//
+// Suppression granularity: rule 1 findings honor a //lint:ignore lockscope
+// directive on the ACQUISITION line as well as on the call line. A critical
+// section that intentionally holds a lock across blocking work (the per-name
+// mutation locks are designed for exactly that) carries one justification
+// where the lock is taken, instead of one per blocking call inside it.
+var LockScope = &Analyzer{
+	Name: "lockscope",
+	Doc: "flags blocking I/O while a mutex is held, locks not released on " +
+		"every path, and misuse of the refcounted name-lock pattern",
+	Scope: []string{
+		"internal/server",
+	},
+	Run: runLockScope,
+}
+
+// lockFact identifies one held lock: the root object of the receiver chain
+// ("s" in s.mu.Lock, "l" in l.mu.Lock), the printed selector path, and
+// whether it is a read lock (RLock pairs with RUnlock, Lock with Unlock).
+type lockFact struct {
+	root types.Object
+	path string
+	read bool
+}
+
+// nameLockFact marks a variable holding the result of lockName: a per-name
+// lock that is held until passed to unlockName.
+type nameLockFact struct {
+	obj types.Object
+}
+
+func runLockScope(pass *Pass) error {
+	sums := summarize(pass, blockingIO)
+	forEachFuncBody(pass, func(decl *ast.FuncDecl, body *ast.BlockStmt) {
+		checkLockScope(pass, sums, decl, body)
+	})
+	return nil
+}
+
+func checkLockScope(pass *Pass, sums *funcSummaries, decl *ast.FuncDecl, body *ast.BlockStmt) {
+	g := buildCFG(body)
+
+	// acquiredAt remembers one acquisition site per fact for reporting
+	// unpaired locks; returnedRoots collects root objects of return results
+	// (the handoff exemption).
+	acquiredAt := make(map[any]token.Pos)
+	returnedRoots := make(map[types.Object]bool)
+
+	step := func(n ast.Node, f facts) {
+		if _, ok := n.(*ast.DeferStmt); ok {
+			return // deferred effects apply at exit, not here
+		}
+		if ret, ok := n.(*ast.ReturnStmt); ok {
+			for _, res := range ret.Results {
+				if obj := rootIdentObj(pass, res); obj != nil {
+					returnedRoots[obj] = true
+				}
+			}
+		}
+		inspectShallow(n, func(m ast.Node) bool {
+			call, ok := m.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if lf, acquire, ok := mutexOp(pass, call); ok {
+				if acquire {
+					f[lf] = true
+					if _, seen := acquiredAt[lf]; !seen {
+						acquiredAt[lf] = call.Pos()
+					}
+				} else {
+					delete(f, lf)
+				}
+				return true
+			}
+			if fn := calleeFunc(pass, call); fn != nil && fn.Name() == "unlockName" {
+				// unlockName(name, l) releases the pseudo-lock carried by l.
+				for _, arg := range call.Args {
+					if obj := rootIdentObj(pass, arg); obj != nil {
+						delete(f, nameLockFact{obj})
+					}
+				}
+			}
+			return true
+		})
+		// lockName's result is a held lock bound to the assigned variable.
+		if as, ok := n.(*ast.AssignStmt); ok && len(as.Rhs) == 1 {
+			if call, ok := ast.Unparen(as.Rhs[0]).(*ast.CallExpr); ok {
+				if fn := calleeFunc(pass, call); fn != nil && fn.Name() == "lockName" {
+					for _, lhs := range as.Lhs {
+						if id, ok := ast.Unparen(lhs).(*ast.Ident); ok && id.Name != "_" {
+							if obj := pass.Info.ObjectOf(id); obj != nil {
+								nf := nameLockFact{obj}
+								f[nf] = true
+								if _, seen := acquiredAt[nf]; !seen {
+									acquiredAt[nf] = call.Pos()
+								}
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+
+	in := forwardMay(g, facts{}, step)
+
+	// Reporting pass: blocking calls under a held lock, and discarded
+	// lockName results.
+	for _, b := range g.blocks {
+		f := in[b].clone()
+		for _, n := range b.nodes {
+			visitLockNode(pass, sums, n, f, acquiredAt)
+			step(n, f)
+		}
+	}
+
+	// Rule 2: locks still held at exit. Deferred releases and returned locks
+	// are fine; anything else leaked on at least one path.
+	released := deferReleased(pass, g)
+	for k := range in[g.exit] {
+		if released[k] {
+			continue
+		}
+		var root types.Object
+		var what string
+		switch lf := k.(type) {
+		case lockFact:
+			root, what = lf.root, lf.path
+		case nameLockFact:
+			root, what = lf.obj, "the lock returned by lockName"
+		default:
+			continue
+		}
+		if returnedRoots[root] {
+			continue // handoff: the caller now owns the held lock
+		}
+		pos := acquiredAt[k]
+		if !pos.IsValid() {
+			pos = body.Pos()
+		}
+		pass.Reportf(pos,
+			"%s is not released on every path out of the function: add the missing Unlock (or defer it) so no return leaks the lock", what)
+	}
+	_ = decl
+}
+
+// visitLockNode reports blocking calls made while any lock fact is held, and
+// lockName results that are discarded.
+func visitLockNode(pass *Pass, sums *funcSummaries, n ast.Node, before facts, acquiredAt map[any]token.Pos) {
+	if _, ok := n.(*ast.DeferStmt); ok {
+		return // deferred calls run at exit; lock state there is not this state
+	}
+	if es, ok := n.(*ast.ExprStmt); ok {
+		if call, ok := ast.Unparen(es.X).(*ast.CallExpr); ok {
+			if fn := calleeFunc(pass, call); fn != nil && fn.Name() == "lockName" {
+				pass.Reportf(call.Pos(),
+					"result of lockName discarded: the returned lock is held and refcounted, and only unlockName can release it")
+			}
+		}
+	}
+	held := heldLockName(pass, before, acquiredAt)
+	if held == "" {
+		return
+	}
+	inspectShallow(n, func(m ast.Node) bool {
+		call, ok := m.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if _, _, isMutex := mutexOp(pass, call); isMutex {
+			return true // lock management itself is not blocking work
+		}
+		fn := calleeFunc(pass, call)
+		if fn == nil {
+			return true
+		}
+		if !sums.callHasProperty(call) {
+			return true
+		}
+		pass.Reportf(call.Pos(),
+			"call to %s may reach blocking I/O while %s is held: move the work outside the critical section or restructure the lock",
+			fn.Name(), held)
+		return true
+	})
+}
+
+// heldLockName returns a printable name for some held lock whose critical
+// section is NOT justified by a //lint:ignore lockscope directive at its
+// acquisition site, or "" if every held lock is justified (or none is held).
+func heldLockName(pass *Pass, f facts, acquiredAt map[any]token.Pos) string {
+	for k := range f {
+		var name string
+		switch lf := k.(type) {
+		case lockFact:
+			name = lf.path
+		case nameLockFact:
+			name = "the per-name lock from lockName"
+		default:
+			continue
+		}
+		if pos, ok := acquiredAt[k]; ok &&
+			pass.suppress.covers(pass.Analyzer.Name, pass.Fset.Position(pos)) {
+			continue // the whole critical section carries a justification
+		}
+		return name
+	}
+	return ""
+}
+
+// mutexOp recognizes calls to sync.Mutex/RWMutex Lock/RLock/Unlock/RUnlock
+// and returns the corresponding fact and whether it acquires.
+func mutexOp(pass *Pass, call *ast.CallExpr) (lockFact, bool, bool) {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return lockFact{}, false, false
+	}
+	fn, ok := pass.Info.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "sync" {
+		return lockFact{}, false, false
+	}
+	var acquire, read bool
+	switch fn.Name() {
+	case "Lock":
+		acquire = true
+	case "RLock":
+		acquire, read = true, true
+	case "Unlock":
+	case "RUnlock":
+		read = true
+	default:
+		return lockFact{}, false, false
+	}
+	root := rootIdentObj(pass, sel.X)
+	if root == nil {
+		return lockFact{}, false, false
+	}
+	return lockFact{root: root, path: exprString(sel.X), read: read}, acquire, true
+}
+
+// deferReleased collects the lock facts that the function's defer statements
+// release at exit.
+func deferReleased(pass *Pass, g *cfg) map[any]bool {
+	out := make(map[any]bool)
+	for _, d := range g.defers {
+		call := d.Call
+		if lf, acquire, ok := mutexOp(pass, call); ok && !acquire {
+			out[lf] = true
+			continue
+		}
+		if fn := calleeFunc(pass, call); fn != nil && fn.Name() == "unlockName" {
+			for _, arg := range call.Args {
+				if obj := rootIdentObj(pass, arg); obj != nil {
+					out[nameLockFact{obj}] = true
+				}
+			}
+		}
+	}
+	return out
+}
+
+// rootIdentObj resolves the root identifier object of a selector/index/deref
+// chain, nil if the root is not a plain identifier.
+func rootIdentObj(pass *Pass, e ast.Expr) types.Object {
+	for {
+		switch x := ast.Unparen(e).(type) {
+		case *ast.Ident:
+			return pass.Info.ObjectOf(x)
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		case *ast.UnaryExpr:
+			e = x.X
+		default:
+			return nil
+		}
+	}
+}

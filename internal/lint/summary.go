@@ -1,0 +1,203 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// Bottom-up call-graph summaries. The loader type-checks dependencies from
+// export data only (no syntax), so summaries are computed transitively for
+// the functions of the analyzed package and looked up in a fixed
+// classification table at the package boundary. That split matches how the
+// invariants work in practice: the interesting facts about external calls
+// ("os.Rename touches the filesystem", "core.Anonymize is minutes of CPU")
+// are stable API contracts, while the interesting facts about in-package
+// helpers ("persist reaches a Sync") change with every edit and must be
+// derived, not listed.
+
+// funcSummaries maps the package's own functions to a boolean property,
+// computed to fixpoint over the intra-package call graph.
+type funcSummaries struct {
+	pass *Pass
+	// property holds the fixpoint result for package-local functions.
+	property map[*types.Func]bool
+	// external classifies out-of-package callees.
+	external func(fn *types.Func) bool
+	bodies   map[*types.Func]*ast.FuncDecl
+}
+
+// summarize computes, for every function declared in the package, whether it
+// (transitively) calls a function for which external returns true. Calls
+// through interfaces and function values are unresolvable and count as
+// false — the classification table must name concrete entry points.
+func summarize(pass *Pass, external func(fn *types.Func) bool) *funcSummaries {
+	s := &funcSummaries{
+		pass:     pass,
+		property: make(map[*types.Func]bool),
+		external: external,
+		bodies:   make(map[*types.Func]*ast.FuncDecl),
+	}
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			if fn, ok := pass.Info.Defs[fd.Name].(*types.Func); ok {
+				s.bodies[fn] = fd
+			}
+		}
+	}
+	// Fixpoint: the property only flips false->true, so iterating until no
+	// change terminates in at most |functions| rounds.
+	for changed := true; changed; {
+		changed = false
+		for fn, fd := range s.bodies {
+			if s.property[fn] {
+				continue
+			}
+			found := false
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				if found {
+					return false
+				}
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				if s.callHasProperty(call) {
+					found = true
+					return false
+				}
+				return true
+			})
+			if found {
+				s.property[fn] = true
+				changed = true
+			}
+		}
+	}
+	return s
+}
+
+// callHasProperty reports whether one call expression resolves to a callee
+// with the property — a package-local function whose summary is true, or an
+// external function the classification table marks.
+func (s *funcSummaries) callHasProperty(call *ast.CallExpr) bool {
+	fn := calleeFunc(s.pass, call)
+	if fn == nil {
+		return false
+	}
+	if fn.Pkg() == s.pass.Pkg {
+		return s.property[fn]
+	}
+	return s.external(fn)
+}
+
+// calleeFunc resolves a call expression to the *types.Func it statically
+// invokes: a plain function, a method (value or pointer receiver), or an
+// instantiated generic. Calls through function-typed variables, builtins and
+// conversions resolve to nil.
+func calleeFunc(pass *Pass, call *ast.CallExpr) *types.Func {
+	var id *ast.Ident
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	case *ast.IndexExpr: // explicit generic instantiation f[T](...)
+		switch x := ast.Unparen(fun.X).(type) {
+		case *ast.Ident:
+			id = x
+		case *ast.SelectorExpr:
+			id = x.Sel
+		}
+	case *ast.IndexListExpr:
+		switch x := ast.Unparen(fun.X).(type) {
+		case *ast.Ident:
+			id = x
+		case *ast.SelectorExpr:
+			id = x.Sel
+		}
+	}
+	if id == nil {
+		return nil
+	}
+	fn, _ := pass.Info.Uses[id].(*types.Func)
+	if fn != nil {
+		return fn.Origin()
+	}
+	return nil
+}
+
+// pathHasSuffix reports whether an import path is exactly suffix or ends
+// with "/"+suffix — the same matching Analyzer.Scope uses, so fixtures under
+// testdata can stand in for production packages.
+func pathHasSuffix(path, suffix string) bool {
+	return path == suffix || strings.HasSuffix(path, "/"+suffix)
+}
+
+// blockingIO is the classification table of external calls that reach
+// blocking work: filesystem and network operations, plus this module's
+// CPU-expensive pipeline entry points. Lock-free serving is the product's
+// core latency promise; lockscope uses this table to keep such work out of
+// critical sections. Interface calls (http.ResponseWriter writes, io.Writer
+// chains) are unresolvable statically and deliberately unclassified.
+func blockingIO(fn *types.Func) bool {
+	pkg := fn.Pkg()
+	if pkg == nil {
+		return false
+	}
+	// Methods: any method on *os.File does filesystem I/O (Sync above all).
+	if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+		t := sig.Recv().Type()
+		if p, ok := t.(*types.Pointer); ok {
+			t = p.Elem()
+		}
+		if named, ok := t.(*types.Named); ok {
+			obj := named.Obj()
+			switch {
+			case obj.Pkg() != nil && obj.Pkg().Path() == "os" && obj.Name() == "File":
+				return true
+			case pathHasSuffix(pkg.Path(), "internal/core") && obj.Name() == "RepubState" && fn.Name() == "Apply":
+				return true // incremental re-anonymization: O(churn) CPU
+			case pathHasSuffix(pkg.Path(), "internal/snapfile") && obj.Name() == "Contents" && fn.Name() == "Write":
+				return true // serializes a whole publication
+			}
+		}
+		if pkg.Path() == "net/http" || pkg.Path() == "net" {
+			return true
+		}
+		return false
+	}
+	switch pkg.Path() {
+	case "os":
+		switch fn.Name() {
+		case "Create", "CreateTemp", "Open", "OpenFile", "Rename", "Remove",
+			"RemoveAll", "ReadDir", "ReadFile", "WriteFile", "Mkdir",
+			"MkdirAll", "Stat", "Lstat", "Truncate", "Link", "Symlink":
+			return true
+		}
+		return false
+	case "net/http", "net", "os/exec":
+		return true
+	case "io":
+		switch fn.Name() {
+		case "Copy", "CopyN", "CopyBuffer", "ReadAll", "ReadFull":
+			return true
+		}
+		return false
+	}
+	switch {
+	case pathHasSuffix(pkg.Path(), "internal/core"):
+		return strings.HasPrefix(fn.Name(), "Anonymize")
+	case pathHasSuffix(pkg.Path(), "internal/shard"):
+		return fn.Name() == "Anonymize"
+	case pathHasSuffix(pkg.Path(), "internal/snapfile"):
+		return fn.Name() == "Open"
+	case pathHasSuffix(pkg.Path(), "internal/dataset"):
+		return fn.Name() == "ReadIDs"
+	}
+	return false
+}

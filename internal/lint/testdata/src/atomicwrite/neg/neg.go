@@ -1,0 +1,64 @@
+// Fixture: the full persistence ritual, plus audited exceptions.
+package neg
+
+import "os"
+
+// good is the canonical shape: temp in the target dir, write, fsync, close,
+// rename, directory sync — with the error plumbing the real persist uses.
+func good(dir string) error {
+	f, err := os.CreateTemp(dir, "*.tmp")
+	if err != nil {
+		return err
+	}
+	tmp := f.Name()
+	_, err = f.WriteString("payload")
+	if err == nil {
+		err = f.Sync()
+	}
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err == nil {
+		err = os.Rename(tmp, dir+"/final")
+	}
+	if err != nil {
+		_ = os.Remove(tmp)
+		return err
+	}
+	syncDir(dir)
+	return nil
+}
+
+// inlineName renames via f.Name() directly instead of a saved variable.
+func inlineName(dir string) error {
+	f, err := os.CreateTemp(dir, "*.tmp")
+	if err != nil {
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	if err := os.Rename(f.Name(), dir+"/final"); err != nil {
+		return err
+	}
+	syncDir(dir)
+	return nil
+}
+
+func syncDir(dir string) {
+	d, err := os.Open(dir)
+	if err != nil {
+		return
+	}
+	_ = d.Sync()
+	_ = d.Close()
+}
+
+// suppressed records an audited exception for a non-servable scratch file.
+func suppressed(dir string) error {
+	//lint:ignore atomicwrite fixture justification: scratch file, never served, swept on startup
+	return os.WriteFile(dir+"/scratch", nil, 0o600)
+}

@@ -1,0 +1,55 @@
+// Fixture: violations of the temp+fsync+rename+dirsync persistence ritual.
+package pos
+
+import "os"
+
+// missingSync renames a temp file that was never fsynced, and never syncs
+// the directory either.
+func missingSync(dir string) error {
+	f, err := os.CreateTemp(dir, "*.tmp")
+	if err != nil {
+		return err
+	}
+	if _, err := f.WriteString("x"); err != nil {
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	return os.Rename(f.Name(), dir+"/final") // want "not preceded by Sync" // want "not followed by a directory sync"
+}
+
+// notTemp renames something that never came from CreateTemp.
+func notTemp(dir string) error {
+	return os.Rename(dir+"/a", dir+"/b") // want "does not trace to an os.CreateTemp file"
+}
+
+// direct writes skip the ritual entirely.
+func direct(dir string) error {
+	return os.WriteFile(dir+"/x", []byte("torn"), 0o644) // want "direct file create/write"
+}
+
+func directCreate(dir string) error {
+	f, err := os.Create(dir + "/y") // want "direct file create/write"
+	if err != nil {
+		return err
+	}
+	return f.Close()
+}
+
+// syncedButNoDirSync follows the file part of the ritual but forgets the
+// directory entry.
+func syncedButNoDirSync(dir string) error {
+	f, err := os.CreateTemp(dir, "*.tmp")
+	if err != nil {
+		return err
+	}
+	tmp := f.Name()
+	if err := f.Sync(); err != nil {
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	return os.Rename(tmp, dir+"/final") // want "not followed by a directory sync"
+}

@@ -1,0 +1,64 @@
+// Fixture: the legal snapshot lifecycle — build fresh, stamp, install, swap.
+package neg
+
+type index struct {
+	terms []int
+}
+
+type snap struct {
+	version int
+	ix      *index
+}
+
+type reg struct {
+	//lint:immutable fixture: readers hold installed pointers lock-free
+	snaps map[string]*snap
+
+	// counters is mutable bookkeeping, deliberately unmarked: immutsnap
+	// protects only directive-marked registries.
+	counters map[string]int
+}
+
+func (r *reg) lookup(name string) (*snap, bool) {
+	s, ok := r.snaps[name]
+	return s, ok
+}
+
+// publish builds and stamps a fresh snapshot; the install is the last write.
+func (r *reg) publish(name string) {
+	s := &snap{ix: &index{}}
+	s.version = 1
+	s.ix.terms = append(s.ix.terms, 7)
+	r.snaps[name] = s
+}
+
+// republish reads the old snapshot but only ever writes the successor.
+func (r *reg) republish(name string) {
+	old, ok := r.lookup(name)
+	if !ok {
+		return
+	}
+	next := &snap{ix: &index{}, version: old.version + 1}
+	next.ix.terms = append([]int(nil), old.ix.terms...)
+	r.snaps[name] = next
+}
+
+// rebind reassigns the VARIABLE, which is not a store through the snapshot.
+func (r *reg) rebind(name string) {
+	s, _ := r.lookup(name)
+	s = &snap{version: 9}
+	s.version = 10 // s now holds a fresh value; the installed one is untouched
+	_ = s
+}
+
+// unmarked mutates the plain bookkeeping map: no registry, no finding.
+func (r *reg) unmarked(name string) {
+	r.counters[name]++
+}
+
+// suppressed carries an audited justification.
+func (r *reg) suppressed(name string) {
+	s, _ := r.lookup(name)
+	//lint:ignore immutsnap fixture justification: exercised by the suppression test
+	s.version = 11
+}

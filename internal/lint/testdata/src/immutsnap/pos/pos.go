@@ -1,0 +1,64 @@
+// Fixture: stores through snapshot-reachable state after it escapes.
+package pos
+
+type index struct {
+	terms []int
+}
+
+type snap struct {
+	version int
+	ix      *index
+}
+
+type reg struct {
+	//lint:immutable fixture: readers hold installed pointers lock-free
+	snaps map[string]*snap
+
+	//lint:immutable fixture: the directive only marks maps
+	notAMap int // want "not a map"
+}
+
+func (r *reg) lookup(name string) (*snap, bool) {
+	s, ok := r.snaps[name]
+	return s, ok
+}
+
+// publish stamps before the install (legal) and mutates after it (finding).
+func (r *reg) publish(name string) {
+	s := &snap{ix: &index{}}
+	s.version = 1 // fresh value: legal
+	r.snaps[name] = s
+	s.version = 2 // want "store through s mutates snapshot-reachable state"
+}
+
+// mutateLooked stores through a value read back out of the registry, via the
+// lookup helper (returns-installed summary).
+func (r *reg) mutateLooked(name string) {
+	s, _ := r.lookup(name)
+	s.version = 3     // want "store through s mutates snapshot-reachable state"
+	s.ix.terms[0] = 9 // want "store through s mutates snapshot-reachable state"
+}
+
+// direct stores through a registry read without a local binding.
+func (r *reg) direct(name string) {
+	r.snaps[name].version = 4 // want "store through the registry mutates snapshot-reachable state"
+}
+
+// helper cannot know whether its argument is installed: escaped at entry.
+func helper(s *snap) {
+	s.version = 5 // want "store through s mutates snapshot-reachable state"
+}
+
+// newSnap is a constructor (in-package, returns the snapshot type): passing
+// a payload into it escapes the payload.
+func newSnap(ix *index) *snap {
+	return &snap{ix: ix}
+}
+
+func build(r *reg, name string) {
+	ix := &index{}
+	ix.terms = append(ix.terms, 1) // fresh payload: legal
+	s := newSnap(ix)
+	ix.terms[0] = 2 // want "store through ix mutates snapshot-reachable state"
+	r.snaps[name] = s
+}

@@ -1,0 +1,104 @@
+// Fixture: blocking work under mutexes, leaked locks, and name-lock misuse.
+package pos
+
+import (
+	"os"
+	"sync"
+)
+
+type S struct {
+	mu sync.Mutex
+	m  map[string]int
+}
+
+// direct blocking call while the mutex is held.
+func direct(s *S) {
+	s.mu.Lock()
+	_, _ = os.ReadFile("x") // want "may reach blocking I/O while s.mu is held"
+	s.mu.Unlock()
+}
+
+// the summary propagates through in-package helpers.
+func viaHelper(s *S) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	load() // want "call to load may reach blocking I/O while s.mu is held"
+}
+
+func load() {
+	_, _ = os.ReadFile("x")
+}
+
+// a deferred Unlock releases at exit, not at its line: the body still runs
+// under the lock (viaHelper above), but the lock is not leaked.
+
+// leaked on the early-return path.
+func leaked(s *S, cond bool) {
+	s.mu.Lock() // want "s.mu is not released on every path"
+	if cond {
+		return
+	}
+	s.mu.Unlock()
+}
+
+// read locks pair with RUnlock, not Unlock.
+type R struct {
+	mu sync.RWMutex
+}
+
+func readLeaked(r *R) {
+	r.mu.RLock() // want "r.mu is not released on every path"
+	r.mu.Unlock()
+}
+
+// The refcounted name-lock pattern.
+type nameLock struct {
+	mu   sync.Mutex
+	refs int
+}
+
+type Reg struct {
+	mu    sync.Mutex
+	locks map[string]*nameLock
+}
+
+func (r *Reg) lockName(name string) *nameLock {
+	r.mu.Lock()
+	l := r.locks[name]
+	if l == nil {
+		l = &nameLock{}
+		r.locks[name] = l
+	}
+	l.refs++
+	r.mu.Unlock()
+	l.mu.Lock() // returned below: the caller owns the held lock
+	return l
+}
+
+func (r *Reg) unlockName(name string, l *nameLock) {
+	l.mu.Unlock()
+	r.mu.Lock()
+	l.refs--
+	if l.refs == 0 {
+		delete(r.locks, name)
+	}
+	r.mu.Unlock()
+}
+
+// discarding the result orphans the refcount and wedges the name.
+func (r *Reg) discard(name string) {
+	r.lockName(name) // want "result of lockName discarded"
+}
+
+// blocking work under the per-name lock needs a justification (see neg).
+func (r *Reg) blockingUnderNameLock(name string) {
+	l := r.lockName(name)
+	defer r.unlockName(name, l)
+	_, _ = os.ReadFile("x") // want "while the per-name lock from lockName is held"
+}
+
+// a name lock never passed to unlockName leaks.
+func (r *Reg) nameLeaked(name string) {
+	l := r.lockName(name) // want "the lock returned by lockName is not released on every path"
+	_ = l
+}

@@ -1,0 +1,16 @@
+// Fixture standing in for the real qindex package (unsafeslab matches pins
+// by import-path suffix, and this package's final segment is "qindex").
+// Posting deliberately diverges from the pinned layout; TermStats matches.
+package qindex
+
+type Posting struct { // want "layout of Posting diverges from the snapfile format pin"
+	Cluster int32
+	Bits    uint8
+	Extra   uint8
+}
+
+type TermStats struct {
+	SubrecordOcc int
+	TermChunkOcc int
+	Clusters     int
+}

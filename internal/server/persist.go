@@ -79,7 +79,12 @@ func (s *Server) persist(sn *snapshot) error {
 		_ = os.Remove(tmp) // best-effort cleanup; Recover sweeps survivors
 		return err
 	}
-	syncDir(s.opts.DataDir)
+	// The artifact itself is durable (fsynced before the rename); a failed
+	// directory sync only risks the rename after a crash, so it is logged
+	// rather than failing a publish whose data is safely on disk.
+	if err := syncDir(s.opts.DataDir); err != nil {
+		s.logf("disassod: persisting %q: %v", sn.info.Name, err)
+	}
 	return nil
 }
 
@@ -92,20 +97,31 @@ func (s *Server) removeArtifact(name string) error {
 	if err := os.Remove(s.artifactPath(name)); err != nil && !errors.Is(err, fs.ErrNotExist) {
 		return err
 	}
-	syncDir(s.opts.DataDir)
+	if err := syncDir(s.opts.DataDir); err != nil {
+		s.logf("disassod: deleting snapshot file of %q: %v", name, err)
+	}
 	return nil
 }
 
 // syncDir fsyncs a directory so a just-renamed (or just-removed) entry is
-// durable. Best effort: some filesystems refuse directory fsync, and the
-// rename itself already happened.
-func syncDir(dir string) {
+// durable. A filesystem REFUSING directory fsync (EINVAL/ENOTSUP — common on
+// network and FUSE mounts, which offer nothing stronger) is not an error:
+// the rename already happened and there is no better call to make. Anything
+// else — an I/O error actually failing the sync — is returned so callers
+// log it instead of silently losing the durability guarantee.
+func syncDir(dir string) error {
 	d, err := os.Open(dir)
 	if err != nil {
-		return
+		return fmt.Errorf("opening %s for directory sync: %w", dir, err)
 	}
-	_ = d.Sync()
-	_ = d.Close() // read-only descriptor; nothing buffered to lose
+	err = d.Sync()
+	if cerr := d.Close(); err == nil {
+		err = cerr // read-only descriptor; a Close failure is still anomalous
+	}
+	if err != nil && !ignorableSyncError(err) {
+		return fmt.Errorf("syncing directory %s: %w", dir, err)
+	}
+	return nil
 }
 
 // SkippedFile is one file Recover found under DataDir but did not load.

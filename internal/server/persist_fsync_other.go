@@ -1,0 +1,10 @@
+//go:build !unix
+
+package server
+
+// ignorableSyncError on non-unix platforms: there is no directory-fsync
+// contract at all (Windows directory handles refuse FlushFileBuffers), so a
+// failure carries no signal and every error is treated as unsupported.
+func ignorableSyncError(err error) bool {
+	return true
+}

@@ -1,0 +1,19 @@
+//go:build unix
+
+package server
+
+import (
+	"errors"
+	"syscall"
+)
+
+// ignorableSyncError reports whether a directory-fsync failure means the
+// filesystem does not SUPPORT the operation rather than that it failed:
+// EINVAL and ENOTSUP/EOPNOTSUPP are how kernels answer fsync on descriptors
+// the filesystem will not sync (many network and FUSE mounts). Everything
+// else — EIO above all — is a real durability problem worth logging.
+func ignorableSyncError(err error) bool {
+	return errors.Is(err, syscall.EINVAL) ||
+		errors.Is(err, syscall.ENOTSUP) ||
+		errors.Is(err, syscall.EOPNOTSUPP)
+}

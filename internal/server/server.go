@@ -72,7 +72,13 @@ type Server struct {
 	opts Options
 	mux  *http.ServeMux
 
-	mu        sync.RWMutex
+	mu sync.RWMutex
+	// snapshots is the registry. Once a snapshot is installed here it must
+	// never be written again — readers serve from it lock-free and hold its
+	// pointer across a whole request, so a republish builds a successor and
+	// swaps the pointer. The directive below makes immutsnap enforce that.
+	//
+	//lint:immutable lock-free readers hold installed snapshot pointers across requests
 	snapshots map[string]*snapshot
 	// locks serializes mutations (publish install, delta republish, delete)
 	// per dataset name, so a delta's read-modify-write of the snapshot
@@ -477,6 +483,7 @@ func (s *Server) handlePublish(w http.ResponseWriter, r *http.Request) {
 	// deltas. The snapshot is persisted before the registry swap: a snapshot
 	// the server ever served must already be on disk, so a crash cannot
 	// forget a publication it acknowledged.
+	//lint:ignore lockscope the per-name lock intentionally serializes the whole install — persist and response included; readers never take it, so holding it across blocking work delays only competing mutators of this name
 	lock := s.lockName(name)
 	defer s.unlockName(name, lock)
 	old, exists := s.lookup(name)
@@ -635,6 +642,7 @@ func newSnapshot(name string, a *core.Anonymized, streamed bool, opts core.Optio
 
 func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
 	name := r.PathValue("name")
+	//lint:ignore lockscope the per-name lock intentionally covers artifact removal and the response; readers never take it, so only competing mutators of this name wait
 	lock := s.lockName(name)
 	defer s.unlockName(name, lock)
 	if _, ok := s.lookup(name); !ok {
@@ -692,6 +700,7 @@ func (s *Server) handleDelta(w http.ResponseWriter, r *http.Request, remove bool
 		delta.Append = d.Records
 	}
 
+	//lint:ignore lockscope the per-name lock intentionally covers the whole delta — rehydrate, Apply, persist, response — so concurrent deltas to one name serialize; readers never take it
 	lock := s.lockName(name)
 	defer s.unlockName(name, lock)
 	sn, ok := s.lookup(name)

@@ -11,13 +11,21 @@
 //	disasso -in data.txt -reconstruct 3 -out samples.txt
 //	disasso -verify anonymized.json -in data.txt
 //	disasso -in huge.txt -stream -mem-budget 512M -binary -out anonymized.bin
+//	disasso -in data.txt -k 5 -safe -out anonymized.json
+//	disasso -verify anonymized.json -in data.txt -breaches
 //
 // With -stream the input is anonymized by the sharded streaming engine in
 // bounded memory (see -mem-budget), spilling shards to temp files; the
 // published bytes are identical to the in-memory path at equal options.
+//
+// With -breaches the output is a cover-problem breach audit of the
+// publication (either the one just produced, or the -verify file) as JSON,
+// and the exit status reports whether it is breach-free; -safe publishes
+// with safe disassociation, which repairs every such breach.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -42,6 +50,8 @@ func main() {
 		verify      = flag.String("verify", "", "verify a previously written JSON file against -in and exit")
 		stats       = flag.Bool("stats", false, "print dataset statistics and exit")
 		audit       = flag.Int("audit", 0, "after anonymizing, audit the guarantee with N sampled adversaries")
+		safe        = flag.Bool("safe", false, "repair cover-problem breaches at publish time (safe disassociation)")
+		breaches    = flag.Bool("breaches", false, "emit a cover-problem breach audit as JSON; exit nonzero if breached")
 		binaryOut   = flag.Bool("binary", false, "write the compact binary format instead of JSON (and expect it with -verify)")
 		stream      = flag.Bool("stream", false, "anonymize with the sharded streaming engine in bounded memory")
 		memBudget   = flag.String("mem-budget", "", "streaming memory budget, bytes with optional K/M/G suffix (default 256M)")
@@ -52,8 +62,9 @@ func main() {
 	cfg := runConfig{
 		in: *in, out: *out, names: *names, k: *k, m: *m, maxCluster: *maxCluster,
 		noRefine: *noRefine, parallel: *parallel, seed: *seed, reconstruct: *reconstruct,
-		verify: *verify, stats: *stats, audit: *audit, binaryOut: *binaryOut,
-		stream: *stream, memBudget: *memBudget, shardRecs: *shardRecs, tmpDir: *tmpDir,
+		verify: *verify, stats: *stats, audit: *audit, safe: *safe, breaches: *breaches,
+		binaryOut: *binaryOut, stream: *stream, memBudget: *memBudget, shardRecs: *shardRecs,
+		tmpDir: *tmpDir,
 	}
 	if err := run(cfg); err != nil {
 		fmt.Fprintln(os.Stderr, "disasso:", err)
@@ -74,6 +85,8 @@ type runConfig struct {
 	verify      string
 	stats       bool
 	audit       int
+	safe        bool
+	breaches    bool
 	binaryOut   bool
 	stream      bool
 	memBudget   string
@@ -113,8 +126,8 @@ func run(cfg runConfig) error {
 	defer f.Close()
 
 	if cfg.stream {
-		if cfg.names || cfg.stats || cfg.verify != "" || cfg.reconstruct > 0 || cfg.audit > 0 {
-			return fmt.Errorf("-stream supports only anonymization of integer-ID inputs (no -names/-stats/-verify/-reconstruct/-audit)")
+		if cfg.names || cfg.stats || cfg.verify != "" || cfg.reconstruct > 0 || cfg.audit > 0 || cfg.breaches {
+			return fmt.Errorf("-stream supports only anonymization of integer-ID inputs (no -names/-stats/-verify/-reconstruct/-audit/-breaches)")
 		}
 		budget, err := parseBytes(cfg.memBudget)
 		if err != nil {
@@ -128,6 +141,7 @@ func run(cfg runConfig) error {
 			Core: disasso.Options{
 				K: cfg.k, M: cfg.m, MaxClusterSize: cfg.maxCluster, MaxShardRecords: cfg.shardRecs,
 				DisableRefine: cfg.noRefine, Parallel: cfg.parallel, Seed: cfg.seed,
+				SafeDisassociation: cfg.safe,
 			},
 			MemoryBudget: budget,
 			TempDir:      cfg.tmpDir,
@@ -195,6 +209,9 @@ func emit(cfg runConfig, d *disasso.Dataset, dict *disasso.Dictionary, w io.Writ
 		if err := disasso.VerifyAgainstOriginal(a, d); err != nil {
 			return err
 		}
+		if cfg.breaches {
+			return writeBreachReport(w, a)
+		}
 		_, err = fmt.Fprintf(w, "OK: %s is %d^%d-anonymous and consistent with %s\n", cfg.verify, a.K, a.M, cfg.in)
 		return err
 	}
@@ -202,6 +219,7 @@ func emit(cfg runConfig, d *disasso.Dataset, dict *disasso.Dictionary, w io.Writ
 	a, err := disasso.Anonymize(d, disasso.Options{
 		K: cfg.k, M: cfg.m, MaxClusterSize: cfg.maxCluster, MaxShardRecords: cfg.shardRecs,
 		DisableRefine: cfg.noRefine, Parallel: cfg.parallel, Seed: cfg.seed,
+		SafeDisassociation: cfg.safe,
 	})
 	if err != nil {
 		return err
@@ -216,6 +234,10 @@ func emit(cfg runConfig, d *disasso.Dataset, dict *disasso.Dictionary, w io.Writ
 		fmt.Fprintf(os.Stderr, "audit: %d sampled adversaries, guarantee holds\n", cfg.audit)
 	}
 
+	if cfg.breaches {
+		return writeBreachReport(w, a)
+	}
+
 	if cfg.reconstruct > 0 {
 		var names *disasso.Dictionary
 		if cfg.names {
@@ -227,6 +249,25 @@ func emit(cfg runConfig, d *disasso.Dataset, dict *disasso.Dictionary, w io.Writ
 		return disasso.WriteBinary(w, a)
 	}
 	return disasso.WriteJSON(w, a)
+}
+
+// writeBreachReport emits the cover-problem audit of a publication as
+// indented JSON, then fails the run when the publication is breached — the
+// report is on stdout either way, so an operator sees what broke, and scripts
+// get the verdict from the exit status.
+func writeBreachReport(w io.Writer, a *disasso.Anonymized) error {
+	rep := disasso.AuditBreaches(a)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(rep); err != nil {
+		return err
+	}
+	if !rep.Clean() {
+		return fmt.Errorf("%d of %d clusters breached (worst association probability %.3f > 1/%d); republish with -safe",
+			rep.BreachedClusters, rep.Clusters, rep.MaxProbability, rep.K)
+	}
+	fmt.Fprintf(os.Stderr, "breach audit: %d clusters, no association above 1/%d\n", rep.Clusters, rep.K)
+	return nil
 }
 
 // writeReconstructions emits the sampled datasets separated by literal "%%"

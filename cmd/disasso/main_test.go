@@ -3,7 +3,9 @@ package main
 import (
 	"bytes"
 	"errors"
+	"fmt"
 	"math"
+	"math/rand/v2"
 	"os"
 	"path/filepath"
 	"strings"
@@ -158,6 +160,64 @@ func TestRunErrors(t *testing.T) {
 	}
 }
 
+// denseData generates a small dense dataset whose plain publication is known
+// to carry cover-problem breaches (same shape as the internal/breach dense
+// property config).
+func denseData(t *testing.T, dir string) string {
+	t.Helper()
+	rng := rand.New(rand.NewPCG(505, 0xDA7A))
+	var b strings.Builder
+	for i := 0; i < 40; i++ {
+		length := 1 + rng.IntN(6)
+		for j := 0; j < length; j++ {
+			u := rng.Float64()
+			fmt.Fprintf(&b, "%d ", int(8*u*u))
+		}
+		b.WriteByte('\n')
+	}
+	return writeInput(t, dir, b.String())
+}
+
+func TestRunBreachAudit(t *testing.T) {
+	dir := t.TempDir()
+	in := denseData(t, dir)
+
+	// The plain publication breaches: the report lands on -out, the run fails.
+	out := filepath.Join(dir, "plain-audit.json")
+	err := run(runConfig{in: in, out: out, k: 2, m: 2, parallel: 1, seed: 1, breaches: true})
+	if err == nil || !strings.Contains(err.Error(), "-safe") {
+		t.Fatalf("breached publication audited clean (err = %v)", err)
+	}
+	data, _ := os.ReadFile(out)
+	if !strings.Contains(string(data), `"learned"`) {
+		t.Errorf("plain audit report has no findings: %s", data)
+	}
+
+	// With -safe the same input publishes breach-free and the audit passes.
+	safeOut := filepath.Join(dir, "safe-audit.json")
+	if err := run(runConfig{in: in, out: safeOut, k: 2, m: 2, parallel: 1, seed: 1, safe: true, breaches: true}); err != nil {
+		t.Fatalf("safe publication still breached: %v", err)
+	}
+	data, _ = os.ReadFile(safeOut)
+	if !strings.Contains(string(data), `"breachedClusters": 0`) {
+		t.Errorf("safe audit report: %s", data)
+	}
+
+	// -safe -out then -verify -breaches on the file: the audit mode works on
+	// previously published artifacts too.
+	pub := filepath.Join(dir, "safe.json")
+	if err := run(runConfig{in: in, out: pub, k: 2, m: 2, parallel: 1, seed: 1, safe: true}); err != nil {
+		t.Fatalf("safe publish: %v", err)
+	}
+	auditOut := filepath.Join(dir, "verify-audit.json")
+	if err := run(runConfig{in: in, out: auditOut, k: 2, m: 2, parallel: 1, seed: 1, verify: pub, breaches: true}); err != nil {
+		t.Fatalf("audit of persisted safe publication: %v", err)
+	}
+	if data, _ = os.ReadFile(auditOut); !strings.Contains(string(data), `"breachedClusters": 0`) {
+		t.Errorf("verify-mode audit report: %s", data)
+	}
+}
+
 func TestRunStream(t *testing.T) {
 	dir := t.TempDir()
 	in := writeInput(t, dir, toyData)
@@ -201,6 +261,9 @@ func TestRunStreamFlagConflicts(t *testing.T) {
 	in := writeInput(t, dir, toyData)
 	if err := run(runConfig{in: in, k: 3, m: 2, stream: true, stats: true}); err == nil {
 		t.Error("-stream -stats accepted")
+	}
+	if err := run(runConfig{in: in, k: 3, m: 2, stream: true, breaches: true}); err == nil {
+		t.Error("-stream -breaches accepted")
 	}
 	if err := run(runConfig{in: in, k: 3, m: 2, stream: true, memBudget: "lots"}); err == nil {
 		t.Error("bad -mem-budget accepted")

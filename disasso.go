@@ -32,6 +32,7 @@ import (
 
 	"disasso/internal/anonymity"
 	"disasso/internal/attack"
+	"disasso/internal/breach"
 	"disasso/internal/core"
 	"disasso/internal/dataset"
 	"disasso/internal/load"
@@ -343,6 +344,26 @@ func DefaultWorkloadSpec() *WorkloadSpec { return load.DefaultSpec() }
 func NewWorkloadModel(a *Anonymized, spec *WorkloadSpec, seed uint64) (*WorkloadModel, error) {
 	return load.NewModel(a, spec, seed)
 }
+
+// Cover-problem breach auditing: k^m-anonymity bounds how few candidate
+// records an adversary can reach, but combinations of chunks covering a
+// cluster can still let term associations be inferred with probability above
+// 1/k (the cover problem; Terrovitis et al. Section 5.2). AuditBreaches
+// detects such breaches on the published form; Options.SafeDisassociation
+// repairs them at publish time by merging or demoting the offending chunks.
+type (
+	// BreachReport is a full cover-problem audit of a publication.
+	BreachReport = breach.Report
+	// BreachFinding is one itemset whose association probability exceeds 1/k.
+	BreachFinding = breach.Finding
+	// ServerBreachResponse answers GET /v1/datasets/{name}/breaches.
+	ServerBreachResponse = server.BreachResponse
+)
+
+// AuditBreaches runs the cover-problem breach detector over every published
+// cluster and returns the findings, worst first. A publication produced with
+// Options.SafeDisassociation audits clean.
+func AuditBreaches(a *Anonymized) *BreachReport { return breach.Audit(a) }
 
 // Candidates returns how many records an adversary holding the given
 // background knowledge must consider — the quantity the k^m guarantee bounds

@@ -1,0 +1,100 @@
+package breach
+
+import (
+	"testing"
+
+	"disasso/internal/core"
+	"disasso/internal/dataset"
+	"disasso/internal/quest"
+)
+
+// benchInputs are the audit benchmark workloads: Quest market-basket data at
+// the density profile of the paper's evaluation, and the dense skewed
+// synthetic profile the property tests use, scaled up — dense data is where
+// covers (and therefore repairs) concentrate.
+func benchInputs(b *testing.B) []struct {
+	name string
+	d    *dataset.Dataset
+} {
+	b.Helper()
+	cfg := quest.DefaultConfig()
+	cfg.NumTransactions = 5_000
+	cfg.DomainSize = 400
+	cfg.AvgTransLen = 6
+	cfg.Seed = 7
+	g, err := quest.New(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return []struct {
+		name string
+		d    *dataset.Dataset
+	}{
+		{"quest", g.Generate()},
+		{"dense", genDataset(propConfig{k: 2, m: 2, maxCluster: 5, records: 400, domain: 24, maxLen: 6, seed: 505})},
+	}
+}
+
+func benchOptions(name string) core.Options {
+	if name == "dense" {
+		return core.Options{K: 2, M: 2, MaxClusterSize: 5, Seed: 505, MaxShardRecords: 200}
+	}
+	return core.Options{K: 4, M: 2, Seed: 7, MaxShardRecords: 1_000}
+}
+
+// BenchmarkBreachAudit times the cover-problem detector over a full plain
+// publication and attaches the breach rate it finds: findings plus the
+// fraction of clusters breached — the "before repair" numbers of the
+// BENCH_PR10 record.
+func BenchmarkBreachAudit(b *testing.B) {
+	for _, in := range benchInputs(b) {
+		name, d := in.name, in.d
+		b.Run(name, func(b *testing.B) {
+			a, err := core.Anonymize(d, benchOptions(name))
+			if err != nil {
+				b.Fatal(err)
+			}
+			var rep *Report
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				rep = Audit(a)
+			}
+			b.ReportMetric(float64(len(rep.Findings)), "findings")
+			b.ReportMetric(float64(rep.BreachedClusters)/float64(rep.Clusters), "breached-frac")
+		})
+	}
+}
+
+// BenchmarkSafeRepair times a full SafeDisassociation publication (pipeline
+// plus repair) against the plain pipeline's breach count: breaches-before is
+// what the repair had to fix, breaches-after must be zero.
+func BenchmarkSafeRepair(b *testing.B) {
+	for _, in := range benchInputs(b) {
+		name, d := in.name, in.d
+		b.Run(name, func(b *testing.B) {
+			opts := benchOptions(name)
+			plain, err := core.Anonymize(d, opts)
+			if err != nil {
+				b.Fatal(err)
+			}
+			before := len(Audit(plain).Findings)
+			opts.SafeDisassociation = true
+			var safe *core.Anonymized
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if safe, err = core.Anonymize(d, opts); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.StopTimer()
+			after := len(Audit(safe).Findings)
+			if after != 0 {
+				b.Fatalf("safe publication still has %d breaches", after)
+			}
+			b.ReportMetric(float64(before), "breaches-before")
+			b.ReportMetric(float64(after), "breaches-after")
+		})
+	}
+}

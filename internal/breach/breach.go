@@ -1,0 +1,112 @@
+// Package breach audits a disassociated publication for cover-problem
+// association breaches: cross-chunk term associations an adversary learns
+// with probability above 1/k despite k^m-anonymity (Barakat et al., "On the
+// Evaluation of the Privacy Breach in Disassociated Set-Valued Datasets";
+// Awad et al., "Safe Disassociation of Set-Valued Datasets").
+//
+// The fast detector lives in internal/core (NodeBreaches), next to the
+// safe-disassociation repair that consumes it; this package wraps it into
+// the served audit report and carries the house correctness oracle: a
+// brute-force reconstruction-enumeration oracle (oracle.go) that re-derives
+// every association probability by enumerating chunk assignments, compiled
+// against the detector under the breach_exhaustive build tag and in the
+// property tests.
+package breach
+
+import (
+	"sort"
+
+	"disasso/internal/core"
+	"disasso/internal/dataset"
+)
+
+// breachExhaustive cross-checks every Audit against the brute-force
+// reconstruction-enumeration oracle (where the oracle's enumeration budget
+// allows) and panics on divergence. The default comes from the
+// breach_exhaustive build tag (see breach_hook_*.go); tests can also flip
+// the variable directly.
+var breachExhaustive = breachExhaustiveDefault
+
+// Finding is one reported breach, JSON-shaped for the audit endpoint.
+type Finding struct {
+	// Cluster is the top-level cluster index the association binds to.
+	Cluster int `json:"cluster"`
+	// Where and AnchorWhere name the learned term's and the anchor term's
+	// sources in the cluster's canonical chunk layout.
+	Where       string `json:"where"`
+	AnchorWhere string `json:"anchorWhere"`
+	// Knowing Anchor, an adversary learns Learned with probability
+	// Num/Den (> 1/k); Probability is the same ratio as a float for
+	// human consumption — verdicts are computed on the exact integers.
+	Anchor      dataset.Term `json:"anchor"`
+	Learned     dataset.Term `json:"learned"`
+	Num         int          `json:"num"`
+	Den         int          `json:"den"`
+	Probability float64      `json:"probability"`
+}
+
+// Report is a full breach audit of one publication.
+type Report struct {
+	K int `json:"k"`
+	M int `json:"m"`
+	// Clusters counts top-level clusters; BreachedClusters those with at
+	// least one finding.
+	Clusters         int `json:"clusters"`
+	BreachedClusters int `json:"breachedClusters"`
+	// Threshold is 1/k: any association learnable with higher probability
+	// is a breach.
+	Threshold float64 `json:"threshold"`
+	// MaxProbability is the worst finding's probability (0 when clean).
+	MaxProbability float64   `json:"maxProbability"`
+	Findings       []Finding `json:"findings"`
+}
+
+// Clean reports a breach-free publication.
+func (r *Report) Clean() bool { return len(r.Findings) == 0 }
+
+// Audit runs the cover-problem breach detector over every top-level cluster
+// of the publication and assembles the report, findings sorted by
+// descending probability (exact integer comparison), then cluster, then
+// locus. Deterministic for a fixed publication; the forest is not modified.
+func Audit(a *core.Anonymized) *Report {
+	rep := &Report{
+		K: a.K, M: a.M,
+		Clusters:  len(a.Clusters),
+		Threshold: 1 / float64(a.K),
+	}
+	for i, n := range a.Clusters {
+		brs := core.NodeBreaches(n, a.K)
+		if breachExhaustive {
+			crossCheckNode(n, a.K, brs)
+		}
+		if len(brs) > 0 {
+			rep.BreachedClusters++
+		}
+		for _, b := range brs {
+			rep.Findings = append(rep.Findings, Finding{
+				Cluster: i,
+				Where:   b.Where, AnchorWhere: b.AnchorWhere,
+				Anchor: b.Anchor, Learned: b.Learned,
+				Num: b.Num, Den: b.Den,
+				Probability: float64(b.Num) / float64(b.Den),
+			})
+		}
+	}
+	sort.SliceStable(rep.Findings, func(i, j int) bool {
+		fi, fj := &rep.Findings[i], &rep.Findings[j]
+		if d := fi.Num*fj.Den - fj.Num*fi.Den; d != 0 {
+			return d > 0
+		}
+		if fi.Cluster != fj.Cluster {
+			return fi.Cluster < fj.Cluster
+		}
+		if fi.Where != fj.Where {
+			return fi.Where < fj.Where
+		}
+		return fi.Learned < fj.Learned
+	})
+	if len(rep.Findings) > 0 {
+		rep.MaxProbability = rep.Findings[0].Probability
+	}
+	return rep
+}

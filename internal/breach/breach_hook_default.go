@@ -1,0 +1,10 @@
+//go:build !breach_exhaustive
+
+package breach
+
+// breachExhaustiveDefault leaves the brute-force reconstruction-enumeration
+// oracle off: Audit serves the fast detector's findings directly. Building
+// with -tags breach_exhaustive flips the default so every audit in the
+// suite is cross-checked against the oracle — the same device as
+// internal/core's refine_replan and internal/query's query_scan tags.
+const breachExhaustiveDefault = false

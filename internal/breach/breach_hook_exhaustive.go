@@ -1,0 +1,11 @@
+//go:build breach_exhaustive
+
+package breach
+
+// breachExhaustiveDefault under the breach_exhaustive build tag makes every
+// Audit cross-check the fast detector against the brute-force
+// reconstruction-enumeration oracle wherever the enumeration budget allows,
+// panicking on any divergence in verdict or exact probability. Served
+// findings are the detector's either way — the oracle confirms, it never
+// substitutes.
+const breachExhaustiveDefault = true

@@ -1,0 +1,274 @@
+package breach
+
+import (
+	"fmt"
+
+	"disasso/internal/core"
+	"disasso/internal/dataset"
+)
+
+// The brute-force reconstruction-enumeration oracle.
+//
+// Where the fast detector scores a pair with the closed form
+// s / max(n_learned, n_anchor), the oracle derives the same probability
+// from first principles: it enumerates every assignment of the two
+// sources' subrecords onto the slots of their covered ranges (every
+// injection, each equally likely under the uniform-reconstruction model)
+// and counts, over all assignments and all slots, how often a slot holding
+// the anchor term also holds the learned term:
+//
+//	P(learned | anchor) = Fav / Tot
+//	Fav = Σ_assignments #slots carrying both terms
+//	Tot = Σ_assignments #slots carrying the anchor
+//
+// Sources not involved in the pair are marginalized out exactly (their
+// assignments are independent and term-disjoint, so they cancel from the
+// ratio). The two computations share no code — the detector never
+// enumerates, the oracle never multiplies supports — which is what makes
+// their agreement (exact, by integer cross-multiplication) evidence.
+//
+// Enumeration is factorial, so every evaluation carries a budget: a pair
+// whose assignment space exceeds it is skipped, never approximated. The
+// property tests and the breach_exhaustive build keep cluster sizes small
+// enough that real pairs terminate.
+
+// oracleSource mirrors one association source of a cluster node,
+// re-derived independently from the published structure: record chunks and
+// shared chunks with their materialized subrecords, and each term-chunk
+// term as its own single-subrecord source (independent placement).
+type oracleSource struct {
+	where string
+	lo, n int
+	subs  []dataset.Record
+}
+
+// collectOracleSources walks one top-level node exactly like the canonical
+// layout: leaves left to right, each joint's shared chunks after its
+// descendants, slot offsets by in-order leaf sizes. The where strings match
+// the detector's so verdicts can be joined on locus.
+func collectOracleSources(root *core.ClusterNode) []oracleSource {
+	var out []oracleSource
+	leafIdx := 0
+	var walk func(n *core.ClusterNode, lo int) int
+	walk = func(n *core.ClusterNode, lo int) int {
+		if n.IsLeaf() {
+			cl := n.Simple
+			for ci := range cl.RecordChunks {
+				out = append(out, oracleSource{
+					where: fmt.Sprintf("leaf %d record chunk %d", leafIdx, ci),
+					lo:    lo, n: cl.Size,
+					subs: cl.RecordChunks[ci].Subrecords,
+				})
+			}
+			for _, t := range cl.TermChunk {
+				out = append(out, oracleSource{
+					where: fmt.Sprintf("leaf %d term chunk", leafIdx),
+					lo:    lo, n: cl.Size,
+					subs: []dataset.Record{{t}},
+				})
+			}
+			leafIdx++
+			return lo + cl.Size
+		}
+		end := lo
+		for _, c := range n.Children {
+			end = walk(c, end)
+		}
+		for ci := range n.SharedChunks {
+			out = append(out, oracleSource{
+				where: fmt.Sprintf("joint at slots %d-%d shared chunk %d", lo, end-1, ci),
+				lo:    lo, n: end - lo,
+				subs: n.SharedChunks[ci].Subrecords,
+			})
+		}
+		return end
+	}
+	walk(root, 0)
+	return out
+}
+
+func (s *oracleSource) overlaps(o *oracleSource) bool {
+	return s.lo < o.lo+o.n && o.lo < s.lo+s.n
+}
+
+// terms returns the distinct terms appearing in the source's subrecords.
+func (s *oracleSource) termSet() dataset.Record {
+	var all dataset.Record
+	for _, sr := range s.subs {
+		all = all.Union(sr)
+	}
+	return all
+}
+
+// injectionCount returns n·(n−1)·…·(n−s+1), the number of ways to place s
+// distinct subrecords on n slots, capped at limit (returns limit+1 when
+// exceeded, so callers can compare against budgets without overflow).
+func injectionCount(n, s int, limit int64) int64 {
+	count := int64(1)
+	for i := 0; i < s; i++ {
+		count *= int64(n - i)
+		if count > limit {
+			return limit + 1
+		}
+	}
+	return count
+}
+
+// forEachInjection enumerates every assignment of subs onto distinct slots
+// of [0, n), calling f with pos[i] = slot of subs[i]. Deterministic order.
+func forEachInjection(n int, subs int, f func(pos []int)) {
+	pos := make([]int, subs)
+	used := make([]bool, n)
+	var rec func(i int)
+	rec = func(i int) {
+		if i == subs {
+			f(pos)
+			return
+		}
+		for slot := 0; slot < n; slot++ {
+			if used[slot] {
+				continue
+			}
+			used[slot] = true
+			pos[i] = slot
+			rec(i + 1)
+			used[slot] = false
+		}
+	}
+	rec(0)
+}
+
+// pairVerdict is the oracle's evaluation of one (anchor, learned) pair.
+type pairVerdict struct {
+	Fav, Tot int64 // P(learned | anchor) = Fav/Tot over all assignments
+	Breach   bool  // k·Fav > Tot, exactly
+}
+
+// oraclePair evaluates P(a learned | b known) for a in the learned source
+// and b in the anchor source by full enumeration. Returns ok=false when the
+// assignment space exceeds budget (the oracle refuses to approximate).
+func oraclePair(learned, anchor *oracleSource, a, b dataset.Term, k int, budget int64) (pairVerdict, bool) {
+	nl := injectionCount(learned.n, len(learned.subs), budget)
+	na := injectionCount(anchor.n, len(anchor.subs), budget)
+	if nl > budget || na > budget || nl*na > budget {
+		return pairVerdict{}, false
+	}
+	hasA := make([]bool, len(learned.subs))
+	for i, sr := range learned.subs {
+		hasA[i] = sr.Contains(a)
+	}
+	hasB := make([]bool, len(anchor.subs))
+	for i, sr := range anchor.subs {
+		hasB[i] = sr.Contains(b)
+	}
+	var v pairVerdict
+	// Slots are global: the two ranges may nest anywhere in the cluster.
+	forEachInjection(learned.n, len(learned.subs), func(lpos []int) {
+		var aSlots []int
+		for i, p := range lpos {
+			if hasA[i] {
+				aSlots = append(aSlots, learned.lo+p)
+			}
+		}
+		forEachInjection(anchor.n, len(anchor.subs), func(apos []int) {
+			for i, p := range apos {
+				if !hasB[i] {
+					continue
+				}
+				slot := anchor.lo + p
+				v.Tot++
+				for _, s := range aSlots {
+					if s == slot {
+						v.Fav++
+					}
+				}
+			}
+		})
+	})
+	v.Breach = int64(k)*v.Fav > v.Tot
+	return v, true
+}
+
+// oracleBudget bounds one pair's assignment-space size under the
+// breach_exhaustive cross-check; maxPairEvals bounds how many pairs one
+// node's completeness sweep evaluates before the tail is skipped (both
+// deterministic cut-offs — the oracle skips, it never guesses).
+const (
+	oracleBudget = 200_000
+	maxPairEvals = 20_000
+)
+
+// crossCheckNode validates the fast detector against the oracle on one
+// node, panicking on any divergence:
+//
+//   - soundness: every reported breach re-derives exactly (same verdict and
+//     the same probability, compared by integer cross-multiplication);
+//   - completeness: every pair the oracle can afford to enumerate and finds
+//     breaching must appear among the detector's findings (by learned
+//     locus and term — the detector reports one witness anchor per heavy
+//     term, so presence is the contract).
+//
+// Pairs over budget are skipped: the oracle must agree with the detector
+// whenever it terminates, and says nothing otherwise.
+func crossCheckNode(n *core.ClusterNode, k int, brs []core.Breach) {
+	srcs := collectOracleSources(n)
+	find := func(where string, t dataset.Term) *oracleSource {
+		for i := range srcs {
+			if srcs[i].where == where && srcs[i].termSet().Contains(t) {
+				return &srcs[i]
+			}
+		}
+		return nil
+	}
+	for _, b := range brs {
+		learned := find(b.Where, b.Learned)
+		anchor := find(b.AnchorWhere, b.Anchor)
+		if learned == nil || anchor == nil {
+			panic(fmt.Sprintf("breach: finding names unknown source %q/%q", b.Where, b.AnchorWhere))
+		}
+		v, ok := oraclePair(learned, anchor, b.Learned, b.Anchor, k, oracleBudget)
+		if !ok {
+			continue
+		}
+		if !v.Breach {
+			panic(fmt.Sprintf("breach: oracle refutes finding %v from %s (anchor %v from %s): P = %d/%d ≤ 1/%d",
+				b.Learned, b.Where, b.Anchor, b.AnchorWhere, v.Fav, v.Tot, k))
+		}
+		if v.Fav*int64(b.Den) != int64(b.Num)*v.Tot {
+			panic(fmt.Sprintf("breach: probability mismatch for %v from %s: detector %d/%d, oracle %d/%d",
+				b.Learned, b.Where, b.Num, b.Den, v.Fav, v.Tot))
+		}
+	}
+	reported := make(map[string]bool, len(brs))
+	for _, b := range brs {
+		reported[fmt.Sprintf("%s#%d", b.Where, b.Learned)] = true
+	}
+	evals := 0
+	for li := range srcs {
+		learned := &srcs[li]
+		for ai := range srcs {
+			anchor := &srcs[ai]
+			if ai == li || !learned.overlaps(anchor) {
+				continue
+			}
+			for _, a := range learned.termSet() {
+				for _, b := range anchor.termSet() {
+					if b == a {
+						continue
+					}
+					if evals++; evals > maxPairEvals {
+						return
+					}
+					v, ok := oraclePair(learned, anchor, a, b, k, oracleBudget)
+					if !ok || !v.Breach {
+						continue
+					}
+					if !reported[fmt.Sprintf("%s#%d", learned.where, a)] {
+						panic(fmt.Sprintf("breach: oracle finds unreported breach: %v from %s learned via %v from %s with P = %d/%d > 1/%d",
+							a, learned.where, b, anchor.where, v.Fav, v.Tot, k))
+					}
+				}
+			}
+		}
+	}
+}

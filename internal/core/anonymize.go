@@ -55,6 +55,15 @@ type Options struct {
 	// with probability at most 1/|P|.
 	//lint:ignore densedomain boundary API: callers pass global terms; SensitiveBits densifies them once per run
 	Sensitive map[dataset.Term]bool
+	// SafeDisassociation runs the safe-disassociation repair (Awad et al.)
+	// after REFINE: cover-problem breaches — cross-chunk associations an
+	// adversary learns with probability above 1/K despite k^m-anonymity —
+	// are removed by merging covering chunks where k^m allows it and
+	// demoting heavy terms to term chunks otherwise. Deterministic for a
+	// fixed Seed like every other pass, including under parallelism. The
+	// JSON tag keeps persisted snapshot metadata byte-identical for
+	// publications that do not opt in.
+	SafeDisassociation bool `json:",omitempty"`
 	// Parallel sets the number of workers for the per-cluster vertical
 	// partitioning (Section 3 notes clusters anonymize independently).
 	// 0 means GOMAXPROCS; 1 forces sequential operation.
@@ -184,6 +193,23 @@ func AnonymizeShard(sh Shard, nTerms int, sensitive []bool, opts Options) []*Clu
 	published := make([]*ClusterNode, len(nodes))
 	for i, n := range nodes {
 		published[i] = exportNode(n)
+	}
+	if opts.SafeDisassociation {
+		// Repair runs per top-level node, sequentially, with a PRNG keyed by
+		// (Seed, shard, node) — the same discipline as every other pass, so
+		// full runs, streamed shards and delta republishes all repair
+		// identically. exportNode shares each leaf's *Cluster with its
+		// leafState, which still holds the original records the repair needs
+		// for merges and re-disclosure.
+		orig := make(map[*Cluster][]dataset.Record, len(leaves))
+		for _, l := range leaves {
+			orig[l.cluster] = l.records
+		}
+		lookup := func(cl *Cluster) []dataset.Record { return orig[cl] }
+		for i, p := range published {
+			rng := rand.New(rand.NewPCG(opts.Seed, 0x5AFED15^(shardIdx<<32|uint64(i))))
+			repairNode(p, lookup, opts.K, opts.M, rng)
+		}
 	}
 	return published
 }

@@ -1,0 +1,223 @@
+package core
+
+import (
+	"math/rand/v2"
+
+	"disasso/internal/dataset"
+)
+
+// Safe disassociation (Awad et al.): repair a published cluster node until
+// no cover-problem breach survives, re-verifying k^m-anonymity (and Lemma 2
+// where it applies) after every step. Two moves, tried in this order:
+//
+//   - MERGE: when the learned term and its witness anchor sit in two record
+//     chunks of the same leaf, merging the chunks discloses the association
+//     openly — the pair stops being an inference and becomes published fact.
+//     The merge is committed only if the merged chunk (re-projected from the
+//     leaf's original records) is still k^m-anonymous and the leaf still
+//     satisfies Lemma 2, so the publication's guarantee never weakens.
+//
+//   - DEMOTE: otherwise the heavy term moves to the term chunk(s). A term
+//     chunk hides multiplicity, so a demoted term associates with any one
+//     record with probability 1/|P| ≤ 1/k (MergeUndersized guarantees
+//     |P| ≥ k) — demotion always ends the breach, at some utility cost.
+//     Demoting from a shared chunk (or from a record chunk when the term
+//     also rides a shared chunk) strips the term from every shared chunk of
+//     the node and re-discloses it in the term chunk of each leaf whose
+//     original records hold it, preserving the per-leaf term sets and the
+//     verifier's invariant that shared-chunk domains stay disjoint from
+//     descendant term chunks.
+//
+// Termination: a merge reduces the record-chunk count and never adds a
+// record- or shared-chunk term occurrence; a demote removes at least one
+// such occurrence and never adds any. The sum (occurrences + chunks)
+// strictly decreases every step, and a node whose record and shared chunks
+// carry no heavy term has no breach, so the loop reaches a breach-free
+// fixpoint. Demoted terms cannot re-breach: term-chunk terms are never
+// heavy.
+//
+// The pass mutates only the published node (fresh pipeline-owned
+// allocations) and consumes randomness only when a merge shuffles the
+// merged subrecords, so repairing an already-breach-free node is a no-op
+// that leaves the PRNG stream untouched — repair is idempotent and
+// deterministic for a fixed node and seed, independent of worker counts.
+
+// repairNode repairs one top-level published node in place until
+// NodeBreaches(n, k) is empty. originals yields each leaf's original
+// records (dense ids, the same id space as the node), needed to re-project
+// merged chunks and to re-disclose demoted shared terms. Returns the number
+// of repair steps taken.
+func repairNode(n *ClusterNode, originals func(*Cluster) []dataset.Record, k, m int, rng *rand.Rand) int {
+	steps := 0
+	guard := repairBudget(n)
+	for {
+		srcs := collectSources(n)
+		sites := detectBreaches(srcs, k)
+		if len(sites) == 0 {
+			return steps
+		}
+		steps++
+		if steps > guard {
+			// The potential argument above bounds steps by occurrences+chunks;
+			// exceeding the budget means a step failed to make progress, which
+			// is a bug worth crashing loudly over (the fuzzer hunts for it).
+			panic("core: safe-disassociation repair failed to converge")
+		}
+		b := sites[0]
+		l, an := &srcs[b.src], &srcs[b.anchor]
+		if l.kind == srcRecordChunk && an.kind == srcRecordChunk && l.leaf == an.leaf {
+			if tryMergeChunks(l.leaf, l.chunk, an.chunk, originals(l.leaf), k, m, rng) {
+				continue
+			}
+		}
+		demoteTerm(n, l, b.Learned, originals)
+	}
+}
+
+// repairBudget bounds the repair steps of a node: every step removes a
+// chunk or a term occurrence, so occurrences + chunks (plus slack) can
+// never be exceeded by a correct repair.
+func repairBudget(n *ClusterNode) int {
+	total := 8
+	for _, src := range collectSources(n) {
+		if src.kind == srcTermChunk {
+			continue
+		}
+		total += 1 + len(src.terms)
+	}
+	return total
+}
+
+// tryMergeChunks replaces record chunks i and j of the leaf with their
+// union, re-projected from the original records, iff the merged chunk is
+// still k^m-anonymous and the leaf still satisfies Lemma 2 (which only
+// binds while the term chunk is empty). The merged subrecords are shuffled
+// like every published chunk's.
+func tryMergeChunks(cl *Cluster, i, j int, records []dataset.Record, k, m int, rng *rand.Rand) bool {
+	dom := cl.RecordChunks[i].Domain.Union(cl.RecordChunks[j].Domain)
+	subs := make([]dataset.Record, 0, len(records))
+	for _, r := range records {
+		if p := r.Intersect(dom); len(p) > 0 {
+			subs = append(subs, p)
+		}
+	}
+	if !IsChunkKMAnonymous(dom, subs, k, m) {
+		return false
+	}
+	merged := Chunk{Domain: dom, Subrecords: subs}
+	if len(cl.TermChunk) == 0 {
+		trial := Cluster{Size: cl.Size, RecordChunks: make([]Chunk, 0, len(cl.RecordChunks)-1)}
+		for ci := range cl.RecordChunks {
+			if ci != i && ci != j {
+				trial.RecordChunks = append(trial.RecordChunks, cl.RecordChunks[ci])
+			}
+		}
+		trial.RecordChunks = append(trial.RecordChunks, merged)
+		if !lemma2Holds(&trial, k, m) {
+			return false
+		}
+	}
+	rng.Shuffle(len(subs), func(x, y int) { subs[x], subs[y] = subs[y], subs[x] })
+	lo, hi := min(i, j), max(i, j)
+	cl.RecordChunks[lo] = merged
+	cl.RecordChunks = append(cl.RecordChunks[:hi], cl.RecordChunks[hi+1:]...)
+	return true
+}
+
+// stripChunkTerm removes a from the chunk's domain and subrecords, dropping
+// projections that become empty; reports whether the domain is now empty
+// (the chunk should be removed entirely).
+func stripChunkTerm(c *Chunk, a dataset.Term) (empty bool) {
+	c.Domain = c.Domain.Subtract(dataset.Record{a})
+	subs := c.Subrecords[:0]
+	for _, sr := range c.Subrecords {
+		if sr.Contains(a) {
+			sr = sr.Subtract(dataset.Record{a})
+		}
+		if len(sr) > 0 {
+			subs = append(subs, sr)
+		}
+	}
+	c.Subrecords = subs
+	return len(c.Domain) == 0
+}
+
+// stripChunks removes a from every chunk of the slice, dropping chunks
+// whose domain empties; reports whether anything changed.
+func stripChunks(chunks []Chunk, a dataset.Term) ([]Chunk, bool) {
+	changed := false
+	out := chunks[:0]
+	for ci := range chunks {
+		c := chunks[ci]
+		if !c.Domain.Contains(a) {
+			out = append(out, c)
+			continue
+		}
+		changed = true
+		if !stripChunkTerm(&c, a) {
+			out = append(out, c)
+		}
+	}
+	return out, changed
+}
+
+// demoteTerm moves the heavy term a out of its source l into term chunks.
+// For a record-chunk source the term moves to that leaf's term chunk; if a
+// also appears in any shared chunk (or the source itself is shared), a is
+// stripped from every shared chunk of the node and re-disclosed in the term
+// chunk of each leaf whose original records contain it — keeping every
+// leaf's term set intact and no shared-chunk domain overlapping a
+// descendant term chunk.
+func demoteTerm(root *ClusterNode, l *breachSrc, a dataset.Term, originals func(*Cluster) []dataset.Record) {
+	needShared := l.kind == srcShared
+	if l.kind == srcRecordChunk {
+		cl := l.leaf
+		c := &cl.RecordChunks[l.chunk]
+		if stripChunkTerm(c, a) {
+			cl.RecordChunks = append(cl.RecordChunks[:l.chunk], cl.RecordChunks[l.chunk+1:]...)
+		}
+		cl.TermChunk = insertTerm(cl.TermChunk, a)
+		if !needShared {
+			root.Walk(func(n *ClusterNode) {
+				if !n.IsLeaf() {
+					for ci := range n.SharedChunks {
+						if n.SharedChunks[ci].Domain.Contains(a) {
+							needShared = true
+						}
+					}
+				}
+			})
+		}
+	}
+	if !needShared {
+		return
+	}
+	root.Walk(func(n *ClusterNode) {
+		if !n.IsLeaf() {
+			n.SharedChunks, _ = stripChunks(n.SharedChunks, a)
+		}
+	})
+	// Re-disclose: every leaf whose originals hold a must still publish it
+	// somewhere; with every shared occurrence gone, that is its term chunk
+	// unless a record chunk of the leaf already carries the term.
+	root.Walk(func(n *ClusterNode) {
+		if !n.IsLeaf() {
+			return
+		}
+		cl := n.Simple
+		if cl.TermChunk.Contains(a) {
+			return
+		}
+		for ci := range cl.RecordChunks {
+			if cl.RecordChunks[ci].Domain.Contains(a) {
+				return
+			}
+		}
+		for _, r := range originals(cl) {
+			if r.Contains(a) {
+				cl.TermChunk = insertTerm(cl.TermChunk, a)
+				return
+			}
+		}
+	})
+}

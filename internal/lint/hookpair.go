@@ -37,6 +37,7 @@ var HookPair = &Analyzer{
 // requiredHooks is the registry of hooks that must exist, keyed by import
 // path suffix. Extend it when a new reference path ships.
 var requiredHooks = map[string][]string{
+	"internal/breach": {"breachExhaustiveDefault"},
 	"internal/core":   {"refineAlwaysReplanDefault", "republishScratchDefault"},
 	"internal/query":  {"supportViaScanDefault"},
 	"internal/server": {"supportCacheOnDefault"},

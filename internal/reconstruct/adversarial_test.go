@@ -4,6 +4,7 @@ import (
 	"math/rand/v2"
 	"testing"
 
+	"disasso/internal/attack"
 	"disasso/internal/core"
 	"disasso/internal/dataset"
 )
@@ -62,6 +63,73 @@ func TestAssignSharedAugmentation(t *testing.T) {
 			if !r.Records[i].Contains(1) || !r.Records[i].Contains(2) {
 				t.Fatalf("seed %d: leaf A record %d = %v lost its chunk part", seed, i, r.Records[i])
 			}
+		}
+	}
+}
+
+// TestCoverKnowledgeOnRepaired arms the adversary with exactly the itemsets
+// the cover-problem detector flags on an unrepaired publication — the anchor
+// and learned terms of every breach — and asserts the k^m guarantee on the
+// repaired publication for every subset of that knowledge of size up to m.
+// This is the end-to-end adversarial reading of safe disassociation: the
+// associations that were learnable above 1/k before the repair give a real
+// attacker no narrowing power afterwards.
+func TestCoverKnowledgeOnRepaired(t *testing.T) {
+	rng := rand.New(rand.NewPCG(505, 0xDA7A))
+	records := make([]dataset.Record, 0, 40)
+	for len(records) < 40 {
+		length := 1 + rng.IntN(6)
+		terms := make([]dataset.Term, 0, length)
+		for i := 0; i < length; i++ {
+			u := rng.Float64()
+			terms = append(terms, dataset.Term(8*u*u))
+		}
+		if r := dataset.NewRecord(terms...); len(r) > 0 {
+			records = append(records, r)
+		}
+	}
+	d := dataset.FromRecords(records)
+	opts := core.Options{K: 2, M: 2, MaxClusterSize: 5, Parallel: 1, Seed: 505}
+
+	plain, err := core.Anonymize(d, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	breaches := core.BreachesOf(plain)
+	if len(breaches) == 0 {
+		t.Fatal("dense publication has no breaches; the adversarial sweep would be vacuous")
+	}
+
+	opts.SafeDisassociation = true
+	repaired, err := core.Anonymize(d, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if left := core.BreachesOf(repaired); len(left) != 0 {
+		t.Fatalf("repair left %d breaches", len(left))
+	}
+	for _, b := range breaches {
+		// Every |S| ≤ m subset of the breach's itemset {Anchor, Learned}.
+		for _, knowledge := range []dataset.Record{
+			dataset.NewRecord(b.Anchor),
+			dataset.NewRecord(b.Learned),
+			dataset.NewRecord(b.Anchor, b.Learned),
+		} {
+			if !attack.GuaranteeHolds(repaired, knowledge, opts.K) {
+				t.Errorf("knowledge %v (from breach %s -> %v): only %d candidates on the repaired publication",
+					knowledge, b.Where, b.Learned, attack.Candidates(repaired, knowledge))
+			}
+		}
+	}
+
+	// And the repaired publication still reconstructs into valid datasets.
+	for seed := uint64(0); seed < 5; seed++ {
+		r := Sample(repaired, rand.New(rand.NewPCG(seed, 9)))
+		if err := r.Validate(); err != nil {
+			t.Fatalf("seed %d: reconstruction of repaired publication invalid: %v", seed, err)
+		}
+		if r.Len() != d.Len() {
+			t.Fatalf("seed %d: reconstruction has %d records, original %d", seed, r.Len(), d.Len())
 		}
 	}
 }

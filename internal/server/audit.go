@@ -1,0 +1,66 @@
+package server
+
+import (
+	"net/http"
+	"sync"
+
+	"disasso/internal/breach"
+	"disasso/internal/core"
+)
+
+// The breach-audit cache follows the support cache's soundness pattern: it
+// is scoped to one immutable snapshot, so invalidation is free (a republish
+// installs a successor snapshot with a fresh, empty cell) and a hit can
+// only ever return exactly what the miss path would have computed — the
+// audit is a pure function of the immutable forest. Unlike the support
+// cache there is exactly one answer per snapshot, so the cell memoizes a
+// single report behind a mutex: concurrent first readers serialize on the
+// one computation, every later reader returns the shared report.
+type auditCell struct {
+	s *auditSlot
+}
+
+type auditSlot struct {
+	mu  sync.Mutex
+	rep *breach.Report
+}
+
+func newAuditCell() *auditCell { return &auditCell{s: &auditSlot{}} }
+
+// slot hands out the cell's internally synchronized state; mutation happens
+// only through it, behind its mutex.
+func (c *auditCell) slot() *auditSlot { return c.s }
+
+// report returns the memoized breach audit of the forest, computing it on
+// first use.
+func (c *auditCell) report(anon *core.Anonymized) *breach.Report {
+	s := c.slot()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.rep == nil {
+		s.rep = breach.Audit(anon)
+	}
+	return s.rep
+}
+
+// BreachResponse is the body of GET /v1/datasets/{name}/breaches: the
+// dataset identity plus the full cover-problem audit report.
+type BreachResponse struct {
+	DatasetInfo
+	Report *breach.Report `json:"report"`
+}
+
+// handleBreaches serves the cover-problem breach audit of the current
+// snapshot. The report is computed from the immutable published forest on
+// first request and cached for the snapshot's lifetime; a delta republish
+// installs a successor snapshot whose audit is recomputed on its own first
+// request. Cold (recovered) snapshots serve audits the same way — the
+// forest is in the snapshot file — so audit results are byte-identical
+// across restarts.
+func (s *Server) handleBreaches(w http.ResponseWriter, r *http.Request) {
+	sn := s.snapshotOr404(w, r)
+	if sn == nil {
+		return
+	}
+	s.writeJSON(w, http.StatusOK, BreachResponse{DatasetInfo: sn.info, Report: sn.audit.report(sn.anon)})
+}

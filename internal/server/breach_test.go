@@ -1,0 +1,107 @@
+package server
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand/v2"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"disasso/internal/dataset"
+)
+
+// TestBreachAuditSurvivesChurn drives append/remove republishes against a
+// SafeDisassociation dataset and requires every served version to audit
+// breach-free: the repair is part of the publish pipeline, so deltas — which
+// re-anonymize dirty shards through the same path — must never reintroduce a
+// cover-problem breach. A plain publication of the same data establishes the
+// property is not vacuous (it does breach), and repeated audit reads must be
+// byte-identical (the per-snapshot cache is transparent).
+func TestBreachAuditSurvivesChurn(t *testing.T) {
+	text, d := testDataset(t, 31, 240, 12, 5)
+	logical := d.Records
+	srv := httptest.NewServer(New(Options{}))
+	defer srv.Close()
+	client := srv.Client()
+
+	// The unrepaired control: same records, no safe=1.
+	do(t, client, "POST", srv.URL+"/v1/datasets/plain?k=3&m=2&seed=9&shardrecords=80", text, http.StatusCreated, nil)
+	var plain BreachResponse
+	do(t, client, "GET", srv.URL+"/v1/datasets/plain/breaches", "", http.StatusOK, &plain)
+	if plain.Report == nil || plain.Report.Clean() {
+		t.Fatalf("plain publication audits clean; the churn test would prove nothing (report %+v)", plain.Report)
+	}
+
+	base := srv.URL + "/v1/datasets/safe"
+	var info DatasetInfo
+	do(t, client, "POST", base+"?k=3&m=2&seed=9&shardrecords=80&safe=1", text, http.StatusCreated, &info)
+	if info.Version != 1 {
+		t.Fatalf("initial publish version = %d, want 1", info.Version)
+	}
+
+	auditClean := func(tag string, wantVersion int) {
+		t.Helper()
+		raw1 := rawDo(t, client, "GET", base+"/breaches", "", http.StatusOK)
+		raw2 := rawDo(t, client, "GET", base+"/breaches", "", http.StatusOK)
+		if !bytes.Equal(raw1, raw2) {
+			t.Fatalf("%s: repeated audit reads differ:\n%s\n%s", tag, raw1, raw2)
+		}
+		var br BreachResponse
+		do(t, client, "GET", base+"/breaches", "", http.StatusOK, &br)
+		if br.Version != wantVersion {
+			t.Fatalf("%s: audit served version %d, want %d", tag, br.Version, wantVersion)
+		}
+		if br.Report == nil || !br.Report.Clean() {
+			t.Fatalf("%s: safe dataset has %d breaches (max P=%v)", tag, len(br.Report.Findings), br.Report.MaxProbability)
+		}
+		if br.Report.Clusters == 0 {
+			t.Fatalf("%s: audit covered zero clusters", tag)
+		}
+	}
+	auditClean("initial", 1)
+
+	rng := rand.New(rand.NewPCG(31, 7))
+	wantVersion := 1
+	for step := 0; step < 4; step++ {
+		nRemove := 2 + rng.IntN(4)
+		picked := map[int]bool{}
+		var removes []dataset.Record
+		for len(removes) < nRemove {
+			i := rng.IntN(len(logical))
+			if picked[i] {
+				continue
+			}
+			picked[i] = true
+			removes = append(removes, logical[i])
+		}
+		var dr DeltaResponse
+		do(t, client, "POST", base+"/remove", renderRecords(removes), http.StatusOK, &dr)
+		logical = removeFirst(t, logical, removes)
+		wantVersion++
+		if dr.Version != wantVersion {
+			t.Fatalf("step %d remove: version = %d, want %d", step, dr.Version, wantVersion)
+		}
+		auditClean(fmt.Sprintf("step %d remove", step), wantVersion)
+
+		nAppend := 2 + rng.IntN(4)
+		var appends []dataset.Record
+		for i := 0; i < nAppend; i++ {
+			terms := make([]dataset.Term, 1+rng.IntN(4))
+			for j := range terms {
+				terms[j] = dataset.Term(rng.IntN(12))
+			}
+			appends = append(appends, dataset.NewRecord(terms...))
+		}
+		do(t, client, "POST", base+"/append", renderRecords(appends), http.StatusOK, &dr)
+		logical = append(logical, appends...)
+		wantVersion++
+		if dr.Version != wantVersion {
+			t.Fatalf("step %d append: version = %d, want %d", step, dr.Version, wantVersion)
+		}
+		auditClean(fmt.Sprintf("step %d append", step), wantVersion)
+	}
+
+	// Unknown datasets 404 on the audit endpoint like every other read.
+	do(t, client, "GET", srv.URL+"/v1/datasets/ghost/breaches", "", http.StatusNotFound, nil)
+}

@@ -216,6 +216,7 @@ func (s *Server) snapshotFromFile(f *snapfile.Snapshot) *snapshot {
 	meta := f.Meta()
 	sn := &snapshot{
 		cache: newSupportCache(s.opts.SupportCacheEntries),
+		audit: newAuditCell(),
 		info: DatasetInfo{
 			Name: meta.Name, K: meta.K, M: meta.M,
 			Records:      meta.Records,

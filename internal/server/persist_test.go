@@ -52,6 +52,7 @@ func readEndpoints(t *testing.T, ts *httptest.Server, name string) map[string][]
 		"support":    rawDo(t, client, "POST", ts.URL+"/v1/datasets/"+name+"/support", persistSupportBody, http.StatusOK),
 		"supportGet": rawDo(t, client, "GET", ts.URL+"/v1/datasets/"+name+"/support?itemset=3,17", "", http.StatusOK),
 		"metrics":    rawDo(t, client, "GET", ts.URL+"/v1/datasets/"+name+"/metrics?lo=0&hi=30", "", http.StatusOK),
+		"breaches":   rawDo(t, client, "GET", ts.URL+"/v1/datasets/"+name+"/breaches", "", http.StatusOK),
 	}
 }
 
@@ -74,7 +75,17 @@ func TestRestartByteIdentical(t *testing.T) {
 	if dr.Version != 2 {
 		t.Fatalf("delta version = %d, want 2", dr.Version)
 	}
+	// A repaired (SafeDisassociation) publication rides the same restart
+	// contract: its audit must come back breach-free and byte-identical from
+	// the recovered snapshot.
+	do(t, ts1.Client(), "POST", ts1.URL+"/v1/datasets/safeweb?k=3&m=2&seed=8&shardrecords=64&safe=1", text, http.StatusCreated, nil)
+	var safeAudit BreachResponse
+	do(t, ts1.Client(), "GET", ts1.URL+"/v1/datasets/safeweb/breaches", "", http.StatusOK, &safeAudit)
+	if safeAudit.Report == nil || !safeAudit.Report.Clean() {
+		t.Fatalf("safe publication audits dirty before restart: %+v", safeAudit.Report)
+	}
 	before := readEndpoints(t, ts1, "web")
+	beforeSafe := readEndpoints(t, ts1, "safeweb")
 	ts1.Close()
 
 	work := core.AnonymizeWorkCount()
@@ -83,7 +94,7 @@ func TestRestartByteIdentical(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(rep.Loaded) != 1 || rep.Loaded[0] != "web" || len(rep.Skipped) != 0 {
+	if len(rep.Loaded) != 2 || rep.Loaded[0] != "safeweb" || rep.Loaded[1] != "web" || len(rep.Skipped) != 0 {
 		t.Fatalf("recovery report = %+v", rep)
 	}
 	if got := core.AnonymizeWorkCount(); got != work {
@@ -93,6 +104,7 @@ func TestRestartByteIdentical(t *testing.T) {
 	ts2 := httptest.NewServer(srv2)
 	defer ts2.Close()
 	after := readEndpoints(t, ts2, "web")
+	afterSafe := readEndpoints(t, ts2, "safeweb")
 	if got := core.AnonymizeWorkCount(); got != work {
 		t.Fatalf("read path ran %d shard anonymizations after recovery", got-work)
 	}
@@ -101,16 +113,30 @@ func TestRestartByteIdentical(t *testing.T) {
 			t.Errorf("%s differs across restart:\n pre: %s\npost: %s", ep, want, after[ep])
 		}
 	}
+	for ep, want := range beforeSafe {
+		if !bytes.Equal(afterSafe[ep], want) {
+			t.Errorf("safeweb %s differs across restart:\n pre: %s\npost: %s", ep, want, afterSafe[ep])
+		}
+	}
 
 	// The listing marks the recovered snapshot cold (and mapped, where the
 	// platform mmaps) without disturbing the identity fields.
 	var list ListResponse
 	do(t, ts2.Client(), "GET", ts2.URL+"/v1/datasets", "", http.StatusOK, &list)
-	if len(list.Datasets) != 1 || !list.Datasets[0].Cold {
-		t.Fatalf("recovered listing = %+v, want one cold entry", list.Datasets)
+	if len(list.Datasets) != 2 {
+		t.Fatalf("recovered listing = %+v, want two entries", list.Datasets)
 	}
-	if list.Datasets[0].Version != 2 || list.Datasets[0].ShardRecords != 64 {
-		t.Fatalf("recovered info = %+v", list.Datasets[0])
+	var web *ListEntry
+	for i := range list.Datasets {
+		if !list.Datasets[i].Cold {
+			t.Fatalf("recovered %q not marked cold", list.Datasets[i].Name)
+		}
+		if list.Datasets[i].Name == "web" {
+			web = &list.Datasets[i]
+		}
+	}
+	if web == nil || web.Version != 2 || web.ShardRecords != 64 {
+		t.Fatalf("recovered info = %+v", list.Datasets)
 	}
 
 	// Deltas still work after recovery (state rehydrates from the persisted

@@ -131,10 +131,13 @@ type snapshot struct {
 	state *core.RepubState
 	parts []*query.EstimatorPart
 	// cache memoizes support estimates for this snapshot only (nil when
-	// disabled). It is the one mutable field, internally synchronized, and
+	// disabled). It is a mutable field, internally synchronized, and
 	// provably transparent: estimates are a pure function of the immutable
 	// snapshot, so cached and uncached answers are bit-identical.
 	cache *supportCache
+	// audit memoizes the cover-problem breach report for this snapshot, on
+	// the same per-snapshot-transparency argument as cache (see audit.go).
+	audit *auditCell
 }
 
 // DatasetInfo describes one registered dataset.
@@ -294,6 +297,7 @@ func New(opts Options) *Server {
 	mux.HandleFunc("GET /v1/datasets/{name}/support", s.handleSupportGet)
 	mux.HandleFunc("POST /v1/datasets/{name}/reconstruct", s.handleReconstruct)
 	mux.HandleFunc("GET /v1/datasets/{name}/metrics", s.handleMetrics)
+	mux.HandleFunc("GET /v1/datasets/{name}/breaches", s.handleBreaches)
 	s.mux = mux
 	return s
 }
@@ -444,6 +448,7 @@ func (s *Server) handlePublish(w http.ResponseWriter, r *http.Request) {
 	opts := core.Options{
 		K: k, M: m, MaxClusterSize: maxCluster, MaxShardRecords: shardRecords,
 		Seed: seed, DisableRefine: q.Get("norefine") == "1",
+		SafeDisassociation: q.Get("safe") == "1",
 	}
 
 	replace := q.Get("replace") == "1"
@@ -560,6 +565,7 @@ func newStateSnapshot(name string, a *core.Anonymized, st *core.RepubState, part
 	sum := a.Stats()
 	return &snapshot{
 		cache: newSupportCache(cacheEntries),
+		audit: newAuditCell(),
 		info: DatasetInfo{
 			Name: name, K: a.K, M: a.M,
 			Records:  sum.Records,
@@ -626,6 +632,7 @@ func newSnapshot(name string, a *core.Anonymized, streamed bool, opts core.Optio
 	sum := a.Stats()
 	return &snapshot{
 		cache: newSupportCache(cacheEntries),
+		audit: newAuditCell(),
 		info: DatasetInfo{
 			Name: name, K: a.K, M: a.M,
 			Records:  sum.Records,
